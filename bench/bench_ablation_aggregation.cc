@@ -1,0 +1,111 @@
+// Ablation: data-driven over-eviction design choices (DESIGN.md items 3/4).
+//
+// (a) Fail-slow voting rounds: single-round aggregation vs the paper's
+//     5-round cumulative voting, under sampling noise.
+// (b) Over-eviction vs exact localization: machines evicted and culprit
+//     containment when isolating at parallel-group granularity.
+
+#include <cstdio>
+
+#include "src/analyzer/aggregation.h"
+#include "src/common/table.h"
+#include "src/tracer/stack_synth.h"
+
+using namespace byterobust;
+
+namespace {
+
+Topology MakeTopology() {
+  ParallelismConfig cfg;
+  cfg.tp = 2;
+  cfg.pp = 4;
+  cfg.dp = 8;
+  cfg.gpus_per_machine = 2;
+  return Topology(cfg);
+}
+
+bool GroupContains(const Topology& topo, GroupKind kind, int index, MachineId machine) {
+  for (const ParallelGroup& g : topo.Groups(kind)) {
+    if (g.index != index) {
+      continue;
+    }
+    for (MachineId m : topo.MachinesOfGroup(g)) {
+      if (m == machine) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  const Topology topo = MakeTopology();
+  AggregationAnalyzer analyzer;
+
+  std::printf("=== Ablation (a): fail-slow voting rounds vs localization accuracy ===\n");
+  std::printf("(degrader on a random machine; every ~3rd stack snapshot contains one\n");
+  std::printf(" noisy false outlier)\n\n");
+  TablePrinter rounds_table({"Voting rounds", "Correct isolation", "Wrong/none"});
+  for (int rounds : {1, 2, 3, 5, 7}) {
+    int correct = 0;
+    const int trials = 300;
+    for (int t = 0; t < trials; ++t) {
+      const MachineId degrader = static_cast<MachineId>(t % topo.num_machines());
+      FailSlowVoter voter(rounds);
+      for (int r = 0; r < rounds; ++r) {
+        const auto stacks = SynthesizeFailSlowStacks(
+            topo, degrader, static_cast<std::uint64_t>(t) * 1000 + static_cast<std::uint64_t>(r));
+        voter.AddRound(analyzer.Analyze(stacks, topo));
+      }
+      GroupKind kind;
+      int index;
+      if (voter.Decide(&kind, &index) && GroupContains(topo, kind, index, degrader)) {
+        ++correct;
+      }
+    }
+    rounds_table.AddRow({FormatInt(rounds), FormatPercent(static_cast<double>(correct) / trials, 1),
+                         FormatPercent(1.0 - static_cast<double>(correct) / trials, 1)});
+  }
+  rounds_table.Print();
+
+  std::printf("\n=== Ablation (b): over-eviction vs exact localization ===\n");
+  std::printf("(hang seeded at each rank in turn; aggregation isolates the shared\n");
+  std::printf(" parallel group)\n\n");
+  int culprit_contained = 0;
+  int total_evicted = 0;
+  int runs = 0;
+  for (Rank culprit = 0; culprit < topo.world_size(); ++culprit) {
+    const auto stacks = SynthesizeHangStacks(topo, culprit, HangSite::kTensorCollective);
+    const AggregationResult result = analyzer.Analyze(stacks, topo);
+    if (result.machines_to_evict.empty()) {
+      continue;
+    }
+    ++runs;
+    total_evicted += static_cast<int>(result.machines_to_evict.size());
+    const MachineId culprit_machine = topo.MachineOfRank(culprit);
+    for (MachineId m : result.machines_to_evict) {
+      if (m == culprit_machine) {
+        ++culprit_contained;
+        break;
+      }
+    }
+  }
+  TablePrinter evict_table({"Metric", "Value"});
+  evict_table.AddRow({"hang cases isolated", FormatInt(runs)});
+  evict_table.AddRow({"culprit machine inside evicted set",
+                      FormatPercent(static_cast<double>(culprit_contained) / runs, 1)});
+  evict_table.AddRow({"avg machines evicted (over-eviction)",
+                      FormatDouble(static_cast<double>(total_evicted) / runs, 2)});
+  evict_table.AddRow({"exact localization would evict", "1.00"});
+  evict_table.Print();
+
+  std::printf("\nTrade-off (paper Sec. 9): over-eviction spends ~%d false-positive\n",
+              total_evicted / runs - 1);
+  std::printf("machines per incident but always contains the culprit, converting hours\n");
+  std::printf("of root-cause hunting into a minutes-scale warm-standby swap. Multi-round\n");
+  std::printf("voting is what makes fail-slow isolation reliable under snapshot noise;\n");
+  std::printf("single-round aggregation misfires on the noisy rounds.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Ablation: cross-parallel-group backup vs naive neighbor-machine backup
+// (DESIGN.md item 5) — shard survival under the over-eviction patterns the
+// runtime analyzer actually produces (whole PP/TP/DP groups).
+
+#include <cstdio>
+#include <set>
+
+#include "src/ckpt/backup_strategy.h"
+#include "src/common/table.h"
+
+using namespace byterobust;
+
+namespace {
+
+// A naive plan: every rank backs up on the next machine (what Gemini-style
+// in-memory checkpointing does without eviction awareness).
+class NeighborPlan {
+ public:
+  explicit NeighborPlan(const Topology& topo) : topo_(topo) {}
+
+  Rank TargetOf(Rank r) const {
+    const auto& cfg = topo_.config();
+    const MachineId neighbor = (topo_.MachineOfRank(r) + 1) % topo_.num_machines();
+    return neighbor * cfg.gpus_per_machine + r % cfg.gpus_per_machine;
+  }
+
+  bool SurvivesEviction(const std::vector<MachineId>& machines) const {
+    const std::set<MachineId> evicted(machines.begin(), machines.end());
+    for (Rank r = 0; r < topo_.world_size(); ++r) {
+      if (evicted.count(topo_.MachineOfRank(r)) > 0 &&
+          evicted.count(topo_.MachineOfRank(TargetOf(r))) > 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  const Topology& topo_;
+};
+
+struct Survival {
+  int survived = 0;
+  int total = 0;
+
+  std::string Format() const {
+    return std::string(FormatInt(survived)) + "/" + FormatInt(total);
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: cross-group vs neighbor backup under group eviction ===\n");
+  std::printf("(for every parallel group of each kind: does evicting the whole group\n");
+  std::printf(" preserve all shards? restart is impossible otherwise)\n\n");
+
+  TablePrinter table({"Topology", "Kind", "Cross-group survives", "Neighbor survives"});
+  const ParallelismConfig configs[] = {
+      {2, 4, 2, 2}, {2, 4, 4, 2}, {8, 8, 4, 16}, {4, 2, 8, 8}, {8, 16, 4, 16},
+  };
+  for (const ParallelismConfig& cfg : configs) {
+    const Topology topo(cfg);
+    const BackupPlan cross(topo);
+    const NeighborPlan neighbor(topo);
+    for (GroupKind kind : {GroupKind::kPipeline, GroupKind::kData, GroupKind::kTensor}) {
+      Survival cross_s;
+      Survival neighbor_s;
+      for (const ParallelGroup& g : topo.Groups(kind)) {
+        const std::vector<MachineId> machines = topo.MachinesOfGroup(g);
+        ++cross_s.total;
+        ++neighbor_s.total;
+        if (cross.SurvivesEviction(topo, machines)) {
+          ++cross_s.survived;
+        }
+        if (neighbor.SurvivesEviction(machines)) {
+          ++neighbor_s.survived;
+        }
+      }
+      char name[64];
+      std::snprintf(name, sizeof(name), "TP%d PP%d DP%d (%dg/m)", cfg.tp, cfg.pp, cfg.dp,
+                    cfg.gpus_per_machine);
+      table.AddRow({name, GroupKindName(kind), cross_s.Format(), neighbor_s.Format()});
+    }
+  }
+  table.Print();
+
+  std::printf("\nThe cross-parallel-group strategy (Sec. 6.3, Fig. 9) survives every\n");
+  std::printf("single-group over-eviction; neighbor backup loses shards whenever a\n");
+  std::printf("group's machines are adjacent (exactly the PP-group evictions the\n");
+  std::printf("analyzer performs), forcing a remote-storage restore. The one failing\n");
+  std::printf("row (TP4 PP2 DP8, DP kind) is structural: that DP group's machines are\n");
+  std::printf("the entire cluster, so no placement can survive evicting it.\n");
+  return 0;
+}

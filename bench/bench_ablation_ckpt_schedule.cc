@@ -1,0 +1,63 @@
+// Ablation: the Fig. 8 checkpoint operation schedule — chunked backup
+// interleaving inside idle communication windows vs bulk transfer, and the
+// sensitivity of the checkpoint stall to PCIe bandwidth.
+
+#include <cstdio>
+
+#include "src/ckpt/op_schedule.h"
+#include "src/ckpt/size_model.h"
+#include "src/common/table.h"
+#include "src/training/job_config.h"
+
+using namespace byterobust;
+
+int main() {
+  std::printf("=== Ablation: checkpoint operation scheduling (Fig. 8) ===\n\n");
+
+  const JobConfig job = Table5Job70B(128);
+  OpScheduleInputs in;
+  in.forward = Seconds(1.4);
+  in.backward = Seconds(2.6);
+  in.optimizer = Seconds(0.3);
+  in.model_bytes = CheckpointSizeModel::ModelBytesPerRank(job);
+  in.optimizer_bytes = CheckpointSizeModel::OptimizerBytesPerRank(job);
+
+  const OpSchedule interleaved = BuildCheckpointSchedule(in, /*interleave_backup=*/true);
+  const OpSchedule bulk = BuildCheckpointSchedule(in, /*interleave_backup=*/false);
+
+  std::printf("one training step (%s), per-rank payload %.2f GB:\n\n", job.name.c_str(),
+              (in.model_bytes + in.optimizer_bytes) / 1e9);
+  std::printf("-- interleaved schedule (ByteRobust, Fig. 8) --\n%s\n",
+              interleaved.Render().c_str());
+  std::printf("-- bulk-backup baseline --\n%s\n", bulk.Render().c_str());
+
+  TablePrinter table({"Schedule", "Step w/o ckpt (s)", "Step w/ ckpt (s)", "Blocking (s)",
+                      "Feasible"});
+  for (const auto* s : {&interleaved, &bulk}) {
+    table.AddRow({s == &interleaved ? "chunked interleave" : "bulk backup",
+                  FormatDouble(ToSeconds(s->step_time_without_ckpt), 2),
+                  FormatDouble(ToSeconds(s->step_time_with_ckpt), 2),
+                  FormatDouble(ToSeconds(s->BlockingTime()), 3),
+                  s->ResourceFeasible() ? "yes" : "NO"});
+  }
+  table.Print();
+
+  std::printf("\nsensitivity: blocking vs PCIe bandwidth (chunked interleave)\n");
+  TablePrinter sweep({"PCIe (GB/s)", "D2H time (s)", "Blocking (s)"});
+  for (double pcie : {30.0, 16.0, 8.0, 4.0, 2.0, 1.0}) {
+    OpScheduleInputs v = in;
+    v.pcie_gbps = pcie;
+    const OpSchedule s = BuildCheckpointSchedule(v, true);
+    sweep.AddRow({FormatDouble(pcie, 0),
+                  FormatDouble((v.model_bytes + v.optimizer_bytes) / (pcie * 1e9), 2),
+                  FormatDouble(ToSeconds(s.BlockingTime()), 3)});
+  }
+  sweep.Print();
+
+  std::printf("\nThe chunked interleave hides both the backup exchange (in idle comm\n");
+  std::printf("windows) and the D2H copy (on the dedicated stream): blocking stays\n");
+  std::printf("near zero until D2H itself outlasts forward+backward. The bulk baseline\n");
+  std::printf("monopolizes the training channel after backward and pays the transfer\n");
+  std::printf("on the critical path — the gap Table 8 attributes to ByteRobust save.\n");
+  return 0;
+}

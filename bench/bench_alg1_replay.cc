@@ -1,0 +1,70 @@
+// Algorithm 1 / Fig. 6 harness: dual-phase replay localization sweep.
+// Measures localization success rate, suspect-set size, and diagnosis time
+// across machine counts, group sizes and SDC reproduction probabilities.
+
+#include <cstdio>
+#include <set>
+
+#include "src/common/table.h"
+#include "src/replay/dual_phase_replay.h"
+
+using namespace byterobust;
+
+int main() {
+  std::printf("=== Alg. 1: dual-phase replay localization sweep ===\n\n");
+
+  TablePrinter table({"z (machines)", "m", "n", "|S| bound", "repro p", "located",
+                      "avg suspects", "diagnosis time"});
+  struct Case {
+    int z;
+    int m;
+    double reproduce;
+  };
+  const Case cases[] = {
+      {24, 4, 1.0}, {24, 4, 0.75}, {64, 8, 1.0},  {64, 8, 0.75},
+      {128, 8, 0.9}, {256, 16, 0.9}, {1200, 24, 0.9}, {36, 12, 1.0},
+  };
+  Rng rng(2025);
+  for (const Case& c : cases) {
+    DualPhaseReplay replay(c.z, c.m);
+    const int trials = 200;
+    int located = 0;
+    double suspects = 0.0;
+    SimDuration elapsed = 0;
+    for (int t = 0; t < trials; ++t) {
+      const MachineId faulty = static_cast<MachineId>(rng.UniformInt(0, c.z - 1));
+      auto oracle = DualPhaseReplay::FaultOracle({faulty}, c.reproduce, &rng);
+      const ReplayOutcome outcome = replay.Locate(oracle, Minutes(10));
+      elapsed += outcome.elapsed;
+      if (outcome.found) {
+        bool contains = false;
+        for (MachineId s : outcome.suspects) {
+          if (s == faulty) {
+            contains = true;
+          }
+        }
+        if (contains) {
+          ++located;
+          suspects += static_cast<double>(outcome.suspects.size());
+        }
+      }
+    }
+    char zs[16];
+    std::snprintf(zs, sizeof(zs), "%d", c.z);
+    table.AddRow({zs, FormatInt(c.m), FormatInt(replay.n()),
+                  FormatInt(replay.ExpectedSuspectCardinality()),
+                  FormatDouble(c.reproduce, 2),
+                  FormatPercent(static_cast<double>(located) / trials, 1),
+                  located ? FormatDouble(suspects / located, 2) : "-",
+                  FormatDuration(elapsed / trials)});
+  }
+  table.Print();
+
+  std::printf("\nWith m <= n the constrained system has a unique solution: one faulty\n");
+  std::printf("machine is isolated in exactly two replay rounds (~20 min), vs the 8+\n");
+  std::printf("hours of offline stress testing the paper reports for manual SDC\n");
+  std::printf("diagnosis. Deterministic reproduction localizes 100%% of faults; at\n");
+  std::printf("p=0.75 the success rate is bounded by p^2 and the ladder falls back to\n");
+  std::printf("human diagnosis for the remainder.\n");
+  return 0;
+}

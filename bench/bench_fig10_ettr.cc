@@ -1,0 +1,72 @@
+// Fig. 10 + Fig. 11 reproduction: cumulative ETTR, sliding-window ETTR and
+// relative MFU for the dense and MoE production pretraining jobs.
+
+#include <cstdio>
+
+#include "src/common/table.h"
+#include "src/core/production_presets.h"
+
+using namespace byterobust;
+
+namespace {
+
+void Report(const char* name, Scenario& scenario) {
+  ByteRobustSystem& sys = scenario.system();
+  const SimTime end = sys.sim().Now();
+
+  std::printf("\n--- %s ---\n", name);
+  TablePrinter table({"Normalized Step", "Cumulative ETTR", "Sliding ETTR (1h)",
+                      "Relative MFU"});
+  const auto& samples = sys.mfu_series().samples();
+  // Relative MFU is baselined on the initial (naive-code) MFU; degraded
+  // stretches would otherwise drag the denominator below the Fig. 11 curve.
+  const double min_mfu = samples.empty() ? 0.0 : samples.front().mfu;
+  const int points = 20;
+  for (int i = 1; i <= points; ++i) {
+    const SimTime t = end / points * i;
+    // Find the MFU sample nearest to t.
+    double mfu = 0.0;
+    for (const auto& s : samples) {
+      if (s.time <= t) {
+        mfu = s.mfu;
+      } else {
+        break;
+      }
+    }
+    // Cumulative ETTR at time t == productive time within [0, t] over t,
+    // which is a sliding window of width t ending at t.
+    table.AddRow({FormatDouble(static_cast<double>(i) / points, 2),
+                  FormatDouble(sys.ettr().SlidingEttr(t, t), 3),
+                  FormatDouble(sys.ettr().SlidingEttr(t, Hours(1)), 3),
+                  min_mfu > 0 ? FormatDouble(mfu / min_mfu, 2) : "-"});
+  }
+  table.Print();
+  std::printf("final cumulative ETTR: %.3f (paper plateau: up to 0.97)\n",
+              sys.ettr().CumulativeEttr(end));
+  std::printf("relative MFU gain: %.2fx (paper: 1.25x dense, 1.58x MoE)\n",
+              sys.mfu_series().MaxMfu() / (min_mfu > 0 ? min_mfu : 1.0));
+  std::printf("incidents: %d, runs: %d, evictions: %d\n",
+              scenario.stats().incidents_injected, scenario.system().job().run_count(),
+              scenario.system().controller().evictions_total());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 10/11: ETTR and relative MFU, production campaigns ===\n");
+  std::printf("(dense 70B: 90 days; MoE 200B: 30 days; 9,600 GPUs each)\n");
+
+  Scenario dense(DenseCampaignConfig(90.0, /*seed=*/41));
+  dense.Run();
+  Report("Dense 70B, 3 months", dense);
+
+  Scenario moe(MoeCampaignConfig(30.0, /*seed=*/43));
+  moe.Run();
+  Report("MoE 200B, 1 month", moe);
+
+  std::printf("\nShape check vs paper: cumulative ETTR plateaus near 0.97 with dips on\n");
+  std::printf("incident clusters; sliding-window ETTR fluctuates with each recovery;\n");
+  std::printf("MoE ETTR trails dense (more custom optimizations => more rollbacks and\n");
+  std::printf("manual restarts) while its relative MFU gain is larger (1.58x vs 1.25x).\n");
+  return 0;
+}

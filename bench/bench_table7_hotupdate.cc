@@ -1,0 +1,68 @@
+// Table 7 reproduction: scheduling time of full-job requeue vs in-place
+// hot-update across four training scales, upon code-update events.
+
+#include <cstdio>
+
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/core/byterobust_system.h"
+
+using namespace byterobust;
+
+namespace {
+
+// Measures end-to-end hot-update scheduling time (request -> job resumed) in
+// a live system, averaged over five code-update events.
+double MeasureHotUpdate(int machines) {
+  SystemConfig cfg;
+  // TP=2 x PP=4 x DP=machines on 8-GPU hosts => exactly `machines` machines.
+  cfg.job.parallelism = {2, 4, machines, 8};
+  cfg.job.base_step_time = Seconds(10);
+  cfg.job.model_params_b = 7.0;
+  cfg.seed = 3;
+  ByteRobustSystem sys(cfg);
+  sys.Start();
+  RunningStat stat;
+  for (int event = 0; event < 5; ++event) {
+    sys.sim().RunUntil(sys.sim().Now() + Minutes(30));
+    const SimTime request = sys.sim().Now();
+    const int runs_before = sys.job().run_count();
+    sys.hot_updates().Submit({event + 1, 1.0 + 0.02 * event, false, 0, true, "update"});
+    while (sys.job().run_count() == runs_before && sys.sim().Now() < request + Hours(1)) {
+      sys.sim().RunUntil(sys.sim().Now() + Seconds(5));
+    }
+    stat.Add(ToSeconds(sys.sim().Now() - request));
+  }
+  return stat.mean();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 7: scheduling time, requeue vs hot update (5 events) ===\n\n");
+
+  const RestartCostModel model;
+  TablePrinter table({"Scale (# GPUs)", "Requeue (s)", "Hot update (s)", "Speedup",
+                      "Paper requeue/hot-update"});
+  const char* paper[] = {"454 / 46", "545 / 51", "635 / 54", "768 / 65"};
+  int i = 0;
+  for (int machines : {128, 256, 512, 1024}) {
+    const double requeue = ToSeconds(model.RequeueTime(machines));
+    const double hot = ToSeconds(model.HotUpdateTime(machines));
+    char scale[32];
+    std::snprintf(scale, sizeof(scale), "%dx16", machines);
+    table.AddRow({scale, FormatDouble(requeue, 0), FormatDouble(hot, 0),
+                  FormatDouble(requeue / hot, 2) + "x", paper[i++]});
+  }
+  table.Print();
+
+  // End-to-end validation in a live simulated system: the measured hot-update
+  // time includes the checkpoint reload on top of the scheduling cost.
+  const double measured = MeasureHotUpdate(16);
+  std::printf("\nlive-system validation (16 machines, incl. in-memory ckpt reload): "
+              "%.0f s per hot update\n", measured);
+  std::printf("\nShape check vs paper: hot update is ~11x faster than requeue and its\n");
+  std::printf("cost stays nearly flat with scale, while requeue grows by ~100 s per\n");
+  std::printf("doubling (metadata clearing, quota reallocation, pod rebuilds).\n");
+  return 0;
+}

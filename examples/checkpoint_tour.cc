@@ -1,0 +1,79 @@
+// Checkpoint subsystem tour: the Fig. 8 operation schedule, the Fig. 9
+// cross-parallel-group backup plan, and load-time resharding when the
+// parallelism configuration changes across a restart (Sec. 2.1's
+// long-context stage expansion).
+//
+// Build & run:  ./build/examples/checkpoint_tour
+
+#include <cstdio>
+
+#include "src/ckpt/backup_strategy.h"
+#include "src/ckpt/op_schedule.h"
+#include "src/ckpt/reshard.h"
+#include "src/ckpt/size_model.h"
+#include "src/training/job_config.h"
+
+using namespace byterobust;
+
+int main() {
+  // --- 1. Fig. 8: one training step with every-iteration checkpointing -----
+  const JobConfig job = Table5Job70B(128);
+  OpScheduleInputs in;
+  in.forward = Seconds(1.4);
+  in.backward = Seconds(2.6);
+  in.optimizer = Seconds(0.3);
+  in.model_bytes = CheckpointSizeModel::ModelBytesPerRank(job);
+  in.optimizer_bytes = CheckpointSizeModel::OptimizerBytesPerRank(job);
+  const OpSchedule schedule = BuildCheckpointSchedule(in, true);
+  std::printf("(1) Fig. 8 operation schedule for one %s step:\n%s", job.name.c_str(),
+              schedule.Render().c_str());
+  std::printf("    checkpoint stall added to the step: %s (relative MFU %.2f%%)\n\n",
+              FormatDuration(schedule.BlockingTime()).c_str(),
+              100.0 * ToSeconds(schedule.step_time_without_ckpt) /
+                  ToSeconds(schedule.step_time_with_ckpt));
+
+  // --- 2. Fig. 9: cross-parallel-group backups ------------------------------
+  ParallelismConfig par;
+  par.tp = 2;
+  par.pp = 4;
+  par.dp = 2;
+  par.gpus_per_machine = 2;
+  const Topology topo(par);
+  BackupPlan plan(topo);
+  std::printf("(2) Fig. 9 backup plan (%s):\n", par.ToString().c_str());
+  for (Rank r : {8, 9, 0, 1}) {
+    std::printf("    rank %2d (machine %d) backs up on rank %2d (machine %d)\n", r,
+                topo.MachineOfRank(r), plan.TargetOf(r), topo.MachineOfRank(plan.TargetOf(r)));
+  }
+  std::printf("    cross-group invariant holds: %s\n",
+              plan.SatisfiesCrossGroupInvariant(topo) ? "yes" : "no");
+  const ParallelGroup pp_group = topo.Groups(GroupKind::kPipeline)[1];
+  std::printf("    survives over-evicting PP group %d (machines", pp_group.index);
+  for (MachineId m : topo.MachinesOfGroup(pp_group)) {
+    std::printf(" %d", m);
+  }
+  std::printf("): %s\n\n", plan.SurvivesGroupEviction(topo, pp_group) ? "yes" : "no");
+
+  // --- 3. Load-time resharding: DP expands 2 -> 4 ---------------------------
+  ParallelismConfig bigger = par;
+  bigger.dp = 4;
+  const std::int64_t model_bytes = 14LL << 30;   // 14 GiB of weights
+  const std::int64_t opt_bytes = 84LL << 30;     // 84 GiB of optimizer state
+  ReshardPlanner planner(par, bigger, model_bytes, opt_bytes);
+  std::printf("(3) resharding %s -> %s:\n", par.ToString().c_str(), bigger.ToString().c_str());
+  for (Rank r : {0, 17}) {
+    std::printf("    new rank %2d optimizer reads:", r);
+    for (const ShardSource& s : planner.OptimizerSourcesFor(r)) {
+      std::printf(" [old rank %d: %.2f GiB]", s.old_rank,
+                  static_cast<double>(s.range.size()) / (1 << 30));
+    }
+    std::printf("\n");
+  }
+  const ReshardStats stats = planner.Stats();
+  std::printf("    total moved: %.1f GiB optimizer, %.1f GiB model (x%d replicas), "
+              "max fan-in %.0f sources/rank\n",
+              static_cast<double>(stats.optimizer_bytes_moved) / (1 << 30),
+              static_cast<double>(stats.model_bytes_moved) / (1 << 30), bigger.dp,
+              stats.max_fan_in);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// SDC localization via dual-phase replay: reproduces the paper's Fig. 6.
+//
+// A silent-data-corruption machine (#13 of 24) produces NaN losses that no
+// stop-time test can attribute. Algorithm 1 partitions the machines into
+// horizontal groups (by floor(id/m)) and vertical groups (by id mod n),
+// replays a reduced job on each group, and intersects the failing groups.
+//
+// Build & run:  ./build/examples/sdc_localization
+
+#include <cstdio>
+#include <set>
+
+#include "src/replay/dual_phase_replay.h"
+
+using namespace byterobust;
+
+namespace {
+
+void PrintGroups(const DualPhaseReplay& replay, bool horizontal, int faulty_group,
+                 MachineId sdc_machine) {
+  for (int g = 0; g < replay.n(); ++g) {
+    const auto members = horizontal ? replay.HorizontalGroup(g) : replay.VerticalGroup(g);
+    std::printf("  %c%d: [", horizontal ? 'H' : 'V', g);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (members[i] == sdc_machine) {
+        std::printf("%s*%d*", i ? "," : "", members[i]);
+      } else {
+        std::printf("%s%d", i ? "," : "", members[i]);
+      }
+    }
+    std::printf("]%s\n", g == faulty_group ? "   <-- replay reproduces the fault" : "");
+  }
+}
+
+}  // namespace
+
+int main() {
+  // Fig. 6 parameters: z = 24 machines, group size m = 4 (a multiple of the
+  // PP size so intra-group communication stays representative), n = 6.
+  const int z = 24;
+  const int m = 4;
+  const MachineId sdc_machine = 13;
+  DualPhaseReplay replay(z, m);
+  std::printf("dual-phase replay: z=%d machines, m=%d, n=%d (expected |S| = %d)\n", z, m,
+              replay.n(), replay.ExpectedSuspectCardinality());
+  std::printf("ground truth: machine #%d has a silent data corruption\n\n", sdc_machine);
+
+  // SDC is stochastic (Sec. 9); here it reproduces 90% of the time per replay.
+  Rng rng(3);
+  auto oracle = DualPhaseReplay::FaultOracle({sdc_machine}, 0.9, &rng);
+
+  std::printf("phase 1 - horizontal grouping (machines partitioned by id / m):\n");
+  const ReplayOutcome outcome = replay.Locate(oracle, Minutes(10));
+  PrintGroups(replay, /*horizontal=*/true, outcome.faulty_horizontal, sdc_machine);
+
+  std::printf("\nphase 2 - vertical grouping (machines partitioned by id mod n):\n");
+  PrintGroups(replay, /*horizontal=*/false, outcome.faulty_vertical, sdc_machine);
+
+  std::printf("\nconstrained system:  floor(x / %d) == %d  and  x mod %d == %d\n", m,
+              outcome.faulty_horizontal, replay.n(), outcome.faulty_vertical);
+  if (outcome.found) {
+    std::printf("solution: S = {");
+    for (std::size_t i = 0; i < outcome.suspects.size(); ++i) {
+      std::printf("%s%d", i ? "," : "", outcome.suspects[i]);
+    }
+    std::printf("}  -> evicting and restarting on warm standbys\n");
+    std::printf("total diagnosis time: %s (two concurrent replay rounds)\n",
+                FormatDuration(outcome.elapsed).c_str());
+    std::printf("\nCompare: the paper reports >8 hours of offline stress testing to find\n"
+                "one SDC machine without this procedure (Sec. 2.2).\n");
+  } else {
+    std::printf("fault did not reproduce in one of the phases; ByteRobust would fall\n"
+                "back to human diagnosis.\n");
+  }
+  return outcome.found ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+#include "src/analyzer/aggregation.h"
+
+#include <algorithm>
+#include <set>
+
+namespace byterobust {
+
+AggregationResult AggregationAnalyzer::Analyze(const std::vector<ProcessStack>& stacks,
+                                               const Topology& topology) const {
+  AggregationResult result;
+  if (stacks.empty()) {
+    return result;
+  }
+
+  // Step 2: group stacks by exact key. Subprocess stacks participate too; a
+  // wedged dataloader on one machine forms its own singleton group.
+  std::map<std::string, StackGroup> by_key;
+  for (const ProcessStack& ps : stacks) {
+    const std::string key = std::string(ProcessKindName(ps.kind)) + "|" + ps.stack.Key();
+    StackGroup& g = by_key[key];
+    if (g.ranks.empty()) {
+      g.key = key;
+      g.representative = ps.stack;
+    }
+    g.ranks.push_back(ps.rank);
+    g.machines.push_back(ps.machine);
+  }
+
+  for (auto& [key, group] : by_key) {
+    std::sort(group.machines.begin(), group.machines.end());
+    group.machines.erase(std::unique(group.machines.begin(), group.machines.end()),
+                         group.machines.end());
+    result.groups.push_back(std::move(group));
+  }
+  std::sort(result.groups.begin(), result.groups.end(),
+            [](const StackGroup& a, const StackGroup& b) {
+              if (a.ranks.size() != b.ranks.size()) {
+                return a.ranks.size() > b.ranks.size();
+              }
+              return a.key < b.key;  // deterministic tie-break
+            });
+
+  // Dominant groups are healthy; subprocess groups covering every machine
+  // (idle loaders/writers) are dominant by construction.
+  const std::size_t max_size = result.groups.front().ranks.size();
+  std::set<MachineId> outliers;
+  std::set<MachineId> healthy_machines;
+  for (StackGroup& g : result.groups) {
+    g.healthy = static_cast<double>(g.ranks.size()) >=
+                config_.dominant_fraction * static_cast<double>(max_size);
+    for (MachineId m : g.machines) {
+      (g.healthy ? healthy_machines : outliers).insert(m);
+    }
+  }
+  // A machine is an outlier if *any* of its processes shows an outlier stack,
+  // even if other processes on it look healthy.
+  result.outlier_machines.assign(outliers.begin(), outliers.end());
+  if (result.outlier_machines.empty()) {
+    return result;
+  }
+
+  // Step 3: shared parallel group of the outliers.
+  result.found_group = topology.FindCoveringGroup(result.outlier_machines,
+                                                  &result.isolated_group);
+  if (result.found_group) {
+    result.machines_to_evict = topology.MachinesOfGroup(result.isolated_group);
+  } else {
+    result.machines_to_evict = result.outlier_machines;
+  }
+  return result;
+}
+
+bool FailSlowVoter::AddRound(const AggregationResult& result) {
+  ++rounds_seen_;
+  if (result.found_group) {
+    const auto key = std::make_pair(static_cast<int>(result.isolated_group.kind),
+                                    result.isolated_group.index);
+    ++flags_[key];
+  }
+  return Ready();
+}
+
+bool FailSlowVoter::Decide(GroupKind* kind, int* index) const {
+  if (flags_.empty()) {
+    return false;
+  }
+  auto best = flags_.begin();
+  for (auto it = flags_.begin(); it != flags_.end(); ++it) {
+    if (it->second > best->second) {
+      best = it;
+    }
+  }
+  *kind = static_cast<GroupKind>(best->first.first);
+  *index = best->first.second;
+  return true;
+}
+
+}  // namespace byterobust

@@ -1,0 +1,71 @@
+#include "src/analyzer/event_bus.h"
+
+namespace byterobust {
+
+const char* UnifiedEventKindName(UnifiedEventKind kind) {
+  switch (kind) {
+    case UnifiedEventKind::kLog:
+      return "log";
+    case UnifiedEventKind::kIoOperation:
+      return "io";
+    case UnifiedEventKind::kHostAnomaly:
+      return "host";
+    case UnifiedEventKind::kTracerOutput:
+      return "tracer";
+    case UnifiedEventKind::kPodAnomaly:
+      return "pod";
+    case UnifiedEventKind::kMetric:
+      return "metric";
+  }
+  return "unknown";
+}
+
+void EventBus::Subscribe(UnifiedEventKind kind, Handler handler) {
+  handlers_[static_cast<int>(kind)].push_back(std::move(handler));
+}
+
+void EventBus::SubscribeAll(Handler handler) { all_handlers_.push_back(std::move(handler)); }
+
+void EventBus::Publish(UnifiedEvent event) {
+  ++published_;
+  history_.push_back(event);
+  while (history_.size() > history_capacity_) {
+    history_.pop_front();
+  }
+  auto it = handlers_.find(static_cast<int>(event.kind));
+  if (it != handlers_.end()) {
+    for (const Handler& handler : it->second) {
+      handler(event);
+    }
+  }
+  for (const Handler& handler : all_handlers_) {
+    handler(event);
+  }
+}
+
+std::vector<UnifiedEvent> EventBus::Correlate(MachineId machine, SimTime now,
+                                              SimDuration window) const {
+  std::vector<UnifiedEvent> out;
+  for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+    if (it->time < now - window) {
+      break;  // history is time-ordered; nothing older qualifies
+    }
+    if (it->machine == machine && it->time <= now) {
+      out.push_back(*it);
+    }
+  }
+  return out;
+}
+
+bool EventBus::HasCorrelatedPair(MachineId machine, SimTime now, SimDuration window,
+                                 UnifiedEventKind a, UnifiedEventKind b) const {
+  bool saw_a = false;
+  bool saw_b = false;
+  for (const UnifiedEvent& e : Correlate(machine, now, window)) {
+    saw_a = saw_a || e.kind == a;
+    saw_b = saw_b || e.kind == b;
+  }
+  return saw_a && saw_b;
+}
+
+}  // namespace byterobust

@@ -1,0 +1,81 @@
+// Unified event bus (paper Sec. 7): the Runtime Analyzer "standardizes
+// anomalies by aggregating logs, I/O operations, host anomalies, on-demand
+// tracer output, and pod anomalies into unified events" and runs event-driven
+// real-time analysis over them. This module provides that substrate: typed
+// events, publish/subscribe dispatch, a bounded history ring, and the
+// correlation query the gray-failure verification uses (e.g. pairing a
+// GPU-overheating host anomaly with an MFU-decline metric event).
+
+#ifndef SRC_ANALYZER_EVENT_BUS_H_
+#define SRC_ANALYZER_EVENT_BUS_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/faults/incident.h"
+#include "src/topology/parallelism.h"
+
+namespace byterobust {
+
+enum class UnifiedEventKind {
+  kLog,           // stdout/stderr/exit-code extract
+  kIoOperation,   // storage / dataloader I/O anomaly
+  kHostAnomaly,   // dmesg / Xid / host health
+  kTracerOutput,  // stack or flight-record capture completed
+  kPodAnomaly,    // pod / container lifecycle issue
+  kMetric,        // training-metric event (loss, MFU, grad norm)
+};
+
+const char* UnifiedEventKindName(UnifiedEventKind kind);
+
+struct UnifiedEvent {
+  UnifiedEventKind kind = UnifiedEventKind::kLog;
+  SimTime time = 0;
+  MachineId machine = -1;  // -1: not machine-specific
+  IncidentSymptom hint = IncidentSymptom::kCudaError;
+  std::string detail;
+};
+
+class EventBus {
+ public:
+  explicit EventBus(std::size_t history_capacity = 4096)
+      : history_capacity_(history_capacity) {}
+
+  using Handler = std::function<void(const UnifiedEvent&)>;
+
+  // Subscribes to one event kind, or to everything.
+  void Subscribe(UnifiedEventKind kind, Handler handler);
+  void SubscribeAll(Handler handler);
+
+  // Dispatches to subscribers and appends to the bounded history.
+  void Publish(UnifiedEvent event);
+
+  const std::deque<UnifiedEvent>& history() const { return history_; }
+  std::uint64_t published() const { return published_; }
+
+  // Events mentioning `machine` within the trailing `window` ending at `now`
+  // (newest first). The gray-failure rule correlates a host anomaly with a
+  // metric decline on the same machine inside a short window.
+  std::vector<UnifiedEvent> Correlate(MachineId machine, SimTime now,
+                                      SimDuration window) const;
+
+  // True when the window holds events of both kinds for the machine — the
+  // thermal-throttling verification of Sec. 8.1.1.
+  bool HasCorrelatedPair(MachineId machine, SimTime now, SimDuration window,
+                         UnifiedEventKind a, UnifiedEventKind b) const;
+
+ private:
+  std::size_t history_capacity_;
+  std::deque<UnifiedEvent> history_;
+  std::map<int, std::vector<Handler>> handlers_;
+  std::vector<Handler> all_handlers_;
+  std::uint64_t published_ = 0;
+};
+
+}  // namespace byterobust
+
+#endif  // SRC_ANALYZER_EVENT_BUS_H_

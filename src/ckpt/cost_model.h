@@ -1,0 +1,64 @@
+// Checkpointing cost model: per-step blocking time and relative MFU for the
+// three approaches compared in Table 8.
+//
+//  - Megatron save: synchronous serialize-and-write of the full per-rank
+//    shard each iteration; training blocks for the whole I/O.
+//  - Memory save (Gemini-style): in-memory checkpointing; training blocks
+//    while the snapshot is copied device-to-host on the training stream.
+//  - ByteRobust save: dual-buffered D2H on a dedicated CUDA stream with
+//    serialization and backup sends pipelined (Fig. 8); the optimizer step
+//    only waits for its own save's completion flag.
+
+#ifndef SRC_CKPT_COST_MODEL_H_
+#define SRC_CKPT_COST_MODEL_H_
+
+#include "src/common/sim_time.h"
+#include "src/training/job_config.h"
+
+namespace byterobust {
+
+enum class CkptApproach {
+  kMegatronSave,
+  kMemorySave,
+  kByteRobustSave,
+};
+
+const char* CkptApproachName(CkptApproach approach);
+
+struct CkptBandwidths {
+  // Synchronous serialize + write path used by Megatron save, in GB/s.
+  double serialize_gbps = 0.40;
+  // Blocking D2H + host copy path used by Memory save, in GB/s.
+  double memory_save_gbps = 1.50;
+  // Dedicated-stream D2H bandwidth (PCIe; the L20 testbed has 30 GB/s).
+  double pcie_gbps = 30.0;
+  // Interleaved P2P backup bandwidth per rank (runs inside idle comm cycles).
+  double backup_net_gbps = 12.0;
+};
+
+struct CkptCost {
+  SimDuration blocking_per_step = 0;  // checkpoint stall added to each step
+  double relative_mfu = 1.0;          // MFU ratio vs training w/o checkpointing
+  // Hidden (non-blocking) work per step, for sanity checks: it must fit
+  // within the step for the overlap story to hold.
+  SimDuration hidden_d2h = 0;
+  SimDuration hidden_backup_send = 0;
+};
+
+class CheckpointCostModel {
+ public:
+  explicit CheckpointCostModel(const CkptBandwidths& bw = {}) : bw_(bw) {}
+
+  // Cost of checkpointing every iteration with the given approach, for a job
+  // whose healthy step time is `step_time`.
+  CkptCost Evaluate(CkptApproach approach, const JobConfig& config, SimDuration step_time) const;
+
+  const CkptBandwidths& bandwidths() const { return bw_; }
+
+ private:
+  CkptBandwidths bw_;
+};
+
+}  // namespace byterobust
+
+#endif  // SRC_CKPT_COST_MODEL_H_

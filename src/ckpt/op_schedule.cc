@@ -1,0 +1,142 @@
+#include "src/ckpt/op_schedule.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace byterobust {
+
+namespace {
+constexpr double kGb = 1e9;
+
+SimDuration TransferTime(double bytes, double gbps) {
+  return static_cast<SimDuration>(bytes / (gbps * kGb) * kSecond);
+}
+}  // namespace
+
+const char* OpResourceName(OpResource resource) {
+  switch (resource) {
+    case OpResource::kCompute:
+      return "compute";
+    case OpResource::kTrainComm:
+      return "train-comm";
+    case OpResource::kCkptStream:
+      return "ckpt-stream";
+    case OpResource::kHost:
+      return "host";
+  }
+  return "unknown";
+}
+
+bool OpSchedule::ResourceFeasible() const {
+  std::map<OpResource, std::vector<std::pair<SimTime, SimTime>>> lanes;
+  for (const ScheduledOp& op : ops) {
+    lanes[op.resource].push_back({op.start, op.end});
+  }
+  for (auto& [resource, spans] : lanes) {
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      if (spans[i].first < spans[i - 1].second) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string OpSchedule::Render() const {
+  std::ostringstream out;
+  std::vector<ScheduledOp> sorted = ops;
+  std::sort(sorted.begin(), sorted.end(), [](const ScheduledOp& a, const ScheduledOp& b) {
+    if (a.start != b.start) {
+      return a.start < b.start;
+    }
+    return a.name < b.name;
+  });
+  for (const ScheduledOp& op : sorted) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "  [%8.3fs - %8.3fs] %-11s %s\n", ToSeconds(op.start),
+                  ToSeconds(op.end), OpResourceName(op.resource), op.name.c_str());
+    out << line;
+  }
+  return out.str();
+}
+
+OpSchedule BuildCheckpointSchedule(const OpScheduleInputs& in, bool interleave_backup) {
+  OpSchedule schedule;
+  const SimTime f_end = in.forward;
+  const SimTime b_end = in.forward + in.backward;
+
+  // -- training ops -----------------------------------------------------------
+  schedule.ops.push_back({"forward", OpResource::kCompute, 0, f_end});
+  schedule.ops.push_back({"backward", OpResource::kCompute, f_end, b_end});
+  // Training collectives occupy the leading fraction of forward (parameter
+  // all-gather) and the trailing fraction of backward (gradient
+  // reduce-scatter), leaving idle comm windows elsewhere (Fig. 8).
+  const SimTime fwd_comm_end =
+      static_cast<SimTime>(in.comm_busy_fraction * static_cast<double>(in.forward));
+  const SimTime bwd_comm_start =
+      b_end - static_cast<SimTime>(in.comm_busy_fraction * static_cast<double>(in.backward));
+  schedule.ops.push_back({"model all-gather", OpResource::kTrainComm, 0, fwd_comm_end});
+  schedule.ops.push_back({"gradient reduce-scatter", OpResource::kTrainComm, bwd_comm_start,
+                          b_end});
+
+  // -- checkpoint D2H on the dedicated stream ---------------------------------
+  const SimDuration d2h_model = TransferTime(in.model_bytes, in.pcie_gbps);
+  const SimDuration d2h_opt = TransferTime(in.optimizer_bytes, in.pcie_gbps);
+  schedule.ops.push_back({"D2H model shard", OpResource::kCkptStream, 0, d2h_model});
+  schedule.ops.push_back(
+      {"D2H optimizer shard", OpResource::kCkptStream, d2h_model, d2h_model + d2h_opt});
+  const SimTime d2h_done = d2h_model + d2h_opt;
+
+  // -- host serialization pipelined behind D2H --------------------------------
+  const SimDuration ser_model = TransferTime(in.model_bytes, in.serialize_gbps);
+  const SimDuration ser_opt = TransferTime(in.optimizer_bytes, in.serialize_gbps);
+  schedule.ops.push_back(
+      {"serialize model shard", OpResource::kHost, d2h_model, d2h_model + ser_model});
+  const SimTime ser_opt_start = std::max(d2h_done, d2h_model + ser_model);
+  schedule.ops.push_back(
+      {"serialize optimizer shard", OpResource::kHost, ser_opt_start, ser_opt_start + ser_opt});
+
+  // -- backup shard exchange ---------------------------------------------------
+  const double backup_bytes = in.model_bytes + in.optimizer_bytes;
+  SimTime comm_tail = b_end;  // when the training channel finally goes idle
+  if (interleave_backup) {
+    // Chunked P2P sends slotted into the idle comm windows: (fwd_comm_end,
+    // f_end) and (f_end, bwd_comm_start), spilling past backward if needed.
+    const int chunks = std::max(in.backup_chunks, 1);
+    const SimDuration chunk_time = TransferTime(backup_bytes / chunks, in.backup_net_gbps);
+    SimTime cursor = fwd_comm_end;
+    for (int i = 0; i < chunks; ++i) {
+      // Skip over the busy reduce-scatter burst.
+      if (cursor < bwd_comm_start && cursor + chunk_time > bwd_comm_start) {
+        cursor = b_end;
+      }
+      char name[48];
+      std::snprintf(name, sizeof(name), "backup send chunk %d/%d", i + 1, chunks);
+      schedule.ops.push_back({name, OpResource::kTrainComm, cursor, cursor + chunk_time});
+      cursor += chunk_time;
+      comm_tail = std::max(comm_tail, cursor);
+    }
+  } else {
+    // Ablation baseline: one bulk transfer after backward, monopolizing the
+    // training channel and delaying the next step's all-gather.
+    const SimDuration bulk = TransferTime(backup_bytes, in.backup_net_gbps);
+    schedule.ops.push_back({"backup send (bulk)", OpResource::kTrainComm, b_end, b_end + bulk});
+    comm_tail = b_end + bulk;
+  }
+
+  // -- optimizer step gated on the rank's own save ------------------------------
+  const SimTime opt_start = std::max(b_end, d2h_done);
+  schedule.ops.push_back({"optimizer step", OpResource::kCompute, opt_start,
+                          opt_start + in.optimizer});
+
+  schedule.step_time_without_ckpt = in.forward + in.backward + in.optimizer;
+  // The step completes when compute is done and the training channel is free
+  // for the next step's parameter all-gather.
+  schedule.step_time_with_ckpt = std::max(opt_start + in.optimizer, comm_tail);
+  return schedule;
+}
+
+}  // namespace byterobust

@@ -1,0 +1,83 @@
+// Checkpoint operation scheduling (paper Fig. 8): builds the explicit
+// per-step timeline of training and checkpointing operations under
+// ZeRO-style parallelism.
+//
+// Training occupies the compute stream (forward, backward, optimizer step)
+// and the training-communication channel (gradient reduce-scatter, model
+// all-gather). Checkpointing work rides elsewhere: D2H copies run on a
+// dedicated CUDA stream; backup shard exchanges are chunked and interleaved
+// into the *idle* windows of the communication channel during forward and
+// backward; serialization follows each D2H on the host. The optimizer step
+// gates on the completion of the rank's own save (data-integrity rule).
+
+#ifndef SRC_CKPT_OP_SCHEDULE_H_
+#define SRC_CKPT_OP_SCHEDULE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/training/job_config.h"
+
+namespace byterobust {
+
+enum class OpResource {
+  kCompute,    // GPU compute stream
+  kTrainComm,  // NCCL channel used by training collectives
+  kCkptStream, // dedicated checkpointing CUDA stream (D2H)
+  kHost,       // CPU-side serialization
+};
+
+const char* OpResourceName(OpResource resource);
+
+struct ScheduledOp {
+  std::string name;
+  OpResource resource;
+  SimTime start = 0;
+  SimTime end = 0;
+
+  SimDuration duration() const { return end - start; }
+};
+
+struct OpScheduleInputs {
+  // Training phase durations for one step.
+  SimDuration forward = Seconds(1.4);
+  SimDuration backward = Seconds(2.6);
+  SimDuration optimizer = Seconds(0.3);
+  // Training communication bursts inside forward/backward (fraction of the
+  // phase the NCCL channel is busy with training traffic).
+  double comm_busy_fraction = 0.55;
+  // Checkpoint payloads per rank, bytes.
+  double model_bytes = 2.2e9;
+  double optimizer_bytes = 0.4e9;
+  // Bandwidths, GB/s.
+  double pcie_gbps = 30.0;
+  double backup_net_gbps = 12.0;
+  double serialize_gbps = 2.0;
+  // Backup exchange is split into this many chunks interleaved with training
+  // communication (Sec. 6.3 "partition the states into small chunks").
+  int backup_chunks = 8;
+};
+
+struct OpSchedule {
+  std::vector<ScheduledOp> ops;
+  SimDuration step_time_without_ckpt = 0;
+  SimDuration step_time_with_ckpt = 0;
+
+  // The checkpoint stall this schedule adds to the step.
+  SimDuration BlockingTime() const { return step_time_with_ckpt - step_time_without_ckpt; }
+
+  // True when no two ops on the same resource overlap in time.
+  bool ResourceFeasible() const;
+
+  std::string Render() const;  // ASCII timeline for docs/examples
+};
+
+// Builds the Fig. 8 schedule. With `interleave_backup=false` the backup
+// exchange runs as one bulk transfer after backward on the training channel
+// (the ablation baseline), delaying the optimizer step.
+OpSchedule BuildCheckpointSchedule(const OpScheduleInputs& inputs, bool interleave_backup = true);
+
+}  // namespace byterobust
+
+#endif  // SRC_CKPT_OP_SCHEDULE_H_

@@ -1,0 +1,111 @@
+#include "src/ckpt/reshard.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace byterobust {
+
+namespace {
+
+// Shard i of n over [0, total): boundaries via exact integer arithmetic so
+// shards tile the space with no gaps or overlaps.
+ByteInterval ShardOf(std::int64_t total, std::int64_t i, std::int64_t n) {
+  return {total * i / n, total * (i + 1) / n};
+}
+
+// Sources overlapping `want`, where the old space is tiled by `n` shards and
+// `owner_of(shard_index)` names the old rank holding that shard.
+template <typename OwnerFn>
+std::vector<ShardSource> SourcesFor(const ByteInterval& want, std::int64_t total,
+                                    std::int64_t n, OwnerFn owner_of) {
+  std::vector<ShardSource> sources;
+  if (want.size() <= 0) {
+    return sources;
+  }
+  // First old shard that can overlap: binary search over shard boundaries.
+  std::int64_t lo_shard = want.lo * n / total;
+  while (lo_shard > 0 && ShardOf(total, lo_shard, n).lo > want.lo) {
+    --lo_shard;
+  }
+  for (std::int64_t s = lo_shard; s < n; ++s) {
+    const ByteInterval shard = ShardOf(total, s, n);
+    const std::int64_t lo = std::max(shard.lo, want.lo);
+    const std::int64_t hi = std::min(shard.hi, want.hi);
+    if (lo >= want.hi) {
+      break;
+    }
+    if (hi > lo) {
+      sources.push_back({owner_of(s), {lo, hi}});
+    }
+  }
+  return sources;
+}
+
+}  // namespace
+
+ReshardPlanner::ReshardPlanner(const ParallelismConfig& old_config,
+                               const ParallelismConfig& new_config, std::int64_t model_bytes,
+                               std::int64_t optimizer_bytes)
+    : old_(old_config), new_(new_config), model_bytes_(model_bytes),
+      optimizer_bytes_(optimizer_bytes) {
+  if (!old_.Valid() || !new_.Valid()) {
+    throw std::invalid_argument("invalid parallelism config for resharding");
+  }
+  if (model_bytes < 0 || optimizer_bytes < 0) {
+    throw std::invalid_argument("negative state size");
+  }
+}
+
+ByteInterval ReshardPlanner::ModelShard(const ParallelismConfig& config, Rank rank,
+                                        std::int64_t model_bytes) {
+  const Topology topo(config);
+  const RankCoord c = topo.CoordOf(rank);
+  const std::int64_t shards = static_cast<std::int64_t>(config.tp) * config.pp;
+  const std::int64_t index = c.tp + static_cast<std::int64_t>(config.tp) * c.pp;
+  return ShardOf(model_bytes, index, shards);
+}
+
+ByteInterval ReshardPlanner::OptimizerShard(const ParallelismConfig& config, Rank rank,
+                                            std::int64_t optimizer_bytes) {
+  return ShardOf(optimizer_bytes, rank, config.world_size());
+}
+
+std::vector<ShardSource> ReshardPlanner::ModelSourcesFor(Rank new_rank) const {
+  const ByteInterval want = ModelShard(new_, new_rank, model_bytes_);
+  const Topology old_topo(old_);
+  const std::int64_t n = static_cast<std::int64_t>(old_.tp) * old_.pp;
+  return SourcesFor(want, model_bytes_, n, [this, &old_topo](std::int64_t shard) {
+    // dp = 0 replica of the old grid holds shard (tp, pp) = (shard % tp,
+    // shard / tp).
+    RankCoord c;
+    c.tp = static_cast<int>(shard % old_.tp);
+    c.pp = static_cast<int>(shard / old_.tp);
+    c.dp = 0;
+    return old_topo.RankOf(c);
+  });
+}
+
+std::vector<ShardSource> ReshardPlanner::OptimizerSourcesFor(Rank new_rank) const {
+  const ByteInterval want = OptimizerShard(new_, new_rank, optimizer_bytes_);
+  return SourcesFor(want, optimizer_bytes_, old_.world_size(),
+                    [](std::int64_t shard) { return static_cast<Rank>(shard); });
+}
+
+ReshardStats ReshardPlanner::Stats() const {
+  ReshardStats stats;
+  for (Rank r = 0; r < new_.world_size(); ++r) {
+    std::size_t fan_in = 0;
+    for (const ShardSource& s : ModelSourcesFor(r)) {
+      stats.model_bytes_moved += s.range.size();
+      ++fan_in;
+    }
+    for (const ShardSource& s : OptimizerSourcesFor(r)) {
+      stats.optimizer_bytes_moved += s.range.size();
+      ++fan_in;
+    }
+    stats.max_fan_in = std::max(stats.max_fan_in, static_cast<double>(fan_in));
+  }
+  return stats;
+}
+
+}  // namespace byterobust

@@ -1,0 +1,74 @@
+// Load-time checkpoint resharding (ByteCheckpoint, cited as the paper's
+// checkpoint substrate [80]): checkpoints are stored in a parallelism-
+// agnostic representation so a job restarted with a different TP/PP/DP
+// configuration (e.g. the long-context stage expands machines, Sec. 2.1) can
+// load them efficiently. The planner computes, for every rank of the new
+// topology, which byte ranges of which old ranks' shards it must read.
+
+#ifndef SRC_CKPT_RESHARD_H_
+#define SRC_CKPT_RESHARD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/topology/parallelism.h"
+
+namespace byterobust {
+
+// Half-open byte interval [lo, hi).
+struct ByteInterval {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+
+  std::int64_t size() const { return hi - lo; }
+  bool operator==(const ByteInterval&) const = default;
+};
+
+// One read a new rank must issue: bytes [lo, hi) of `old_rank`'s shard space.
+struct ShardSource {
+  Rank old_rank = 0;
+  ByteInterval range;
+};
+
+struct ReshardStats {
+  std::int64_t model_bytes_moved = 0;      // total model bytes read
+  std::int64_t optimizer_bytes_moved = 0;  // total optimizer bytes read
+  double max_fan_in = 0;                   // worst-case sources per new rank
+};
+
+class ReshardPlanner {
+ public:
+  // `model_bytes` / `optimizer_bytes` are the whole-job state sizes.
+  ReshardPlanner(const ParallelismConfig& old_config, const ParallelismConfig& new_config,
+                 std::int64_t model_bytes, std::int64_t optimizer_bytes);
+
+  // Model weights are sharded over the TP x PP grid (every DP replica holds
+  // the same interval); this returns the interval owned by the given rank.
+  static ByteInterval ModelShard(const ParallelismConfig& config, Rank rank,
+                                 std::int64_t model_bytes);
+
+  // Optimizer state is ZeRO-1 sharded over the whole world.
+  static ByteInterval OptimizerShard(const ParallelismConfig& config, Rank rank,
+                                     std::int64_t optimizer_bytes);
+
+  // Sources a new rank reads to assemble its model / optimizer shard. Model
+  // sources are resolved against the dp=0 replica of the old topology.
+  std::vector<ShardSource> ModelSourcesFor(Rank new_rank) const;
+  std::vector<ShardSource> OptimizerSourcesFor(Rank new_rank) const;
+
+  // Aggregate plan statistics across all new ranks.
+  ReshardStats Stats() const;
+
+  const ParallelismConfig& old_config() const { return old_; }
+  const ParallelismConfig& new_config() const { return new_; }
+
+ private:
+  ParallelismConfig old_;
+  ParallelismConfig new_;
+  std::int64_t model_bytes_;
+  std::int64_t optimizer_bytes_;
+};
+
+}  // namespace byterobust
+
+#endif  // SRC_CKPT_RESHARD_H_

@@ -1,0 +1,26 @@
+#include "src/ckpt/size_model.h"
+
+namespace byterobust {
+
+double CheckpointSizeModel::ModelBytesPerRank(const JobConfig& config) {
+  const double params = config.model_params_b * 1e9;
+  const double model_shards = static_cast<double>(config.parallelism.tp * config.parallelism.pp);
+  return params * kWeightBytesPerParam / model_shards;
+}
+
+double CheckpointSizeModel::OptimizerBytesPerRank(const JobConfig& config) {
+  const double params = config.model_params_b * 1e9;
+  const double shards = static_cast<double>(config.parallelism.world_size());
+  return params * kOptimizerBytesPerParam / shards;
+}
+
+double CheckpointSizeModel::TotalBytesPerRank(const JobConfig& config) {
+  return ModelBytesPerRank(config) + OptimizerBytesPerRank(config);
+}
+
+double CheckpointSizeModel::TotalJobBytes(const JobConfig& config) {
+  const double params = config.model_params_b * 1e9;
+  return params * (kWeightBytesPerParam + kOptimizerBytesPerParam);
+}
+
+}  // namespace byterobust

@@ -1,0 +1,35 @@
+// Checkpoint size model for mixed-precision 3D-parallel training with ZeRO-1.
+//
+// Per paper Sec. 2.1: Adam optimizer state consumes 6x the model weights'
+// memory; with bf16 weights (2 B/param) that is 12 B/param of fp32 master
+// weights + moments, sharded across the DP group under ZeRO-1. Model weights
+// are sharded over TP x PP only.
+
+#ifndef SRC_CKPT_SIZE_MODEL_H_
+#define SRC_CKPT_SIZE_MODEL_H_
+
+#include "src/training/job_config.h"
+
+namespace byterobust {
+
+inline constexpr double kWeightBytesPerParam = 2.0;     // bf16
+inline constexpr double kOptimizerBytesPerParam = 12.0;  // fp32 master + Adam moments
+
+struct CheckpointSizeModel {
+  // Model-weight shard held by one rank (TP x PP sharding).
+  static double ModelBytesPerRank(const JobConfig& config);
+
+  // Optimizer shard held by one rank (ZeRO-1: additionally sharded over DP).
+  static double OptimizerBytesPerRank(const JobConfig& config);
+
+  // Full per-rank checkpoint payload.
+  static double TotalBytesPerRank(const JobConfig& config);
+
+  // Whole-job checkpoint size (model stored once per DP replica set,
+  // optimizer stored once in total).
+  static double TotalJobBytes(const JobConfig& config);
+};
+
+}  // namespace byterobust
+
+#endif  // SRC_CKPT_SIZE_MODEL_H_

@@ -1,0 +1,88 @@
+#include "src/cluster/cluster.h"
+
+#include <stdexcept>
+
+namespace byterobust {
+
+Cluster::Cluster(int num_machines, int gpus_per_machine, int num_spares)
+    : num_training_slots_(num_machines), gpus_per_machine_(gpus_per_machine) {
+  if (num_machines <= 0 || gpus_per_machine <= 0 || num_spares < 0) {
+    throw std::invalid_argument("invalid cluster dimensions");
+  }
+  machines_.reserve(static_cast<std::size_t>(num_machines + num_spares));
+  for (int i = 0; i < num_machines + num_spares; ++i) {
+    machines_.push_back(std::make_unique<Machine>(i, gpus_per_machine));
+    if (i >= num_machines) {
+      machines_.back()->set_state(MachineState::kIdle);
+    }
+  }
+  slot_to_machine_.resize(static_cast<std::size_t>(num_machines));
+  for (int i = 0; i < num_machines; ++i) {
+    slot_to_machine_[static_cast<std::size_t>(i)] = i;
+  }
+}
+
+int Cluster::SlotOfMachine(MachineId id) const {
+  for (std::size_t s = 0; s < slot_to_machine_.size(); ++s) {
+    if (slot_to_machine_[s] == id) {
+      return static_cast<int>(s);
+    }
+  }
+  return -1;
+}
+
+void Cluster::ReplaceSlot(int slot, MachineId replacement) {
+  if (slot < 0 || slot >= num_training_slots_) {
+    throw std::out_of_range("slot out of range");
+  }
+  if (IsBlacklisted(replacement)) {
+    throw std::invalid_argument("replacement machine is blacklisted");
+  }
+  Machine& incoming = machine(replacement);
+  if (incoming.InService()) {
+    throw std::invalid_argument("replacement machine already in service");
+  }
+  const MachineId old = slot_to_machine_[static_cast<std::size_t>(slot)];
+  Blacklist(old);
+  machine(old).set_state(MachineState::kEvicted);
+  incoming.ResetHealth();
+  incoming.set_state(MachineState::kActive);
+  slot_to_machine_[static_cast<std::size_t>(slot)] = replacement;
+}
+
+void Cluster::Blacklist(MachineId id) {
+  blacklist_.insert(id);
+  machine(id).set_state(MachineState::kEvicted);
+}
+
+MachineId Cluster::AddMachine() {
+  const MachineId id = static_cast<MachineId>(machines_.size());
+  machines_.push_back(std::make_unique<Machine>(id, gpus_per_machine_));
+  machines_.back()->set_state(MachineState::kIdle);
+  return id;
+}
+
+std::vector<MachineId> Cluster::IdleMachines() const {
+  // Only truly idle spares: machines already provisioning (kStandbyInit),
+  // sleeping in the warm pool (kStandbySleep) or claimed are not candidates.
+  std::vector<MachineId> out;
+  for (const auto& m : machines_) {
+    if (m->state() == MachineState::kIdle && blacklist_.count(m->id()) == 0) {
+      out.push_back(m->id());
+    }
+  }
+  return out;
+}
+
+int Cluster::UnhealthyServingCount() const {
+  int n = 0;
+  for (MachineId id : slot_to_machine_) {
+    const MachineState s = machine(id).state();
+    if (s == MachineState::kFaulty || s == MachineState::kDegraded) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace byterobust

@@ -1,0 +1,72 @@
+// Cluster model: the set of machines serving a training job plus the
+// blacklist of evicted machines. Warm-standby pool management lives in
+// src/recovery; the cluster only tracks membership and health.
+
+#ifndef SRC_CLUSTER_CLUSTER_H_
+#define SRC_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/cluster/machine.h"
+#include "src/topology/parallelism.h"
+
+namespace byterobust {
+
+class Cluster {
+ public:
+  // Creates `num_machines` active machines with `gpus_per_machine` GPUs each,
+  // plus `num_spares` machines that start life outside the job (used to
+  // refill training slots after evictions).
+  Cluster(int num_machines, int gpus_per_machine, int num_spares = 0);
+
+  int num_training_slots() const { return num_training_slots_; }
+  int gpus_per_machine() const { return gpus_per_machine_; }
+  std::size_t total_machines() const { return machines_.size(); }
+
+  Machine& machine(MachineId id) { return *machines_.at(static_cast<std::size_t>(id)); }
+  const Machine& machine(MachineId id) const {
+    return *machines_.at(static_cast<std::size_t>(id));
+  }
+
+  // Machine currently serving training slot `slot` (slot indices are what the
+  // Topology maps ranks onto). After a replacement, the slot points at the
+  // standby machine that took over.
+  MachineId MachineAtSlot(int slot) const { return slot_to_machine_.at(static_cast<std::size_t>(slot)); }
+  int SlotOfMachine(MachineId id) const;  // -1 if not serving
+
+  // Evicts the machine at `slot` (blacklists it) and installs `replacement`
+  // into the slot. The replacement must not be blacklisted or in service.
+  void ReplaceSlot(int slot, MachineId replacement);
+
+  // Marks a machine blacklisted without installing a replacement yet.
+  void Blacklist(MachineId id);
+  bool IsBlacklisted(MachineId id) const { return blacklist_.count(id) > 0; }
+  const std::set<MachineId>& blacklist() const { return blacklist_; }
+
+  // Adds a brand-new machine record (e.g. freshly provisioned standby);
+  // returns its id.
+  MachineId AddMachine();
+
+  // Machines not serving, not blacklisted (candidates for standby pool or
+  // rescheduling).
+  std::vector<MachineId> IdleMachines() const;
+
+  // All machines currently serving the job, in slot order.
+  std::vector<MachineId> ServingMachines() const { return slot_to_machine_; }
+
+  // Count of serving machines whose state is kFaulty or kDegraded.
+  int UnhealthyServingCount() const;
+
+ private:
+  int num_training_slots_;
+  int gpus_per_machine_;
+  std::vector<std::unique_ptr<Machine>> machines_;
+  std::vector<MachineId> slot_to_machine_;
+  std::set<MachineId> blacklist_;
+};
+
+}  // namespace byterobust
+
+#endif  // SRC_CLUSTER_CLUSTER_H_

@@ -1,0 +1,44 @@
+#include "src/cluster/machine.h"
+
+namespace byterobust {
+
+const char* MachineStateName(MachineState state) {
+  switch (state) {
+    case MachineState::kActive:
+      return "active";
+    case MachineState::kDegraded:
+      return "degraded";
+    case MachineState::kFaulty:
+      return "faulty";
+    case MachineState::kEvicted:
+      return "evicted";
+    case MachineState::kIdle:
+      return "idle";
+    case MachineState::kStandbySleep:
+      return "standby-sleep";
+    case MachineState::kStandbyInit:
+      return "standby-init";
+  }
+  return "unknown";
+}
+
+Machine::Machine(MachineId id, int num_gpus)
+    : id_(id), num_gpus_(num_gpus), gpus_(static_cast<std::size_t>(num_gpus)) {}
+
+void Machine::ResetHealth() {
+  for (auto& g : gpus_) {
+    g = GpuHealth{};
+  }
+  host_ = HostHealth{};
+}
+
+bool Machine::HasSdc() const {
+  for (const auto& g : gpus_) {
+    if (g.sdc) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace byterobust

@@ -1,0 +1,88 @@
+// Machine model: one multi-GPU host in the training cluster.
+
+#ifndef SRC_CLUSTER_MACHINE_H_
+#define SRC_CLUSTER_MACHINE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/topology/parallelism.h"
+
+namespace byterobust {
+
+enum class MachineState {
+  kActive,        // serving the training job
+  kDegraded,      // serving, but with a gray fault (fail-slow, SDC, ...)
+  kFaulty,        // a fault fired; job processes on it are dead or stuck
+  kEvicted,       // removed from the job and blacklisted
+  kIdle,          // platform spare, not yet provisioned for anything
+  kStandbySleep,  // pre-validated warm standby in low-power sleep (Sec. 6.2)
+  kStandbyInit,   // standby being provisioned (self-check, image, libraries)
+};
+
+const char* MachineStateName(MachineState state);
+
+// Per-GPU health attributes polled by the monitor's inspection threads.
+struct GpuHealth {
+  double temperature_c = 55.0;  // nominal operating temperature
+  bool dcgm_responsive = true;
+  bool available = true;        // false => "GPU Unavailable"
+  bool hbm_ok = true;           // false => GPU memory (HBM) error
+  bool sdc = false;             // silent data corruption: wrong math, no signal
+  bool comm_defect = false;     // defective CUDA cores blocking P2P (Sec. 5.2)
+  double clock_ratio = 1.0;     // < 1.0 => thermal throttling / downclock
+};
+
+// Host/NIC health attributes.
+struct HostHealth {
+  bool nic_up = true;
+  double packet_loss_rate = 0.0;
+  bool switch_reachable = true;
+  bool os_kernel_ok = true;     // false => kernel panic / Xid in dmesg
+  bool disk_ok = true;
+  double free_disk_fraction = 0.8;
+  double cpu_load = 0.3;        // fraction of cores busy
+  double free_host_mem_fraction = 0.7;
+};
+
+class Machine {
+ public:
+  Machine(MachineId id, int num_gpus);
+
+  MachineId id() const { return id_; }
+  int num_gpus() const { return num_gpus_; }
+
+  MachineState state() const { return state_; }
+  void set_state(MachineState state) { state_ = state; }
+  bool InService() const {
+    return state_ == MachineState::kActive || state_ == MachineState::kDegraded;
+  }
+
+  GpuHealth& gpu(int i) { return gpus_.at(static_cast<std::size_t>(i)); }
+  const GpuHealth& gpu(int i) const { return gpus_.at(static_cast<std::size_t>(i)); }
+  HostHealth& host() { return host_; }
+  const HostHealth& host() const { return host_; }
+
+  // Resets all health attributes to nominal values (standby delivery,
+  // post-repair return to the pool).
+  void ResetHealth();
+
+  // True if any GPU has an SDC flag set.
+  bool HasSdc() const;
+
+  // Incremented whenever this machine is implicated in an incident; used by
+  // campaign reports.
+  int incident_count = 0;
+
+ private:
+  MachineId id_;
+  int num_gpus_;
+  MachineState state_ = MachineState::kActive;
+  std::vector<GpuHealth> gpus_;
+  HostHealth host_;
+};
+
+}  // namespace byterobust
+
+#endif  // SRC_CLUSTER_MACHINE_H_

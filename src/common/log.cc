@@ -1,0 +1,54 @@
+#include "src/common/log.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace byterobust {
+namespace {
+
+LogLevel g_level = LogLevel::kWarning;
+const SimTime* g_clock = nullptr;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarning:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+LogLevel GetLogLevel() { return g_level; }
+
+void SetLogClock(const SimTime* now) { g_clock = now; }
+
+void LogMessage(LogLevel level, const char* module, const char* format, ...) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) {
+    return;
+  }
+  char body[1024];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(body, sizeof(body), format, args);
+  va_end(args);
+
+  if (g_clock != nullptr) {
+    std::fprintf(stderr, "[%s][t=%s][%s] %s\n", LevelName(level),
+                 FormatDuration(*g_clock).c_str(), module, body);
+  } else {
+    std::fprintf(stderr, "[%s][%s] %s\n", LevelName(level), module, body);
+  }
+}
+
+}  // namespace byterobust

@@ -1,0 +1,51 @@
+// Minimal leveled logger with simulated-time prefixes.
+//
+// The logger is intentionally tiny: a global severity threshold, printf-style
+// formatting, and an optional SimTime stamp so log lines read like the
+// production traces the paper analyzes. Tests set the threshold to kError to
+// keep output quiet.
+
+#ifndef SRC_COMMON_LOG_H_
+#define SRC_COMMON_LOG_H_
+
+#include <string>
+
+#include "src/common/sim_time.h"
+
+namespace byterobust {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+// Sets/gets the process-wide severity threshold. Messages below the threshold
+// are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Installs a simulated clock source so log lines carry sim timestamps.
+// Pass nullptr to revert to untimed output. The pointer must outlive its use.
+void SetLogClock(const SimTime* now);
+
+// Core logging call; prefer the LOG_* macros below.
+void LogMessage(LogLevel level, const char* module, const char* format, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace byterobust
+
+// Module-tagged logging macros. `module` is a short component name such as
+// "monitor" or "controller".
+#define BR_LOG_DEBUG(module, ...) \
+  ::byterobust::LogMessage(::byterobust::LogLevel::kDebug, module, __VA_ARGS__)
+#define BR_LOG_INFO(module, ...) \
+  ::byterobust::LogMessage(::byterobust::LogLevel::kInfo, module, __VA_ARGS__)
+#define BR_LOG_WARN(module, ...) \
+  ::byterobust::LogMessage(::byterobust::LogLevel::kWarning, module, __VA_ARGS__)
+#define BR_LOG_ERROR(module, ...) \
+  ::byterobust::LogMessage(::byterobust::LogLevel::kError, module, __VA_ARGS__)
+
+#endif  // SRC_COMMON_LOG_H_

@@ -1,0 +1,34 @@
+#include "src/common/sim_time.h"
+
+#include <cstdio>
+
+namespace byterobust {
+
+std::string FormatDuration(SimDuration d) {
+  char buf[64];
+  const bool negative = d < 0;
+  if (negative) {
+    d = -d;
+  }
+  if (d >= kHour) {
+    const std::int64_t hours = d / kHour;
+    const std::int64_t minutes = (d % kHour) / kMinute;
+    std::snprintf(buf, sizeof(buf), "%s%lldh%02lldm", negative ? "-" : "",
+                  static_cast<long long>(hours), static_cast<long long>(minutes));
+  } else if (d >= kMinute) {
+    const std::int64_t minutes = d / kMinute;
+    const double seconds = ToSeconds(d % kMinute);
+    std::snprintf(buf, sizeof(buf), "%s%lldm%04.1fs", negative ? "-" : "",
+                  static_cast<long long>(minutes), seconds);
+  } else if (d >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.2fs", negative ? "-" : "", ToSeconds(d));
+  } else if (d >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.2fms", negative ? "-" : "",
+                  static_cast<double>(d) / kMillisecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%lldus", negative ? "-" : "", static_cast<long long>(d));
+  }
+  return buf;
+}
+
+}  // namespace byterobust

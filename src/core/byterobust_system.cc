@@ -1,0 +1,40 @@
+#include "src/core/byterobust_system.h"
+
+namespace byterobust {
+
+MonitorConfig CampaignMonitorConfig() {
+  MonitorConfig cfg;
+  cfg.intervals.network = Seconds(60);
+  cfg.intervals.gpu = Seconds(60);
+  cfg.intervals.host = Seconds(60);
+  cfg.watchdog_interval = Seconds(60);
+  return cfg;
+}
+
+ByteRobustSystem::ByteRobustSystem(const SystemConfig& config) : config_(config) {
+  Rng root(config.seed);
+  cluster_ = std::make_unique<Cluster>(config.job.parallelism.num_machines(),
+                                       config.job.parallelism.gpus_per_machine,
+                                       config.spare_machines);
+  job_ = std::make_unique<TrainJob>(config.job, &sim_, cluster_.get(), root.Fork().engine()());
+  monitor_ = std::make_unique<Monitor>(config.monitor, &sim_, cluster_.get(), job_.get());
+  diagnoser_ = std::make_unique<Diagnoser>(config.diagnoser, root.Fork());
+  standby_pool_ = std::make_unique<WarmStandbyPool>(config.standby, &sim_, cluster_.get());
+  hot_updates_ = std::make_unique<HotUpdateManager>(config.hot_update, &sim_);
+  ckpt_ = std::make_unique<CheckpointManager>(config.ckpt, &sim_, job_.get());
+  controller_ = std::make_unique<RobustController>(
+      config.controller, &sim_, cluster_.get(), job_.get(), monitor_.get(), diagnoser_.get(),
+      standby_pool_.get(), hot_updates_.get(), ckpt_.get(), root.Fork());
+  ettr_ = std::make_unique<EttrTracker>(0);
+  job_->AddStepObserver([this](const StepRecord& rec) {
+    ettr_->OnStep(rec);
+    mfu_series_.OnStep(rec);
+  });
+}
+
+void ByteRobustSystem::Start() {
+  controller_->Start();
+  job_->Start();
+}
+
+}  // namespace byterobust

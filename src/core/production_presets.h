@@ -1,0 +1,26 @@
+// Canned production-style campaign configurations used by benches and
+// examples: the three-month dense job and the one-month MoE job of Sec. 8.1,
+// both on 9,600 GPUs (1,200 machines), plus a 1,000-GPU Fig. 2 style job.
+
+#ifndef SRC_CORE_PRODUCTION_PRESETS_H_
+#define SRC_CORE_PRODUCTION_PRESETS_H_
+
+#include "src/core/scenario.h"
+
+namespace byterobust {
+
+// The dense 70+B pretraining campaign (paper: three months). `days` scales
+// the duration; fault rates and update cadence stay production-like.
+ScenarioConfig DenseCampaignConfig(double days, std::uint64_t seed);
+
+// The MoE 200+B pretraining campaign (paper: one month). MoE training carries
+// more custom optimizations: more updates, higher bug probability, larger
+// final MFU gain (Fig. 11: 1.58x).
+ScenarioConfig MoeCampaignConfig(double days, std::uint64_t seed);
+
+// A 1,000-GPU job over ~10 days with frequent manual adjustments (Fig. 2).
+ScenarioConfig Fig2CampaignConfig(std::uint64_t seed);
+
+}  // namespace byterobust
+
+#endif  // SRC_CORE_PRODUCTION_PRESETS_H_

@@ -1,0 +1,262 @@
+#include "src/core/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/log.h"
+
+namespace byterobust {
+
+Scenario::Scenario(const ScenarioConfig& config)
+    : config_(config),
+      system_(std::make_unique<ByteRobustSystem>(config.system)),
+      rng_(config.system.seed ^ 0xC0FFEEULL) {
+  injector_ = std::make_unique<FaultInjector>(config.injector, rng_.Fork());
+  system_->controller().SetRestartListener(
+      [this](ResolutionMechanism mechanism) { OnRestart(mechanism); });
+}
+
+void Scenario::Run() {
+  system_->Start();
+  ScheduleNextFailure();
+  if (config_.planned_updates > 0) {
+    ScheduleNextUpdate(0);
+  }
+  system_->sim().RunUntil(config_.duration);
+}
+
+void Scenario::ScheduleNextFailure() {
+  const SimDuration delay =
+      injector_->NextFailureDelay(system_->cluster().num_training_slots());
+  system_->sim().Schedule(delay, [this] { InjectFailure(); });
+}
+
+void Scenario::ScheduleNextUpdate(int update_index) {
+  if (update_index >= config_.planned_updates) {
+    return;
+  }
+  // Spread updates across the campaign with jitter.
+  const double mean_gap =
+      static_cast<double>(config_.duration) / (config_.planned_updates + 1);
+  const SimDuration delay = static_cast<SimDuration>(rng_.Exponential(mean_gap));
+  system_->sim().Schedule(delay, [this, update_index] {
+    CodeVersion v;
+    v.id = next_version_id_++;
+    // Efficiency approaches final_efficiency geometrically: early updates buy
+    // the big MFU leaps, later ones refine (Fig. 11's staircase).
+    const double progress =
+        static_cast<double>(update_index + 1) / static_cast<double>(config_.planned_updates);
+    const double target = 1.0 + (config_.final_efficiency - 1.0) *
+                                    (1.0 - std::pow(1.0 - progress, 2.0));
+    v.efficiency = std::max(system_->job().current_version().efficiency, target);
+    v.buggy = rng_.Bernoulli(config_.update_buggy_prob);
+    v.bug_latency = config_.bug_latency;
+    v.urgent = rng_.Bernoulli(config_.update_urgent_prob);
+    v.description = "engineering update #" + std::to_string(v.id);
+    ++stats_.updates_submitted;
+    if (v.buggy) {
+      ++stats_.buggy_updates;
+    }
+    submitted_versions_[v.id] = {v, 0};
+    system_->hot_updates().Submit(v);
+    ScheduleNextUpdate(update_index + 1);
+  });
+}
+
+void Scenario::InjectFailure() {
+  if (system_->job().state() != JobRunState::kRunning) {
+    // Hold fault arrivals while the job is down; machines fail under load.
+    system_->sim().Schedule(Minutes(2), [this] { InjectFailure(); });
+    return;
+  }
+  const Incident incident =
+      injector_->SampleFailure(system_->sim().Now(), system_->cluster().ServingMachines());
+  ++stats_.incidents_injected;
+  ++stats_.injected_by_symptom[static_cast<int>(incident.symptom)];
+  BR_LOG_INFO("scenario", "injecting %s", incident.ToString().c_str());
+
+  FaultInjector::ApplyToCluster(incident, &system_->cluster());
+  system_->controller().NotifyIncidentInjected(incident);
+
+  ActiveIncident active;
+  active.incident = incident;
+  active_.push_back(active);
+  if (incident.root_cause == RootCause::kTransient) {
+    const std::uint64_t id = incident.id;
+    system_->sim().Schedule(config_.transient_heal, [this, id] {
+      for (ActiveIncident& a : active_) {
+        if (a.incident.id == id) {
+          a.healed = true;
+          FaultInjector::ClearFromCluster(a.incident, &system_->cluster());
+        }
+      }
+    });
+  }
+  ApplyEffect(incident);
+  ScheduleNextFailure();
+}
+
+Rank Scenario::CulpritRankFor(const Incident& incident) const {
+  const Topology& topo = system_->job().topology();
+  if (!incident.faulty_machines.empty()) {
+    const int slot = system_->cluster().SlotOfMachine(incident.faulty_machines.front());
+    if (slot >= 0) {
+      const int gpu = std::max(incident.gpu_index, 0) % topo.config().gpus_per_machine;
+      return slot * topo.config().gpus_per_machine + gpu;
+    }
+  }
+  // User-code hang: deterministic pseudo-random rank derived from the id.
+  return static_cast<Rank>(incident.id % static_cast<std::uint64_t>(topo.world_size()));
+}
+
+void Scenario::ApplyEffect(const Incident& incident) {
+  TrainJob& job = system_->job();
+  switch (incident.symptom) {
+    case IncidentSymptom::kJobHang:
+      job.Hang(CulpritRankFor(incident));
+      break;
+    case IncidentSymptom::kMfuDecline:
+      // No direct job action: the perf model picks the throttled clock up on
+      // the next step, and the monitor sees the MFU slide.
+      break;
+    case IncidentSymptom::kNanValue:
+      job.SetNanLoss(true);
+      break;
+    case IncidentSymptom::kCodeDataAdjustment:
+      break;  // manual restarts flow through the hot-update manager
+    default:
+      job.Crash();  // explicit fail-stop failure
+      break;
+  }
+}
+
+bool Scenario::IsResolved(const ActiveIncident& active) const {
+  const Incident& inc = active.incident;
+  if (inc.root_cause == RootCause::kTransient) {
+    return active.healed;
+  }
+  if (inc.root_cause == RootCause::kUserCode) {
+    if (active.buggy_version_id >= 0) {
+      return !system_->job().HasVersion(active.buggy_version_id);
+    }
+    return false;  // resolved explicitly on rollback/human restarts
+  }
+  // Infrastructure / SDC: resolved once every faulty machine is out.
+  for (MachineId m : inc.faulty_machines) {
+    if (!system_->cluster().IsBlacklisted(m)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Scenario::OnRestart(ResolutionMechanism mechanism) {
+  // A rollback (or a human intervention) fixes latent user-code faults.
+  const bool code_fixed = mechanism == ResolutionMechanism::kRollback ||
+                          mechanism == ResolutionMechanism::kUnresolvedHuman;
+
+  // Detonate latent bugs in freshly applied updates.
+  const CodeVersion& current = system_->job().current_version();
+  if (current.buggy) {
+    bool already_tracked = false;
+    for (const ActiveIncident& a : active_) {
+      if (a.buggy_version_id == current.id) {
+        already_tracked = true;
+      }
+    }
+    if (!already_tracked) {
+      Incident inc;
+      inc.id = 1000000 + static_cast<std::uint64_t>(current.id);
+      inc.symptom = IncidentSymptom::kCudaError;  // e.g. illegal memory access
+      inc.root_cause = RootCause::kUserCode;
+      inc.inject_time = system_->sim().Now();
+      ActiveIncident active;
+      active.incident = inc;
+      active.buggy_version_id = current.id;
+      active_.push_back(active);
+      ++stats_.incidents_injected;
+      ++stats_.injected_by_symptom[static_cast<int>(inc.symptom)];
+    }
+  }
+
+  // Drop resolved incidents; re-manifest the survivors.
+  std::vector<ActiveIncident> survivors;
+  const std::uint64_t generation = ++refail_generation_;
+  for (ActiveIncident& a : active_) {
+    if (a.incident.root_cause == RootCause::kUserCode && a.buggy_version_id < 0 && code_fixed) {
+      continue;  // the rollback reverted whatever was broken
+    }
+    if (IsResolved(a)) {
+      continue;
+    }
+    survivors.push_back(a);
+  }
+  active_ = std::move(survivors);
+
+  for (const ActiveIncident& a : active_) {
+    const Incident inc = a.incident;
+    const SimDuration delay = inc.root_cause == RootCause::kUserCode &&
+                                      a.buggy_version_id >= 0
+                                  ? config_.bug_latency
+                                  : config_.refail_delay;
+    system_->sim().Schedule(delay, [this, inc, generation] {
+      if (generation != refail_generation_) {
+        return;  // superseded by a newer restart
+      }
+      if (system_->job().state() != JobRunState::kRunning) {
+        return;
+      }
+      bool still_active = false;
+      for (const ActiveIncident& a2 : active_) {
+        if (a2.incident.id == inc.id && !IsResolved(a2)) {
+          still_active = true;
+        }
+      }
+      if (!still_active) {
+        return;
+      }
+      ++stats_.refails;
+      BR_LOG_INFO("scenario", "unresolved %s re-manifests", inc.ToString().c_str());
+      // If the controller already closed its episode (it believed the issue
+      // fixed), re-register the ground truth so the new episode attributes
+      // the recurring anomaly to the right incident.
+      if (system_->controller().episodes_open() == 0) {
+        system_->controller().NotifyIncidentInjected(inc);
+      }
+      ApplyEffect(inc);
+    });
+  }
+
+  // Re-land engineering updates a rollback stripped (after team review; a
+  // buggy update returns fixed). Capped so a pathological loop cannot form.
+  for (auto& [original_id, entry] : submitted_versions_) {
+    auto& [version, attempts] = entry;
+    if (attempts >= 3 || system_->job().HasVersion(version.id)) {
+      continue;
+    }
+    bool bug_still_live = false;
+    for (const ActiveIncident& a : active_) {
+      if (a.buggy_version_id == original_id) {
+        bug_still_live = true;  // its bug is the active incident; wait
+      }
+    }
+    if (bug_still_live) {
+      continue;
+    }
+    ++attempts;
+    CodeVersion fixed = version;
+    fixed.id = next_version_id_++;  // a fresh id: the old (buggy) one stays dead
+    fixed.buggy = false;
+    fixed.urgent = false;
+    fixed.description += " (re-landed after review)";
+    version = fixed;  // future HasVersion checks track the re-landed id
+    const CodeVersion to_submit = fixed;
+    system_->sim().Schedule(Hours(4), [this, to_submit] {
+      if (!system_->job().HasVersion(to_submit.id)) {
+        system_->hot_updates().Submit(to_submit);
+      }
+    });
+  }
+}
+
+}  // namespace byterobust

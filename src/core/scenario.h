@@ -1,0 +1,89 @@
+// Scenario runner: drives a production-style campaign against a
+// ByteRobustSystem — injecting faults with the Table 1 mix, evolving the user
+// code through hot updates (Fig. 2 / Fig. 11), and maintaining the ground
+// truth needed to decide whether a controller action actually removed the
+// root cause (if not, the failure recurs and the controller escalates).
+
+#ifndef SRC_CORE_SCENARIO_H_
+#define SRC_CORE_SCENARIO_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/core/byterobust_system.h"
+#include "src/faults/fault_injector.h"
+
+namespace byterobust {
+
+struct ScenarioConfig {
+  SystemConfig system;
+  FaultInjectorConfig injector;
+  SimDuration duration = Days(30);
+
+  // Code evolution: non-manual-failure interruptions submitted over the
+  // campaign, raising efficiency toward `final_efficiency` (Fig. 11 shows
+  // 1.25x for dense, 1.58x for MoE jobs).
+  int planned_updates = 24;
+  double final_efficiency = 1.25;
+  double update_buggy_prob = 0.12;
+  double update_urgent_prob = 0.25;
+  SimDuration bug_latency = Minutes(8);
+
+  // How long after a restart a still-unresolved root cause re-manifests.
+  SimDuration refail_delay = Seconds(90);
+  // Transient faults self-heal after this long.
+  SimDuration transient_heal = Minutes(3);
+};
+
+struct ScenarioStats {
+  int incidents_injected = 0;
+  std::map<int, int> injected_by_symptom;  // IncidentSymptom -> count
+  int updates_submitted = 0;
+  int buggy_updates = 0;
+  int refails = 0;
+};
+
+class Scenario {
+ public:
+  explicit Scenario(const ScenarioConfig& config);
+
+  // Runs the campaign to config.duration.
+  void Run();
+
+  ByteRobustSystem& system() { return *system_; }
+  const ScenarioStats& stats() const { return stats_; }
+  const ScenarioConfig& config() const { return config_; }
+
+ private:
+  struct ActiveIncident {
+    Incident incident;
+    bool healed = false;         // transient root cause self-recovered
+    int buggy_version_id = -1;   // user-code fault introduced by this update
+  };
+
+  void ScheduleNextFailure();
+  void ScheduleNextUpdate(int update_index);
+  void InjectFailure();
+  void ApplyEffect(const Incident& incident);
+  void OnRestart(ResolutionMechanism mechanism);
+  bool IsResolved(const ActiveIncident& active) const;
+  Rank CulpritRankFor(const Incident& incident) const;
+
+  ScenarioConfig config_;
+  std::unique_ptr<ByteRobustSystem> system_;
+  std::unique_ptr<FaultInjector> injector_;
+  Rng rng_;
+  ScenarioStats stats_;
+  std::vector<ActiveIncident> active_;
+  // Non-buggy engineering updates that a (possibly spurious) rollback popped;
+  // the owning team re-lands them after review (capped attempts per version).
+  std::map<int, std::pair<CodeVersion, int>> submitted_versions_;
+  int next_version_id_ = 1;
+  std::uint64_t refail_generation_ = 0;
+};
+
+}  // namespace byterobust
+
+#endif  // SRC_CORE_SCENARIO_H_

@@ -1,0 +1,107 @@
+#include "src/diagnoser/diagnoser.h"
+
+namespace byterobust {
+
+namespace {
+MiniGptConfig MakeMiniGptConfig(const DiagnoserConfig& config) {
+  MiniGptConfig cfg;
+  cfg.sdc_manifest_prob = config.bitwise_recall_sdc;
+  return cfg;
+}
+}  // namespace
+
+Diagnoser::Diagnoser(const DiagnoserConfig& config, Rng rng)
+    : config_(config), rng_(rng), minigpt_(MakeMiniGptConfig(config)) {}
+
+std::vector<MachineId> Diagnoser::RunEud(const Cluster& cluster) {
+  std::vector<MachineId> suspects;
+  for (MachineId id : cluster.ServingMachines()) {
+    const Machine& m = cluster.machine(id);
+    for (int g = 0; g < m.num_gpus(); ++g) {
+      const GpuHealth& gpu = m.gpu(g);
+      const bool explicit_fault = !gpu.dcgm_responsive || !gpu.available || !gpu.hbm_ok;
+      if (explicit_fault && rng_.Bernoulli(config_.eud_recall_explicit)) {
+        suspects.push_back(id);
+        break;
+      }
+      if (gpu.sdc && rng_.Bernoulli(config_.eud_recall_sdc)) {
+        suspects.push_back(id);
+        break;
+      }
+    }
+  }
+  return suspects;
+}
+
+std::vector<MachineId> Diagnoser::RunIntraMachineAllToAll(const Cluster& cluster) {
+  std::vector<MachineId> suspects;
+  for (MachineId id : cluster.ServingMachines()) {
+    const Machine& m = cluster.machine(id);
+    for (int g = 0; g < m.num_gpus(); ++g) {
+      // Inter-GPU bandwidth below expectation: broken HBM shows up here too,
+      // and a defective-CUDA-core machine occasionally trips the test.
+      const GpuHealth& gpu = m.gpu(g);
+      if ((!gpu.hbm_ok && rng_.Bernoulli(config_.intra_recall)) ||
+          (gpu.comm_defect && rng_.Bernoulli(config_.intra_recall_comm_defect))) {
+        suspects.push_back(id);
+        break;
+      }
+    }
+  }
+  return suspects;
+}
+
+std::vector<MachineId> Diagnoser::RunInterMachineAllGather(const Cluster& cluster) {
+  std::vector<MachineId> suspects;
+  for (MachineId id : cluster.ServingMachines()) {
+    const Machine& m = cluster.machine(id);
+    const bool net_fault =
+        !m.host().nic_up || m.host().packet_loss_rate > 0.05 || !m.host().switch_reachable;
+    if (net_fault && rng_.Bernoulli(config_.inter_recall)) {
+      suspects.push_back(id);
+    }
+  }
+  return suspects;
+}
+
+std::vector<MachineId> Diagnoser::RunBitwiseAlignment(const Cluster& cluster) {
+  // Every machine executes the deterministic MiniGPT step; outputs are
+  // compared bit-wise against the golden value (Secs. 4.3 and 9).
+  return minigpt_.FindMismatchedMachines(cluster, &rng_);
+}
+
+DiagnosisResult Diagnoser::RunNcclSuite(const Cluster& cluster) {
+  DiagnosisResult result;
+
+  result.tests_run.push_back("EUD");
+  result.elapsed += config_.eud_duration;
+  result.suspects = RunEud(cluster);
+  if (result.HasSuspects()) {
+    return result;
+  }
+
+  result.tests_run.push_back("intra-machine all-to-all");
+  result.elapsed += config_.intra_machine_duration;
+  result.suspects = RunIntraMachineAllToAll(cluster);
+  if (result.HasSuspects()) {
+    return result;
+  }
+
+  result.tests_run.push_back("inter-machine all-gather");
+  result.elapsed += config_.inter_machine_duration;
+  result.suspects = RunInterMachineAllGather(cluster);
+  return result;
+}
+
+DiagnosisResult Diagnoser::RunNanSuite(const Cluster& cluster) {
+  DiagnosisResult result = RunNcclSuite(cluster);
+  if (result.HasSuspects()) {
+    return result;
+  }
+  result.tests_run.push_back("bit-wise alignment (MiniGPT)");
+  result.elapsed += config_.bitwise_alignment_duration;
+  result.suspects = RunBitwiseAlignment(cluster);
+  return result;
+}
+
+}  // namespace byterobust

@@ -1,0 +1,75 @@
+// Stop-time diagnostics (paper Sec. 4.2 "Diagnose" and the Sec. 4.3 NaN case
+// study): NVIDIA EUD, intra-machine all-to-all, inter-machine all-gather, and
+// the MiniGPT bit-wise alignment suite. Tests consume simulated time and have
+// imperfect recall (Sec. 9 reports EUD at 70% recall in production).
+
+#ifndef SRC_DIAGNOSER_DIAGNOSER_H_
+#define SRC_DIAGNOSER_DIAGNOSER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/rng.h"
+#include "src/common/sim_time.h"
+#include "src/diagnoser/minigpt.h"
+#include "src/faults/incident.h"
+
+namespace byterobust {
+
+struct DiagnoserConfig {
+  // Test durations (whole-fleet pass; tests run in parallel across machines).
+  SimDuration eud_duration = Minutes(4);
+  SimDuration intra_machine_duration = Minutes(2);
+  SimDuration inter_machine_duration = Minutes(4);
+  SimDuration bitwise_alignment_duration = Minutes(8);
+
+  // Recall of each test against the fault classes it targets.
+  double eud_recall_explicit = 0.95;  // visible GPU faults (DCGM, HBM, lost)
+  double eud_recall_sdc = 0.20;       // SDC rarely reproduces under EUD
+  double intra_recall = 0.90;         // intra-machine interconnect faults
+  double intra_recall_comm_defect = 0.10;  // defective CUDA cores seldom trip it
+  double inter_recall = 0.92;         // NIC / switch / link faults
+  double bitwise_recall_sdc = 0.90;   // deterministic workload vs golden output
+};
+
+// Outcome of one stop-time diagnostic session.
+struct DiagnosisResult {
+  std::vector<MachineId> suspects;
+  SimDuration elapsed = 0;
+  std::vector<std::string> tests_run;
+
+  bool HasSuspects() const { return !suspects.empty(); }
+};
+
+class Diagnoser {
+ public:
+  Diagnoser(const DiagnoserConfig& config, Rng rng);
+
+  // NCCL-error path: EUD first; if clean, intra-machine all-to-all; if clean,
+  // inter-machine all-gather with neighbors. Stops at the first test that
+  // yields suspects.
+  DiagnosisResult RunNcclSuite(const Cluster& cluster);
+
+  // NaN path: EUD + NCCL tests, then the bit-wise alignment test, which loads
+  // predefined weights, runs one deterministic step and compares outputs.
+  DiagnosisResult RunNanSuite(const Cluster& cluster);
+
+  // Individual tests, exposed for unit testing and for the baseline harness.
+  std::vector<MachineId> RunEud(const Cluster& cluster);
+  std::vector<MachineId> RunIntraMachineAllToAll(const Cluster& cluster);
+  std::vector<MachineId> RunInterMachineAllGather(const Cluster& cluster);
+  std::vector<MachineId> RunBitwiseAlignment(const Cluster& cluster);
+
+  const DiagnoserConfig& config() const { return config_; }
+  const MiniGptVerifier& minigpt() const { return minigpt_; }
+
+ private:
+  DiagnoserConfig config_;
+  Rng rng_;
+  MiniGptVerifier minigpt_;
+};
+
+}  // namespace byterobust
+
+#endif  // SRC_DIAGNOSER_DIAGNOSER_H_

@@ -1,0 +1,85 @@
+#include "src/diagnoser/minigpt.h"
+
+namespace byterobust {
+
+namespace {
+
+// SplitMix64 for deterministic weight/input generation.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// Cheap odd-constant "nonlinearity": keeps the computation exact while mixing
+// bits the way an activation would mix magnitudes.
+std::uint64_t Activate(std::uint64_t x) { return (x ^ (x >> 17)) * 0x9E6D62D06F6A9A9ULL; }
+
+}  // namespace
+
+MiniGptVerifier::MiniGptVerifier(const MiniGptConfig& config) : config_(config) {
+  const std::size_t dim = static_cast<std::size_t>(config_.dim);
+  weights_.resize(static_cast<std::size_t>(config_.layers) * dim * dim);
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    weights_[i] = Mix(config_.weight_seed + i);
+  }
+  input_.resize(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    input_[i] = Mix(config_.weight_seed ^ (0xABCD0000ULL + i));
+  }
+  golden_ = Evaluate(/*corrupt_at=*/-1, /*corrupt_bit=*/0);
+}
+
+std::vector<std::uint64_t> MiniGptVerifier::Evaluate(std::int64_t corrupt_at,
+                                                     int corrupt_bit) const {
+  const std::size_t dim = static_cast<std::size_t>(config_.dim);
+  std::vector<std::uint64_t> state = input_;
+  std::vector<std::uint64_t> next(dim);
+  std::int64_t acc_index = 0;
+  for (int layer = 0; layer < config_.layers; ++layer) {
+    const std::size_t base = static_cast<std::size_t>(layer) * dim * dim;
+    for (std::size_t row = 0; row < dim; ++row) {
+      std::uint64_t acc = 0;
+      for (std::size_t col = 0; col < dim; ++col) {
+        acc += weights_[base + row * dim + col] * state[col];  // exact mod 2^64
+      }
+      if (acc_index == corrupt_at) {
+        acc ^= 1ULL << (corrupt_bit & 63);  // the silent bit flip
+      }
+      ++acc_index;
+      next[row] = Activate(acc);
+    }
+    state.swap(next);
+  }
+  // Residual connection with the input keeps every lane live.
+  for (std::size_t i = 0; i < dim; ++i) {
+    state[i] += input_[i];
+  }
+  return state;
+}
+
+std::vector<std::uint64_t> MiniGptVerifier::RunOnMachine(const Machine& machine,
+                                                         Rng* rng) const {
+  if (machine.HasSdc() && rng->Bernoulli(config_.sdc_manifest_prob)) {
+    const std::int64_t total_accs =
+        static_cast<std::int64_t>(config_.layers) * config_.dim;
+    const std::int64_t at = rng->UniformInt(0, total_accs - 1);
+    const int bit = static_cast<int>(rng->UniformInt(0, 63));
+    return Evaluate(at, bit);
+  }
+  return golden_;
+}
+
+std::vector<MachineId> MiniGptVerifier::FindMismatchedMachines(const Cluster& cluster,
+                                                               Rng* rng) const {
+  std::vector<MachineId> mismatched;
+  for (MachineId id : cluster.ServingMachines()) {
+    if (RunOnMachine(cluster.machine(id), rng) != golden_) {
+      mismatched.push_back(id);
+    }
+  }
+  return mismatched;
+}
+
+}  // namespace byterobust

@@ -1,0 +1,63 @@
+// MiniGPT verification suite (paper Sec. 9): deterministic workloads for
+// intra-machine SDC validation.
+//
+// Each machine initializes a reference model with predefined weights, runs
+// one training step on fixed input, and the outputs are compared bit-wise
+// across machines (Sec. 4.3). Here the "model" is a small integer transformer
+// block stack evaluated in exact 64-bit arithmetic, so a healthy machine's
+// output is bit-identical to the golden value by construction; an SDC GPU
+// flips a bit in an intermediate accumulator with some probability per run
+// (SDC is stochastic and input-sensitive).
+
+#ifndef SRC_DIAGNOSER_MINIGPT_H_
+#define SRC_DIAGNOSER_MINIGPT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/rng.h"
+
+namespace byterobust {
+
+struct MiniGptConfig {
+  int layers = 4;
+  int dim = 16;               // state-vector width
+  std::uint64_t weight_seed = 0xB17E5EEDULL;
+  // Probability that an SDC GPU corrupts this run's computation (the paper's
+  // bit-wise test is not a perfect detector: faults are input-sensitive).
+  double sdc_manifest_prob = 0.9;
+};
+
+class MiniGptVerifier {
+ public:
+  explicit MiniGptVerifier(const MiniGptConfig& config = {});
+
+  // The golden (reference) output, computed once on healthy arithmetic.
+  const std::vector<std::uint64_t>& GoldenOutput() const { return golden_; }
+
+  // Simulates executing the deterministic step on `machine`. Healthy
+  // machines reproduce the golden output exactly; machines with an SDC GPU
+  // corrupt an intermediate value with sdc_manifest_prob.
+  std::vector<std::uint64_t> RunOnMachine(const Machine& machine, Rng* rng) const;
+
+  // Runs the suite on every serving machine and returns those whose output
+  // mismatches the golden value bit-wise.
+  std::vector<MachineId> FindMismatchedMachines(const Cluster& cluster, Rng* rng) const;
+
+  const MiniGptConfig& config() const { return config_; }
+
+ private:
+  // Exact integer forward pass; `corrupt_at` >= 0 flips one bit of that
+  // intermediate accumulator index (-1 = healthy run).
+  std::vector<std::uint64_t> Evaluate(std::int64_t corrupt_at, int corrupt_bit) const;
+
+  MiniGptConfig config_;
+  std::vector<std::uint64_t> weights_;  // layers * dim * dim
+  std::vector<std::uint64_t> input_;    // dim
+  std::vector<std::uint64_t> golden_;
+};
+
+}  // namespace byterobust
+
+#endif  // SRC_DIAGNOSER_MINIGPT_H_

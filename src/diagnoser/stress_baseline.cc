@@ -1,0 +1,39 @@
+#include "src/diagnoser/stress_baseline.h"
+
+namespace byterobust {
+
+std::optional<SimDuration> SelectiveStressResolutionTime(IncidentSymptom symptom,
+                                                         RootCause root_cause) {
+  // Human mistakes defeat hardware stress testing regardless of symptom: the
+  // tests pass and the investigation stalls (Table 6 footnotes "(INF)").
+  const bool human_mistake = root_cause == RootCause::kUserCode;
+  switch (symptom) {
+    case IncidentSymptom::kCudaError:
+      if (human_mistake) {
+        return std::nullopt;
+      }
+      return Seconds(518);  // GPU-targeted stress pass
+    case IncidentSymptom::kInfinibandError:
+      return Seconds(288);  // network loopback + pairwise bandwidth tests
+    case IncidentSymptom::kHdfsError:
+      return std::nullopt;  // remote-storage outage: nothing local to stress
+    case IncidentSymptom::kOsKernelPanic:
+      return Seconds(168);  // host burn-in quickly re-trips the panic
+    case IncidentSymptom::kGpuMemoryError:
+      return Seconds(600);  // full HBM pattern sweep
+    case IncidentSymptom::kNanValue:
+      if (human_mistake) {
+        return std::nullopt;
+      }
+      return Seconds(7200);  // SDC needs hours-long offline stress (Sec. 2.2)
+    case IncidentSymptom::kGpuUnavailable:
+      return Seconds(120);  // immediate: device enumeration fails
+    case IncidentSymptom::kCodeDataAdjustment:
+      return std::nullopt;  // not a fault; stress testing is useless
+    default:
+      // Other symptoms get a generic machine-level stress pass.
+      return Seconds(400);
+  }
+}
+
+}  // namespace byterobust

@@ -1,0 +1,24 @@
+// Baseline troubleshooting practice: selective stress testing guided by log /
+// exit-code indicators (paper Sec. 8.1.4, Table 6). Used only for comparison
+// benches — ByteRobust itself never monopolizes machines for stress tests.
+
+#ifndef SRC_DIAGNOSER_STRESS_BASELINE_H_
+#define SRC_DIAGNOSER_STRESS_BASELINE_H_
+
+#include <optional>
+
+#include "src/common/sim_time.h"
+#include "src/faults/incident.h"
+
+namespace byterobust {
+
+// Resolution time of the selective-stress-testing baseline for one incident.
+// Returns nullopt when the baseline cannot localize the fault at all (INF in
+// Table 6): stress tests cannot reproduce human mistakes, storage-service
+// outages, or proactive code/data adjustments.
+std::optional<SimDuration> SelectiveStressResolutionTime(IncidentSymptom symptom,
+                                                         RootCause root_cause);
+
+}  // namespace byterobust
+
+#endif  // SRC_DIAGNOSER_STRESS_BASELINE_H_

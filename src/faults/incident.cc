@@ -1,0 +1,143 @@
+#include "src/faults/incident.h"
+
+#include <cstdio>
+
+namespace byterobust {
+
+const char* SymptomName(IncidentSymptom symptom) {
+  switch (symptom) {
+    case IncidentSymptom::kCudaError:
+      return "CUDA Error";
+    case IncidentSymptom::kCpuOverload:
+      return "CPU Overload";
+    case IncidentSymptom::kCpuOom:
+      return "CPU OOM";
+    case IncidentSymptom::kInsufficientDiskSpace:
+      return "Insufficient Disk Space";
+    case IncidentSymptom::kInfinibandError:
+      return "Infiniband Error";
+    case IncidentSymptom::kFilesystemMount:
+      return "Filesystem Mount";
+    case IncidentSymptom::kHdfsError:
+      return "HDFS Error";
+    case IncidentSymptom::kContainerError:
+      return "Container Error";
+    case IncidentSymptom::kOsKernelPanic:
+      return "OS Kernel Panic";
+    case IncidentSymptom::kGpuMemoryError:
+      return "GPU Memory Error";
+    case IncidentSymptom::kExternalServiceError:
+      return "External Service Error";
+    case IncidentSymptom::kGpuUnavailable:
+      return "GPU Unavailable";
+    case IncidentSymptom::kDiskFault:
+      return "Disk Fault";
+    case IncidentSymptom::kJobHang:
+      return "Job Hang";
+    case IncidentSymptom::kMfuDecline:
+      return "MFU Decline";
+    case IncidentSymptom::kNanValue:
+      return "NaN value";
+    case IncidentSymptom::kCodeDataAdjustment:
+      return "Code/Data Adjustment";
+    case IncidentSymptom::kNumSymptoms:
+      break;
+  }
+  return "Unknown";
+}
+
+const char* CategoryName(IncidentCategory category) {
+  switch (category) {
+    case IncidentCategory::kExplicit:
+      return "Explicit";
+    case IncidentCategory::kImplicit:
+      return "Implicit";
+    case IncidentCategory::kManualRestart:
+      return "Manual Restart";
+  }
+  return "Unknown";
+}
+
+const char* RootCauseName(RootCause cause) {
+  switch (cause) {
+    case RootCause::kInfrastructure:
+      return "Infrastructure";
+    case RootCause::kUserCode:
+      return "User Code";
+    case RootCause::kTransient:
+      return "Transient";
+    case RootCause::kSdc:
+      return "SDC";
+  }
+  return "Unknown";
+}
+
+IncidentCategory CategoryOf(IncidentSymptom symptom) {
+  switch (symptom) {
+    case IncidentSymptom::kJobHang:
+    case IncidentSymptom::kMfuDecline:
+    case IncidentSymptom::kNanValue:
+      return IncidentCategory::kImplicit;
+    case IncidentSymptom::kCodeDataAdjustment:
+      return IncidentCategory::kManualRestart;
+    default:
+      return IncidentCategory::kExplicit;
+  }
+}
+
+const std::vector<SymptomStats>& PaperSymptomStats() {
+  // Table 1 of the paper, verbatim.
+  static const std::vector<SymptomStats> kStats = {
+      {IncidentSymptom::kCudaError, 19968, 0.361},
+      {IncidentSymptom::kCpuOverload, 6095, 0.110},
+      {IncidentSymptom::kCpuOom, 5567, 0.101},
+      {IncidentSymptom::kInsufficientDiskSpace, 2755, 0.050},
+      {IncidentSymptom::kInfinibandError, 1599, 0.029},
+      {IncidentSymptom::kFilesystemMount, 1176, 0.021},
+      {IncidentSymptom::kHdfsError, 1104, 0.020},
+      {IncidentSymptom::kContainerError, 781, 0.014},
+      {IncidentSymptom::kOsKernelPanic, 203, 0.004},
+      {IncidentSymptom::kGpuMemoryError, 188, 0.003},
+      {IncidentSymptom::kExternalServiceError, 128, 0.002},
+      {IncidentSymptom::kGpuUnavailable, 76, 0.001},
+      {IncidentSymptom::kDiskFault, 47, 0.001},
+      {IncidentSymptom::kJobHang, 5506, 0.099},
+      {IncidentSymptom::kMfuDecline, 442, 0.008},
+      {IncidentSymptom::kNanValue, 148, 0.003},
+      {IncidentSymptom::kCodeDataAdjustment, 9582, 0.173},
+  };
+  return kStats;
+}
+
+double UserCodeProbability(IncidentSymptom symptom) {
+  switch (symptom) {
+    case IncidentSymptom::kJobHang:
+      return 5.0 / 26.0;  // Table 2: 21 infrastructure vs 5 user code
+    case IncidentSymptom::kCudaError:
+    case IncidentSymptom::kGpuMemoryError:
+      return 41.0 / 62.0;  // Table 2 "Illegal memory access": 21 vs 41
+    case IncidentSymptom::kNanValue:
+      return 1.0 / 4.0;  // Table 2: 3 vs 1
+    case IncidentSymptom::kCodeDataAdjustment:
+      return 1.0;  // by definition a user-initiated change
+    case IncidentSymptom::kCpuOom:
+    case IncidentSymptom::kCpuOverload:
+      return 0.5;  // data pipeline / user process pressure as often as infra
+    default:
+      return 0.0;  // hardware/platform symptoms
+  }
+}
+
+std::string Incident::ToString() const {
+  char buf[160];
+  std::string machines;
+  for (MachineId m : faulty_machines) {
+    machines += (machines.empty() ? "" : ",") + std::to_string(m);
+  }
+  std::snprintf(buf, sizeof(buf), "incident#%llu %s (%s, cause=%s, machines=[%s])",
+                static_cast<unsigned long long>(id), SymptomName(symptom),
+                CategoryName(category()), RootCauseName(root_cause), machines.c_str());
+  return buf;
+}
+
+}  // namespace byterobust

@@ -1,0 +1,95 @@
+// Incident taxonomy from the paper's three-month production study
+// (Table 1: symptom distribution; Table 2: root-cause mix).
+
+#ifndef SRC_FAULTS_INCIDENT_H_
+#define SRC_FAULTS_INCIDENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/topology/parallelism.h"
+
+namespace byterobust {
+
+// Incident symptoms, in Table 1 order.
+enum class IncidentSymptom : int {
+  // Explicit failures: clear diagnostic indicators in logs / exit codes.
+  kCudaError = 0,
+  kCpuOverload,
+  kCpuOom,
+  kInsufficientDiskSpace,
+  kInfinibandError,
+  kFilesystemMount,
+  kHdfsError,
+  kContainerError,
+  kOsKernelPanic,
+  kGpuMemoryError,
+  kExternalServiceError,
+  kGpuUnavailable,
+  kDiskFault,
+  // Implicit failures: elusive root causes, no fail-stop signal.
+  kJobHang,
+  kMfuDecline,
+  kNanValue,
+  // Proactive interruption for algorithm / engineering changes.
+  kCodeDataAdjustment,
+  kNumSymptoms,
+};
+
+inline constexpr int kNumIncidentSymptoms = static_cast<int>(IncidentSymptom::kNumSymptoms);
+
+enum class IncidentCategory {
+  kExplicit,
+  kImplicit,
+  kManualRestart,
+};
+
+// Root cause classes (Table 2 + Sec. 4 narrative).
+enum class RootCause {
+  kInfrastructure,  // hardware or platform software fault on specific machines
+  kUserCode,        // bug or misconfiguration in the evolving training code
+  kTransient,       // self-healing fault (link flap, connection reset, ...)
+  kSdc,             // silent data corruption: stochastic, hard to reproduce
+};
+
+const char* SymptomName(IncidentSymptom symptom);
+const char* CategoryName(IncidentCategory category);
+const char* RootCauseName(RootCause cause);
+IncidentCategory CategoryOf(IncidentSymptom symptom);
+
+// Empirical Table 1 statistics: production incident count per symptom over
+// three months (778,135 jobs). Drives the injector's symptom mix.
+struct SymptomStats {
+  IncidentSymptom symptom;
+  int paper_count;        // Table 1 "Count"
+  double paper_fraction;  // Table 1 "Percentage" / 100
+};
+
+// The full Table 1 row set, in paper order.
+const std::vector<SymptomStats>& PaperSymptomStats();
+
+// Table 2: root-cause mix for the three analyzed symptoms. Returns the
+// probability that an incident with `symptom` is caused by user code rather
+// than infrastructure (symptoms outside Table 2 get a taxonomy default).
+double UserCodeProbability(IncidentSymptom symptom);
+
+// One concrete incident in a simulated campaign.
+struct Incident {
+  std::uint64_t id = 0;
+  IncidentSymptom symptom = IncidentSymptom::kCudaError;
+  RootCause root_cause = RootCause::kInfrastructure;
+  // Machines at fault (empty for pure user-code / manual incidents).
+  std::vector<MachineId> faulty_machines;
+  // The GPU index on the first faulty machine, when GPU-specific (-1 = host).
+  int gpu_index = -1;
+  SimTime inject_time = 0;
+
+  IncidentCategory category() const { return CategoryOf(symptom); }
+  std::string ToString() const;
+};
+
+}  // namespace byterobust
+
+#endif  // SRC_FAULTS_INCIDENT_H_

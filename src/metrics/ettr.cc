@@ -1,0 +1,84 @@
+#include "src/metrics/ettr.h"
+
+#include <algorithm>
+
+namespace byterobust {
+
+void EttrTracker::OnStep(const StepRecord& record) {
+  const SimDuration span = record.end - record.start;
+  if (record.recompute) {
+    recompute_ += span;
+    return;
+  }
+  productive_ += span;
+  ++productive_steps_;
+  productive_spans_.push_back({record.start, record.end});
+}
+
+double EttrTracker::CumulativeEttr(SimTime now) const {
+  const SimDuration wall = now - origin_;
+  if (wall <= 0) {
+    return 1.0;
+  }
+  return static_cast<double>(productive_) / static_cast<double>(wall);
+}
+
+double EttrTracker::SlidingEttr(SimTime now, SimDuration window) const {
+  const SimTime lo = now - window;
+  SimDuration in_window = 0;
+  // Spans are appended in completion order; walk backwards until fully
+  // before the window.
+  for (auto it = productive_spans_.rbegin(); it != productive_spans_.rend(); ++it) {
+    if (it->end <= lo) {
+      break;
+    }
+    const SimTime s = std::max(it->start, lo);
+    const SimTime e = std::min(it->end, now);
+    if (e > s) {
+      in_window += e - s;
+    }
+  }
+  return static_cast<double>(in_window) / static_cast<double>(window);
+}
+
+void MfuSeries::OnStep(const StepRecord& record) {
+  if (record.recompute) {
+    return;
+  }
+  samples_.push_back({record.end, record.step, record.mfu, record.loss, record.run_id});
+}
+
+double MfuSeries::MinMfu() const {
+  double min = 0.0;
+  bool first = true;
+  for (const auto& s : samples_) {
+    if (first || s.mfu < min) {
+      min = s.mfu;
+      first = false;
+    }
+  }
+  return min;
+}
+
+double MfuSeries::MaxMfu() const {
+  double max = 0.0;
+  for (const auto& s : samples_) {
+    max = std::max(max, s.mfu);
+  }
+  return max;
+}
+
+std::vector<double> MfuSeries::RelativeMfu() const {
+  std::vector<double> out;
+  const double min = MinMfu();
+  if (min <= 0.0) {
+    return out;
+  }
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) {
+    out.push_back(s.mfu / min);
+  }
+  return out;
+}
+
+}  // namespace byterobust

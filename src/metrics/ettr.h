@@ -1,0 +1,74 @@
+// ETTR accounting (paper Sec. 8.1.3): cumulative ETTR is productive training
+// time over wall-clock time; sliding-window ETTR is the same ratio over a
+// one-hour window, exposing the temporal dynamics of failure handling.
+// Recomputed steps (work lost to restarts) are *not* productive.
+
+#ifndef SRC_METRICS_ETTR_H_
+#define SRC_METRICS_ETTR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/training/train_job.h"
+
+namespace byterobust {
+
+class EttrTracker {
+ public:
+  // `origin` is the campaign's wall-clock start.
+  explicit EttrTracker(SimTime origin = 0) : origin_(origin) {}
+
+  // Feed every completed step (subscribe to TrainJob).
+  void OnStep(const StepRecord& record);
+
+  // Cumulative ETTR at time `now`.
+  double CumulativeEttr(SimTime now) const;
+
+  // ETTR over the trailing `window` ending at `now` (default one hour).
+  double SlidingEttr(SimTime now, SimDuration window = Hours(1)) const;
+
+  SimDuration productive_time() const { return productive_; }
+  SimDuration recompute_time() const { return recompute_; }
+  std::int64_t productive_steps() const { return productive_steps_; }
+
+ private:
+  struct Span {
+    SimTime start;
+    SimTime end;
+  };
+
+  SimTime origin_;
+  SimDuration productive_ = 0;
+  SimDuration recompute_ = 0;
+  std::int64_t productive_steps_ = 0;
+  std::vector<Span> productive_spans_;  // sorted by end time (append order)
+};
+
+// A (time, mfu) sample series for Figs. 2 and 11.
+struct MfuSample {
+  SimTime time = 0;
+  std::int64_t step = 0;
+  double mfu = 0.0;
+  double loss = 0.0;
+  int run_id = 0;
+};
+
+class MfuSeries {
+ public:
+  void OnStep(const StepRecord& record);
+
+  const std::vector<MfuSample>& samples() const { return samples_; }
+
+  // Relative MFU: ratio of each sample to the series minimum (paper Fig. 11).
+  std::vector<double> RelativeMfu() const;
+  double MinMfu() const;
+  double MaxMfu() const;
+
+ private:
+  std::vector<MfuSample> samples_;
+};
+
+}  // namespace byterobust
+
+#endif  // SRC_METRICS_ETTR_H_

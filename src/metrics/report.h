@@ -1,0 +1,31 @@
+// Campaign report export: CSV series for plotting the paper's figures
+// (Figs. 2, 10, 11) and a resolution-log dump for offline analysis.
+
+#ifndef SRC_METRICS_REPORT_H_
+#define SRC_METRICS_REPORT_H_
+
+#include <string>
+
+#include "src/metrics/ettr.h"
+#include "src/metrics/resolution.h"
+
+namespace byterobust {
+
+// CSV with columns: time_s, step, loss, mfu, relative_mfu, run_id.
+// `stride` downsamples (every Nth sample).
+std::string MfuSeriesCsv(const MfuSeries& series, int stride = 1);
+
+// CSV with columns: time_s, cumulative_ettr, sliding_ettr_1h, sampled at
+// `points` evenly spaced times over [0, end].
+std::string EttrCurveCsv(const EttrTracker& tracker, SimTime end, int points = 100);
+
+// CSV with columns: symptom, category, mechanism, root_cause, detection_s,
+// localization_s, failover_s, total_s, escalations, resolved.
+std::string ResolutionLogCsv(const ResolutionLog& log);
+
+// Writes `content` to `path`; returns false on I/O failure.
+bool WriteFile(const std::string& path, const std::string& content);
+
+}  // namespace byterobust
+
+#endif  // SRC_METRICS_REPORT_H_

@@ -1,0 +1,71 @@
+#include "src/metrics/resolution.h"
+
+#include <algorithm>
+
+namespace byterobust {
+
+const char* MechanismName(ResolutionMechanism mechanism) {
+  switch (mechanism) {
+    case ResolutionMechanism::kAutoFtEvictRestart:
+      return "AutoFT-ER";
+    case ResolutionMechanism::kAutoFtHotUpdate:
+      return "AutoFT-HU";
+    case ResolutionMechanism::kAnalyzerEvictRestart:
+      return "Analyzer-ER";
+    case ResolutionMechanism::kRollback:
+      return "Rollback";
+    case ResolutionMechanism::kReattempt:
+      return "Reattempt";
+    case ResolutionMechanism::kDualPhaseReplay:
+      return "Dual-Phase Replay";
+    case ResolutionMechanism::kUnresolvedHuman:
+      return "Human";
+  }
+  return "unknown";
+}
+
+void ResolutionLog::Add(IncidentResolution resolution) {
+  entries_.push_back(std::move(resolution));
+}
+
+int ResolutionLog::CountBy(ResolutionMechanism mechanism) const {
+  return static_cast<int>(std::count_if(
+      entries_.begin(), entries_.end(),
+      [mechanism](const IncidentResolution& r) { return r.mechanism == mechanism; }));
+}
+
+int ResolutionLog::CountBy(ResolutionMechanism mechanism, IncidentCategory category) const {
+  return static_cast<int>(
+      std::count_if(entries_.begin(), entries_.end(), [&](const IncidentResolution& r) {
+        return r.mechanism == mechanism && r.incident.category() == category;
+      }));
+}
+
+int ResolutionLog::CountBy(IncidentCategory category) const {
+  return static_cast<int>(
+      std::count_if(entries_.begin(), entries_.end(), [&](const IncidentResolution& r) {
+        return r.incident.category() == category;
+      }));
+}
+
+std::pair<SimDuration, SimDuration> ResolutionLog::MeanMaxResolution(
+    IncidentSymptom symptom) const {
+  SimDuration total = 0;
+  SimDuration max = 0;
+  int n = 0;
+  for (const IncidentResolution& r : entries_) {
+    if (r.incident.symptom != symptom || !r.resolved) {
+      continue;
+    }
+    const SimDuration t = r.restart_done_time - r.localize_done_time;
+    total += t;
+    max = std::max(max, t);
+    ++n;
+  }
+  if (n == 0) {
+    return {0, 0};
+  }
+  return {total / n, max};
+}
+
+}  // namespace byterobust

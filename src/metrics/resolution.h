@@ -1,0 +1,69 @@
+// Incident-resolution records: which mechanism resolved each incident and how
+// the unproductive time decomposed into detection / localization / failover
+// (paper Fig. 3, Table 4, Table 6).
+
+#ifndef SRC_METRICS_RESOLUTION_H_
+#define SRC_METRICS_RESOLUTION_H_
+
+#include <map>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/faults/incident.h"
+
+namespace byterobust {
+
+// Resolution mechanisms (Table 4 plus the Sec. 4.2 lesson's finer classes).
+enum class ResolutionMechanism {
+  kAutoFtEvictRestart,    // AutoFT-ER: real-time/stop-time eviction + restart
+  kAutoFtHotUpdate,       // AutoFT-HU: in-place hot update (manual restarts)
+  kAnalyzerEvictRestart,  // Analyzer-ER: aggregation analysis over-eviction
+  kRollback,              // code rollback to the previous stable version
+  kReattempt,             // plain restart for transient faults
+  kDualPhaseReplay,       // Alg. 1 group testing, then eviction
+  kUnresolvedHuman,       // escalated to humans (no automated conclusion)
+};
+
+const char* MechanismName(ResolutionMechanism mechanism);
+
+struct IncidentResolution {
+  Incident incident;
+  ResolutionMechanism mechanism = ResolutionMechanism::kAutoFtEvictRestart;
+  // Unproductive-time breakdown (Fig. 3).
+  SimTime inject_time = 0;
+  SimTime detect_time = 0;         // anomaly reported
+  SimTime localize_done_time = 0;  // faulty set decided (checks finished)
+  SimTime restart_done_time = 0;   // training resumed
+  int escalations = 0;             // how many Fig. 5 stages were traversed
+  bool resolved = false;
+
+  SimDuration DetectionTime() const { return detect_time - inject_time; }
+  SimDuration LocalizationTime() const { return localize_done_time - detect_time; }
+  SimDuration FailoverTime() const { return restart_done_time - localize_done_time; }
+  SimDuration TotalUnproductive() const { return restart_done_time - inject_time; }
+};
+
+class ResolutionLog {
+ public:
+  void Add(IncidentResolution resolution);
+
+  const std::vector<IncidentResolution>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+
+  // Count of resolved incidents per mechanism, optionally filtered by
+  // incident category (Table 4's columns).
+  int CountBy(ResolutionMechanism mechanism) const;
+  int CountBy(ResolutionMechanism mechanism, IncidentCategory category) const;
+  int CountBy(IncidentCategory category) const;
+
+  // Mean / max resolution time (localization -> restart, Table 6's metric)
+  // across incidents with the given symptom. Returns {0, 0} when none.
+  std::pair<SimDuration, SimDuration> MeanMaxResolution(IncidentSymptom symptom) const;
+
+ private:
+  std::vector<IncidentResolution> entries_;
+};
+
+}  // namespace byterobust
+
+#endif  // SRC_METRICS_RESOLUTION_H_

@@ -1,0 +1,87 @@
+#include "src/monitor/inspection.h"
+
+namespace byterobust {
+
+const char* InspectionCategoryName(InspectionCategory category) {
+  switch (category) {
+    case InspectionCategory::kNetwork:
+      return "network";
+    case InspectionCategory::kGpu:
+      return "gpu";
+    case InspectionCategory::kHost:
+      return "host";
+  }
+  return "unknown";
+}
+
+SimDuration InspectionIntervals::For(InspectionCategory category) const {
+  switch (category) {
+    case InspectionCategory::kNetwork:
+      return network;
+    case InspectionCategory::kGpu:
+      return gpu;
+    case InspectionCategory::kHost:
+      return host;
+  }
+  return Seconds(30);
+}
+
+std::vector<InspectionFinding> RunInspection(InspectionCategory category,
+                                             const Cluster& cluster) {
+  std::vector<InspectionFinding> findings;
+  for (MachineId id : cluster.ServingMachines()) {
+    const Machine& m = cluster.machine(id);
+    switch (category) {
+      case InspectionCategory::kNetwork: {
+        if (!m.host().nic_up || m.host().packet_loss_rate > 0.1) {
+          findings.push_back({IncidentSymptom::kInfinibandError, id, false});
+        }
+        if (!m.host().switch_reachable) {
+          // Reported on every pass; the monitor requires two consecutive
+          // unresponsive-switch events before alerting (Table 3: 30 * 2 s).
+          findings.push_back({IncidentSymptom::kInfinibandError, id, false});
+        }
+        break;
+      }
+      case InspectionCategory::kGpu: {
+        for (int g = 0; g < m.num_gpus(); ++g) {
+          const GpuHealth& gpu = m.gpu(g);
+          if (!gpu.available) {
+            findings.push_back({IncidentSymptom::kGpuUnavailable, id, true});
+          } else if (!gpu.dcgm_responsive) {
+            findings.push_back({IncidentSymptom::kCudaError, id, false});
+          } else if (!gpu.hbm_ok) {
+            findings.push_back({IncidentSymptom::kGpuMemoryError, id, false});
+          } else if (gpu.temperature_c > 85.0) {
+            // Overheating correlates with MFU degradation: gray failure from
+            // thermal throttling (Sec. 8.1.1).
+            findings.push_back({IncidentSymptom::kMfuDecline, id, false});
+          }
+          // gpu.sdc and gpu.comm_defect are *silent*: no inspection sees them.
+        }
+        break;
+      }
+      case InspectionCategory::kHost: {
+        if (!m.host().os_kernel_ok) {
+          findings.push_back({IncidentSymptom::kOsKernelPanic, id, true});
+        }
+        if (!m.host().disk_ok) {
+          findings.push_back({IncidentSymptom::kDiskFault, id, true});
+        }
+        if (m.host().free_disk_fraction < 0.05) {
+          findings.push_back({IncidentSymptom::kInsufficientDiskSpace, id, false});
+        }
+        if (m.host().cpu_load > 0.95) {
+          findings.push_back({IncidentSymptom::kCpuOverload, id, false});
+        }
+        if (m.host().free_host_mem_fraction < 0.02) {
+          findings.push_back({IncidentSymptom::kCpuOom, id, false});
+        }
+        break;
+      }
+    }
+  }
+  return findings;
+}
+
+}  // namespace byterobust

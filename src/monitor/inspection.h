@@ -1,0 +1,48 @@
+// System-inspection items: lightweight health queries run at second-level
+// intervals, transparent to the training job (paper Sec. 4.1 and Table 3).
+
+#ifndef SRC_MONITOR_INSPECTION_H_
+#define SRC_MONITOR_INSPECTION_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/sim_time.h"
+#include "src/monitor/anomaly.h"
+
+namespace byterobust {
+
+enum class InspectionCategory {
+  kNetwork,  // NIC down/jitter, packet loss, switch reachability
+  kGpu,      // DCGM status, availability, HBM, temperature
+  kHost,     // OS kernel events (Xid/dmesg), disk, CPU, host memory
+};
+
+const char* InspectionCategoryName(InspectionCategory category);
+
+// Per-category polling intervals (Table 3: network 30 s, GPU 10 s, host 2 s).
+struct InspectionIntervals {
+  SimDuration network = Seconds(30);
+  SimDuration gpu = Seconds(10);
+  SimDuration host = Seconds(2);
+
+  SimDuration For(InspectionCategory category) const;
+};
+
+// One concrete finding from scanning a machine.
+struct InspectionFinding {
+  IncidentSymptom symptom;
+  MachineId machine;
+  bool high_confidence;
+};
+
+// Pure inspection pass for one category over the serving machines. Switch
+// unreachability is reported on every pass; the caller applies the
+// two-consecutive-events threshold.
+std::vector<InspectionFinding> RunInspection(InspectionCategory category, const Cluster& cluster);
+
+}  // namespace byterobust
+
+#endif  // SRC_MONITOR_INSPECTION_H_

@@ -1,0 +1,65 @@
+#include "src/monitor/metrics_rules.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace byterobust {
+
+std::optional<AnomalyReport> MetricsRules::OnStep(const StepRecord& record) {
+  AnomalyReport report;
+  report.detect_time = record.end;
+
+  if (record.is_nan || std::isnan(record.loss) || std::isnan(record.grad_norm)) {
+    report.source = AnomalySource::kMetricNan;
+    report.symptom_hint = IncidentSymptom::kNanValue;
+    report.detail = "NaN loss/grad-norm";
+    return report;
+  }
+
+  // Spike detection against the trailing median.
+  if (static_cast<int>(recent_loss_.size()) >= config_.trailing_window / 2) {
+    const double median = TrailingMedianLoss();
+    if (median > 0.0 && record.loss > config_.spike_factor * median) {
+      report.source = AnomalySource::kMetricSpike;
+      report.symptom_hint = IncidentSymptom::kNanValue;  // treated like loss anomaly
+      report.detail = "loss spike > 5x trailing median";
+      recent_loss_.clear();
+      return report;
+    }
+  }
+  recent_loss_.push_back(record.loss);
+  while (static_cast<int>(recent_loss_.size()) > config_.trailing_window) {
+    recent_loss_.pop_front();
+  }
+
+  // MFU decline: compare to the high-water mark of this run.
+  mfu_high_water_ = std::max(mfu_high_water_, record.mfu);
+  if (mfu_high_water_ > 0.0 && record.mfu < config_.decline_ratio * mfu_high_water_) {
+    ++decline_run_;
+    if (decline_run_ >= config_.decline_steps) {
+      decline_run_ = 0;
+      report.source = AnomalySource::kMfuDecline;
+      report.symptom_hint = IncidentSymptom::kMfuDecline;
+      report.detail = "sustained MFU decline";
+      return report;
+    }
+  } else {
+    decline_run_ = 0;
+  }
+  return std::nullopt;
+}
+
+void MetricsRules::Reset() {
+  recent_loss_.clear();
+  mfu_high_water_ = 0.0;
+  decline_run_ = 0;
+}
+
+double MetricsRules::TrailingMedianLoss() const {
+  std::vector<double> v(recent_loss_.begin(), recent_loss_.end());
+  std::sort(v.begin(), v.end());
+  return v.empty() ? 0.0 : v[v.size() / 2];
+}
+
+}  // namespace byterobust

@@ -1,0 +1,50 @@
+// Training-metric anomaly rules (paper Sec. 4.1 "Metrics collection"):
+// NaN values, 5x loss / gradient-norm spikes, sustained MFU decline, and the
+// hang watchdog over progress events (zero RDMA traffic proxy).
+
+#ifndef SRC_MONITOR_METRICS_RULES_H_
+#define SRC_MONITOR_METRICS_RULES_H_
+
+#include <deque>
+#include <optional>
+
+#include "src/common/sim_time.h"
+#include "src/monitor/anomaly.h"
+#include "src/training/train_job.h"
+
+namespace byterobust {
+
+struct MetricsRulesConfig {
+  // Spike rule: alert when loss or grad norm exceeds `spike_factor` times the
+  // trailing-window median.
+  double spike_factor = 5.0;
+  int trailing_window = 32;
+
+  // MFU-decline rule: alert when MFU stays below `decline_ratio` x the
+  // trailing high-water mark for `decline_steps` consecutive steps.
+  double decline_ratio = 0.8;
+  int decline_steps = 5;
+};
+
+class MetricsRules {
+ public:
+  explicit MetricsRules(const MetricsRulesConfig& config) : config_(config) {}
+
+  // Feeds one completed step; returns an anomaly if a rule fires.
+  std::optional<AnomalyReport> OnStep(const StepRecord& record);
+
+  // Clears history (after a restart or rollback the baselines reset).
+  void Reset();
+
+ private:
+  double TrailingMedianLoss() const;
+
+  MetricsRulesConfig config_;
+  std::deque<double> recent_loss_;
+  double mfu_high_water_ = 0.0;
+  int decline_run_ = 0;
+};
+
+}  // namespace byterobust
+
+#endif  // SRC_MONITOR_METRICS_RULES_H_

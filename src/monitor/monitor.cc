@@ -1,0 +1,141 @@
+#include "src/monitor/monitor.h"
+
+#include <algorithm>
+
+#include "src/common/log.h"
+
+namespace byterobust {
+
+const char* AnomalySourceName(AnomalySource source) {
+  switch (source) {
+    case AnomalySource::kInspection:
+      return "inspection";
+    case AnomalySource::kCrashLog:
+      return "crash-log";
+    case AnomalySource::kMetricNan:
+      return "metric-nan";
+    case AnomalySource::kMetricSpike:
+      return "metric-spike";
+    case AnomalySource::kHangSuspect:
+      return "hang-suspect";
+    case AnomalySource::kMfuDecline:
+      return "mfu-decline";
+  }
+  return "unknown";
+}
+
+Monitor::Monitor(const MonitorConfig& config, Simulator* sim, Cluster* cluster, TrainJob* job)
+    : config_(config), sim_(sim), cluster_(cluster), job_(job), rules_(config.metrics) {
+  job_->AddStepObserver([this](const StepRecord& rec) { OnStepRecord(rec); });
+}
+
+void Monitor::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  for (InspectionCategory cat :
+       {InspectionCategory::kNetwork, InspectionCategory::kGpu, InspectionCategory::kHost}) {
+    sim_->Schedule(config_.intervals.For(cat), [this, cat] { RunInspectionPass(cat); });
+  }
+  sim_->Schedule(config_.watchdog_interval, [this] { RunWatchdog(); });
+}
+
+void Monitor::Stop() { running_ = false; }
+
+void Monitor::OnJobRestart() {
+  outstanding_.clear();
+  switch_event_counts_.clear();
+  rules_.Reset();
+  crash_reported_ = false;
+  hang_reported_ = false;
+}
+
+void Monitor::RunInspectionPass(InspectionCategory category) {
+  if (!running_) {
+    return;
+  }
+  for (const InspectionFinding& f : RunInspection(category, *cluster_)) {
+    // The switch-reachability item needs two consecutive hits (Table 3).
+    if (category == InspectionCategory::kNetwork &&
+        !cluster_->machine(f.machine).host().switch_reachable) {
+      if (++switch_event_counts_[f.machine] < config_.switch_event_threshold) {
+        continue;
+      }
+    }
+    const auto key = std::make_pair(f.machine, static_cast<int>(f.symptom));
+    if (!outstanding_.insert(key).second) {
+      continue;  // already reported this run
+    }
+    AnomalyReport report;
+    report.source = AnomalySource::kInspection;
+    report.symptom_hint = f.symptom;
+    report.machines = {f.machine};
+    report.high_confidence = f.high_confidence;
+    report.detect_time = sim_->Now();
+    report.detail = std::string(InspectionCategoryName(category)) + " inspection hit";
+    Emit(std::move(report));
+  }
+  sim_->Schedule(config_.intervals.For(category), [this, category] {
+    RunInspectionPass(category);
+  });
+}
+
+void Monitor::RunWatchdog() {
+  if (!running_) {
+    return;
+  }
+  // Crash detection through log / exit-code scraping.
+  if (job_->state() == JobRunState::kCrashed && !crash_reported_) {
+    crash_reported_ = true;
+    AnomalyReport report;
+    report.source = AnomalySource::kCrashLog;
+    report.symptom_hint = IncidentSymptom::kCudaError;
+    report.detect_time = sim_->Now();
+    report.detail = "process exit detected in logs";
+    // Detection through stderr scraping lags by about one scrape interval.
+    sim_->Schedule(config_.log_scrape_interval, [this, report] { Emit(report); });
+  }
+
+  // Hang detection: no progress beyond the hang threshold while nominally
+  // running (a hung job still *looks* running; state kHung models the silent
+  // stall and is not directly visible, so we use progress timestamps).
+  const bool nominally_running =
+      job_->state() == JobRunState::kRunning || job_->state() == JobRunState::kHung;
+  if (nominally_running && !hang_reported_) {
+    const SimDuration threshold =
+        std::max(config_.hang_grace, static_cast<SimDuration>(config_.hang_step_factor *
+                                                              static_cast<double>(
+                                                                  job_->CurrentStepTime())));
+    if (sim_->Now() - job_->last_progress_time() > threshold) {
+      hang_reported_ = true;
+      AnomalyReport report;
+      report.source = AnomalySource::kHangSuspect;
+      report.symptom_hint = IncidentSymptom::kJobHang;
+      report.detect_time = sim_->Now();
+      report.detail = "no step progress within hang threshold";
+      Emit(std::move(report));
+    }
+  }
+  sim_->Schedule(config_.watchdog_interval, [this] { RunWatchdog(); });
+}
+
+void Monitor::OnStepRecord(const StepRecord& record) {
+  if (!running_) {
+    return;
+  }
+  if (auto report = rules_.OnStep(record)) {
+    Emit(std::move(*report));
+  }
+}
+
+void Monitor::Emit(AnomalyReport report) {
+  ++reports_emitted_;
+  BR_LOG_INFO("monitor", "anomaly: %s (%s) machines=%zu", AnomalySourceName(report.source),
+              SymptomName(report.symptom_hint), report.machines.size());
+  if (handler_) {
+    handler_(report);
+  }
+}
+
+}  // namespace byterobust

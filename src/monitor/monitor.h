@@ -1,0 +1,84 @@
+// The data-plane Monitor: runs inspection threads at per-category intervals,
+// watches training metrics, and reports anomalies to the robust controller
+// (paper Sec. 4.1).
+
+#ifndef SRC_MONITOR_MONITOR_H_
+#define SRC_MONITOR_MONITOR_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/monitor/anomaly.h"
+#include "src/monitor/inspection.h"
+#include "src/monitor/metrics_rules.h"
+#include "src/sim/simulator.h"
+#include "src/training/train_job.h"
+
+namespace byterobust {
+
+struct MonitorConfig {
+  InspectionIntervals intervals;
+  MetricsRulesConfig metrics;
+
+  // Crash detection latency through log/exit-code scraping (~60 s, Sec. 2.2).
+  SimDuration log_scrape_interval = Seconds(60);
+
+  // Hang watchdog: declare a hang suspect when no step completed within
+  // max(hang_grace, hang_step_factor x expected step time). This models the
+  // "zero RDMA traffic within 10 minutes" rule of Sec. 4.1.
+  SimDuration hang_grace = Minutes(10);
+  double hang_step_factor = 4.0;
+  SimDuration watchdog_interval = Seconds(30);
+
+  // Consecutive unresponsive-switch events required before alerting.
+  int switch_event_threshold = 2;
+};
+
+class Monitor {
+ public:
+  Monitor(const MonitorConfig& config, Simulator* sim, Cluster* cluster, TrainJob* job);
+
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  void SetAnomalyHandler(AnomalyHandler handler) { handler_ = std::move(handler); }
+
+  // Starts the recurring inspection + watchdog events.
+  void Start();
+  void Stop();
+  bool running() const { return running_; }
+
+  // Clears per-run state (outstanding alerts, metric baselines) after the
+  // controller restarts the job.
+  void OnJobRestart();
+
+  // Number of anomaly reports emitted.
+  std::uint64_t reports_emitted() const { return reports_emitted_; }
+
+ private:
+  void RunInspectionPass(InspectionCategory category);
+  void RunWatchdog();
+  void OnStepRecord(const StepRecord& record);
+  void Emit(AnomalyReport report);
+
+  MonitorConfig config_;
+  Simulator* sim_;
+  Cluster* cluster_;
+  TrainJob* job_;
+  AnomalyHandler handler_;
+
+  bool running_ = false;
+  std::uint64_t reports_emitted_ = 0;
+  // De-duplication: (machine, symptom) pairs already reported this run.
+  std::set<std::pair<MachineId, int>> outstanding_;
+  std::map<MachineId, int> switch_event_counts_;
+  MetricsRules rules_;
+  bool crash_reported_ = false;
+  bool hang_reported_ = false;
+};
+
+}  // namespace byterobust
+
+#endif  // SRC_MONITOR_MONITOR_H_

@@ -1,0 +1,45 @@
+#include "src/monitor/rdma_monitor.h"
+
+namespace byterobust {
+
+namespace {
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+double SyntheticRdmaTraffic(JobRunState state, SimTime now, std::uint64_t seed) {
+  if (state != JobRunState::kRunning) {
+    // Stalled collectives: residual keep-alive chatter only.
+    return 0.01;
+  }
+  const std::uint64_t h = Mix(seed ^ static_cast<std::uint64_t>(now / Seconds(10)));
+  const double noise = static_cast<double>(h >> 11) / static_cast<double>(1ULL << 53);
+  return 0.85 + 0.3 * noise;  // bursty but clearly nonzero
+}
+
+std::optional<SimTime> RdmaHangDetector::OnSample(SimTime now, double traffic) {
+  if (traffic >= config_.low_traffic_threshold) {
+    low_run_ = 0;
+    fired_ = false;
+    return std::nullopt;
+  }
+  if (fired_) {
+    return std::nullopt;  // one alert per quiet period
+  }
+  if (++low_run_ >= config_.low_samples_to_alert) {
+    fired_ = true;
+    return now;
+  }
+  return std::nullopt;
+}
+
+void RdmaHangDetector::Reset() {
+  low_run_ = 0;
+  fired_ = false;
+}
+
+}  // namespace byterobust

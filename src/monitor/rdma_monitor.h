@@ -1,0 +1,51 @@
+// MegaScale-style RDMA traffic monitoring (baseline from the paper's related
+// work, Sec. 10): plummeting RDMA traffic indicates an implicit failure
+// earlier than log-based timeouts, but it cannot isolate which machines are
+// at fault — the gap ByteRobust's stack aggregation closes.
+
+#ifndef SRC_MONITOR_RDMA_MONITOR_H_
+#define SRC_MONITOR_RDMA_MONITOR_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/common/sim_time.h"
+#include "src/training/train_job.h"
+
+namespace byterobust {
+
+// Normalized per-machine RDMA traffic for the given job state: ~1.0 with
+// sampling noise while training progresses, ~0 when the job hangs or
+// crashes (collectives stall globally — on *every* machine at once, which is
+// precisely why traffic cannot localize the fault).
+double SyntheticRdmaTraffic(JobRunState state, SimTime now, std::uint64_t seed);
+
+struct RdmaDetectorConfig {
+  SimDuration sample_interval = Seconds(10);
+  // Consecutive low-traffic samples before alerting.
+  int low_samples_to_alert = 6;
+  double low_traffic_threshold = 0.05;
+};
+
+// Sliding detector over the traffic signal.
+class RdmaHangDetector {
+ public:
+  explicit RdmaHangDetector(const RdmaDetectorConfig& config = {}) : config_(config) {}
+
+  // Feeds one sample; returns the detection timestamp when the alert fires
+  // (once per quiet period).
+  std::optional<SimTime> OnSample(SimTime now, double traffic);
+
+  void Reset();
+  bool fired() const { return fired_; }
+  const RdmaDetectorConfig& config() const { return config_; }
+
+ private:
+  RdmaDetectorConfig config_;
+  int low_run_ = 0;
+  bool fired_ = false;
+};
+
+}  // namespace byterobust
+
+#endif  // SRC_MONITOR_RDMA_MONITOR_H_

@@ -1,0 +1,68 @@
+#include "src/recovery/hot_update.h"
+
+#include "src/common/log.h"
+
+namespace byterobust {
+
+HotUpdateManager::HotUpdateManager(const HotUpdateConfig& config, Simulator* sim)
+    : config_(config), sim_(sim) {}
+
+void HotUpdateManager::Submit(const CodeVersion& version) {
+  Pending p;
+  p.version = version;
+  p.submitted = sim_->Now();
+  if (!version.urgent) {
+    const int id = version.id;
+    p.window_event =
+        sim_->Schedule(config_.trigger_window, [this, id] { OnWindowExpired(id); });
+  }
+  pending_.push_back(std::move(p));
+  BR_LOG_INFO("hot-update", "update v%d submitted (%s)", version.id,
+              version.urgent ? "urgent: restart now" : "lazy: merge into next recovery");
+  if (version.urgent && requester_) {
+    requester_();
+  }
+}
+
+std::vector<CodeVersion> HotUpdateManager::TakePending(bool merged_into_recovery) {
+  std::vector<CodeVersion> out;
+  for (Pending& p : pending_) {
+    if (p.window_event != kInvalidEventId) {
+      sim_->Cancel(p.window_event);
+    }
+    AppliedUpdateRecord rec;
+    rec.version = p.version;
+    rec.submitted = p.submitted;
+    rec.applied = sim_->Now();
+    rec.merged_into_failure_recovery = merged_into_recovery;
+    history_.push_back(rec);
+    out.push_back(p.version);
+  }
+  pending_.clear();
+  return out;
+}
+
+int HotUpdateManager::merged_count() const {
+  int n = 0;
+  for (const auto& rec : history_) {
+    if (rec.merged_into_failure_recovery) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void HotUpdateManager::OnWindowExpired(int version_id) {
+  // Still pending after the trigger window? Force a hot-update restart.
+  for (const Pending& p : pending_) {
+    if (p.version.id == version_id) {
+      BR_LOG_INFO("hot-update", "trigger window expired for v%d; forcing apply", version_id);
+      if (requester_) {
+        requester_();
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace byterobust

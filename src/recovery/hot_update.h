@@ -1,0 +1,74 @@
+// In-place lazy hot-update manager (paper Sec. 6.1).
+//
+// Urgent changes (bug fixes) halt training immediately; non-critical changes
+// are merged into the next failure recovery — exploiting the inevitability of
+// interruptions at scale — or force-applied when the trigger window (default
+// 24 h) expires. All applied modifications are persisted for traceability.
+
+#ifndef SRC_RECOVERY_HOT_UPDATE_H_
+#define SRC_RECOVERY_HOT_UPDATE_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/sim/simulator.h"
+#include "src/training/code_version.h"
+
+namespace byterobust {
+
+struct HotUpdateConfig {
+  SimDuration trigger_window = Hours(24);
+};
+
+// A persisted record of an applied update (the paper's database entry).
+struct AppliedUpdateRecord {
+  CodeVersion version;
+  SimTime submitted = 0;
+  SimTime applied = 0;
+  bool merged_into_failure_recovery = false;
+};
+
+class HotUpdateManager {
+ public:
+  HotUpdateManager(const HotUpdateConfig& config, Simulator* sim);
+
+  // Invoked when an urgent update or window expiry needs an immediate
+  // hot-update restart. The callee (controller/scenario) stops the job,
+  // calls TakePending(), applies the versions and restarts in place.
+  using RestartRequester = std::function<void()>;
+  void SetRestartRequester(RestartRequester requester) { requester_ = std::move(requester); }
+
+  // Queues a code change. Urgent updates fire the restart requester now;
+  // lazy ones wait for the next recovery or the trigger window.
+  void Submit(const CodeVersion& version);
+
+  // Drains the pending queue; called during any restart so code changes ride
+  // along with failure recovery. `merged` tags the persisted records.
+  std::vector<CodeVersion> TakePending(bool merged_into_recovery);
+
+  bool HasPending() const { return !pending_.empty(); }
+  int pending_count() const { return static_cast<int>(pending_.size()); }
+  const std::vector<AppliedUpdateRecord>& history() const { return history_; }
+  int applied_count() const { return static_cast<int>(history_.size()); }
+  int merged_count() const;
+
+ private:
+  struct Pending {
+    CodeVersion version;
+    SimTime submitted;
+    EventId window_event = kInvalidEventId;
+  };
+
+  void OnWindowExpired(int version_id);
+
+  HotUpdateConfig config_;
+  Simulator* sim_;
+  RestartRequester requester_;
+  std::vector<Pending> pending_;
+  std::vector<AppliedUpdateRecord> history_;
+};
+
+}  // namespace byterobust
+
+#endif  // SRC_RECOVERY_HOT_UPDATE_H_

@@ -1,0 +1,30 @@
+#include "src/recovery/restart_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace byterobust {
+
+double RestartCostModel::Doublings(int num_machines) {
+  const double m = std::max(num_machines, 1);
+  return std::max(0.0, std::log2(m / 128.0));
+}
+
+SimDuration RestartCostModel::RequeueTime(int num_machines) const {
+  return Seconds(requeue_base_s + requeue_per_doubling_s * Doublings(num_machines));
+}
+
+SimDuration RestartCostModel::RescheduleTime(int num_machines, int evicted) const {
+  return Seconds(reschedule_base_s + reschedule_per_doubling_s * Doublings(num_machines) +
+                 reschedule_per_machine_s * std::max(evicted, 0));
+}
+
+SimDuration RestartCostModel::StandbyWakeTime(int evicted) const {
+  return Seconds(standby_wake_s + standby_wake_per_machine_s * std::max(evicted, 0));
+}
+
+SimDuration RestartCostModel::HotUpdateTime(int num_machines) const {
+  return Seconds(hot_update_base_s + hot_update_per_doubling_s * Doublings(num_machines));
+}
+
+}  // namespace byterobust

@@ -1,0 +1,45 @@
+// Restart / scheduling cost model (paper Secs. 6.1-6.2, Table 7, Fig. 12).
+//
+// Calibrated to the production measurements: full requeue pays for clearing
+// job metadata, reallocating instance quotas, reinstalling images and
+// rebuilding the pod environment — costs that grow with job scale — whereas
+// waking a pre-validated warm standby or hot-updating in place is a constant,
+// small cost.
+
+#ifndef SRC_RECOVERY_RESTART_MODEL_H_
+#define SRC_RECOVERY_RESTART_MODEL_H_
+
+#include "src/common/sim_time.h"
+
+namespace byterobust {
+
+struct RestartCostModel {
+  // -- requeue: kill and resubmit the whole job ------------------------------
+  double requeue_base_s = 454.0;        // 128-machine job (Table 7)
+  double requeue_per_doubling_s = 105.0;
+
+  // -- reschedule: new pods only for evicted machines ------------------------
+  double reschedule_base_s = 340.0;     // pod build + image on a fresh machine
+  double reschedule_per_doubling_s = 18.0;
+  double reschedule_per_machine_s = 2.0;
+
+  // -- warm standby wake ------------------------------------------------------
+  double standby_wake_s = 58.0;         // resume past the pre-set barrier
+  double standby_wake_per_machine_s = 1.5;
+
+  // -- in-place hot update -----------------------------------------------------
+  double hot_update_base_s = 46.0;      // swap code, restart processes in-pod
+  double hot_update_per_doubling_s = 6.3;
+
+  // Doublings of scale relative to the 128-machine reference.
+  static double Doublings(int num_machines);
+
+  SimDuration RequeueTime(int num_machines) const;
+  SimDuration RescheduleTime(int num_machines, int evicted) const;
+  SimDuration StandbyWakeTime(int evicted) const;
+  SimDuration HotUpdateTime(int num_machines) const;
+};
+
+}  // namespace byterobust
+
+#endif  // SRC_RECOVERY_RESTART_MODEL_H_

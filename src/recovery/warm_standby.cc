@@ -1,0 +1,64 @@
+#include "src/recovery/warm_standby.h"
+
+#include <algorithm>
+
+#include "src/common/log.h"
+#include "src/common/rng.h"
+
+namespace byterobust {
+
+WarmStandbyPool::WarmStandbyPool(const StandbyConfig& config, Simulator* sim, Cluster* cluster)
+    : config_(config), sim_(sim), cluster_(cluster) {}
+
+int WarmStandbyPool::TargetSize(int serving_machines) const {
+  const int p99 =
+      BinomialQuantile(serving_machines, config_.daily_machine_failure_prob, config_.quantile);
+  return std::max(p99, 1);
+}
+
+void WarmStandbyPool::Replenish(int target) {
+  int have = ready_count() + provisioning_;
+  if (have >= target) {
+    return;
+  }
+  std::vector<MachineId> idle = cluster_->IdleMachines();
+  std::size_t next_idle = 0;
+  while (have < target) {
+    MachineId id;
+    if (next_idle < idle.size()) {
+      id = idle[next_idle++];
+    } else {
+      id = cluster_->AddMachine();  // request a fresh machine from the platform
+    }
+    ProvisionOne(id);
+    ++have;
+  }
+}
+
+void WarmStandbyPool::ProvisionOne(MachineId id) {
+  cluster_->machine(id).set_state(MachineState::kStandbyInit);
+  ++provisioning_;
+  sim_->Schedule(config_.provision_time, [this, id] {
+    --provisioning_;
+    Machine& m = cluster_->machine(id);
+    // The machine may have been blacklisted while provisioning.
+    if (cluster_->IsBlacklisted(id)) {
+      return;
+    }
+    m.ResetHealth();
+    m.set_state(MachineState::kStandbySleep);
+    ready_.push_back(id);
+    BR_LOG_DEBUG("standby", "machine %d entered the warm pool (ready=%d)", id, ready_count());
+  });
+}
+
+std::vector<MachineId> WarmStandbyPool::Claim(int count) {
+  std::vector<MachineId> out;
+  while (count-- > 0 && !ready_.empty()) {
+    out.push_back(ready_.front());
+    ready_.pop_front();
+  }
+  return out;
+}
+
+}  // namespace byterobust

@@ -1,0 +1,66 @@
+// Warm-standby machine pool (paper Sec. 6.2).
+//
+// The pool is sized at the P99 quantile of the Binomial(z, p_daily) model of
+// simultaneous machine failures, pre-validates machines with self-checks, and
+// parks them in low-power sleep behind a code barrier. Evictions claim ready
+// standbys (seconds); the pool replenishes asynchronously.
+
+#ifndef SRC_RECOVERY_WARM_STANDBY_H_
+#define SRC_RECOVERY_WARM_STANDBY_H_
+
+#include <deque>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/sim_time.h"
+#include "src/sim/simulator.h"
+
+namespace byterobust {
+
+struct StandbyConfig {
+  // Estimated daily failure probability of an individual machine, from
+  // historical data (Sec. 6.2). 0.0012/day reproduces Table 5's #P99 column
+  // exactly: 2, 2, 3 and 4 backup machines at 128/256/512/1024 hosts.
+  double daily_machine_failure_prob = 0.0012;
+  double quantile = 0.99;
+
+  // Pod-environment initialization: machine self-checks, image installation,
+  // library downloads — paid off the critical path.
+  SimDuration provision_time = Minutes(20);
+};
+
+class WarmStandbyPool {
+ public:
+  WarmStandbyPool(const StandbyConfig& config, Simulator* sim, Cluster* cluster);
+
+  // P99 standby count for a job of `serving_machines` machines. Matches the
+  // paper's Table 5 column "#P99" shape (2-4 machines for 128-1024 hosts at
+  // 16 GPUs each).
+  int TargetSize(int serving_machines) const;
+
+  // Brings the pool toward `target` by provisioning idle machines (or newly
+  // added ones). Provisioning completes after config.provision_time.
+  void Replenish(int target);
+
+  // Claims up to `count` ready standbys (removed from the pool and returned
+  // in claim order). Fewer may be returned if the pool is short.
+  std::vector<MachineId> Claim(int count);
+
+  int ready_count() const { return static_cast<int>(ready_.size()); }
+  int provisioning_count() const { return provisioning_; }
+
+  const StandbyConfig& config() const { return config_; }
+
+ private:
+  void ProvisionOne(MachineId id);
+
+  StandbyConfig config_;
+  Simulator* sim_;
+  Cluster* cluster_;
+  std::deque<MachineId> ready_;
+  int provisioning_ = 0;
+};
+
+}  // namespace byterobust
+
+#endif  // SRC_RECOVERY_WARM_STANDBY_H_

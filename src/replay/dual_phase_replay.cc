@@ -1,0 +1,106 @@
+#include "src/replay/dual_phase_replay.h"
+
+#include <stdexcept>
+
+namespace byterobust {
+
+DualPhaseReplay::DualPhaseReplay(int z, int m) : z_(z), m_(m), n_(m > 0 ? z / m : 0) {
+  if (z <= 0 || m <= 0 || z % m != 0) {
+    throw std::invalid_argument("DualPhaseReplay requires z > 0, m > 0, z % m == 0");
+  }
+  if (z_ % n_ != 0) {
+    throw std::invalid_argument("DualPhaseReplay requires z % n == 0 (n = z/m)");
+  }
+}
+
+int DualPhaseReplay::HorizontalGroupOf(MachineId machine) const { return machine / m_; }
+
+std::vector<MachineId> DualPhaseReplay::HorizontalGroup(int a) const {
+  if (a < 0 || a >= n_) {
+    throw std::out_of_range("horizontal group index");
+  }
+  std::vector<MachineId> out;
+  out.reserve(static_cast<std::size_t>(m_));
+  for (int x = a * m_; x < (a + 1) * m_; ++x) {
+    out.push_back(x);
+  }
+  return out;
+}
+
+int DualPhaseReplay::VerticalGroupOf(MachineId machine) const { return machine % n_; }
+
+std::vector<MachineId> DualPhaseReplay::VerticalGroup(int b) const {
+  if (b < 0 || b >= n_) {
+    throw std::out_of_range("vertical group index");
+  }
+  std::vector<MachineId> out;
+  out.reserve(static_cast<std::size_t>(z_ / n_));
+  for (int x = b; x < z_; x += n_) {
+    out.push_back(x);
+  }
+  return out;
+}
+
+std::vector<MachineId> DualPhaseReplay::Solve(int a, int b) const {
+  std::vector<MachineId> out;
+  for (int x = a * m_; x < (a + 1) * m_; ++x) {
+    if (x % n_ == b) {
+      out.push_back(x);
+    }
+  }
+  return out;
+}
+
+int DualPhaseReplay::ExpectedSuspectCardinality() const {
+  return m_ <= n_ ? 1 : (m_ + n_ - 1) / n_;
+}
+
+ReplayOutcome DualPhaseReplay::Locate(
+    const std::function<bool(const std::vector<MachineId>&)>& replay_fails,
+    SimDuration per_replay) const {
+  ReplayOutcome outcome;
+
+  // Phase 1: horizontal grouping. All n group-replays run concurrently.
+  for (int a = 0; a < n_; ++a) {
+    ++outcome.replays_run;
+    if (replay_fails(HorizontalGroup(a))) {
+      outcome.faulty_horizontal = a;
+      break;
+    }
+  }
+  outcome.elapsed += per_replay;
+  if (outcome.faulty_horizontal < 0) {
+    return outcome;  // fault did not reproduce in phase 1
+  }
+
+  // Phase 2: vertical grouping.
+  for (int b = 0; b < n_; ++b) {
+    ++outcome.replays_run;
+    if (replay_fails(VerticalGroup(b))) {
+      outcome.faulty_vertical = b;
+      break;
+    }
+  }
+  outcome.elapsed += per_replay;
+  if (outcome.faulty_vertical < 0) {
+    return outcome;
+  }
+
+  outcome.suspects = Solve(outcome.faulty_horizontal, outcome.faulty_vertical);
+  outcome.found = !outcome.suspects.empty();
+  return outcome;
+}
+
+std::function<bool(const std::vector<MachineId>&)> DualPhaseReplay::FaultOracle(
+    std::set<MachineId> faulty, double reproduce_prob, Rng* rng) {
+  return [faulty = std::move(faulty), reproduce_prob, rng](const std::vector<MachineId>& group) {
+    for (MachineId m : group) {
+      if (faulty.count(m) > 0 && rng->Bernoulli(reproduce_prob)) {
+        return true;
+      }
+    }
+    return false;
+  };
+}
+
+}  // namespace byterobust

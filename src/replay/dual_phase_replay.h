@@ -1,0 +1,76 @@
+// Dual-phase, dimension-aware replay (paper Algorithm 1, Fig. 6).
+//
+// Group testing for unknown faults (typically SDC) that survive every other
+// check: keep the original TP/PP sizes, reduce the model layers and the DP
+// size, and replay the job twice — once on "horizontal" machine groups
+// (partition by floor(id / m)) and once on "vertical" groups (partition by
+// id mod n). The intersection of the failing groups pins the faulty machine.
+
+#ifndef SRC_REPLAY_DUAL_PHASE_REPLAY_H_
+#define SRC_REPLAY_DUAL_PHASE_REPLAY_H_
+
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/sim_time.h"
+#include "src/topology/parallelism.h"
+
+namespace byterobust {
+
+struct ReplayOutcome {
+  bool found = false;
+  int faulty_horizontal = -1;  // group index a
+  int faulty_vertical = -1;    // group index b
+  std::vector<MachineId> suspects;
+  SimDuration elapsed = 0;
+  int replays_run = 0;
+};
+
+class DualPhaseReplay {
+ public:
+  // `z` machines partitioned with group size `m` (recommended: a multiple of
+  // the PP size so intra-group communication stays representative); n = z/m.
+  // Requires m >= 1, z % m == 0 and z % n == 0.
+  DualPhaseReplay(int z, int m);
+
+  int z() const { return z_; }
+  int m() const { return m_; }
+  int n() const { return n_; }
+
+  // Phase-1 groups: machine id -> floor(id / m), n groups of size m.
+  int HorizontalGroupOf(MachineId machine) const;
+  std::vector<MachineId> HorizontalGroup(int a) const;
+
+  // Phase-2 groups: machine id -> id mod n, n groups of size z/n.
+  int VerticalGroupOf(MachineId machine) const;
+  std::vector<MachineId> VerticalGroup(int b) const;
+
+  // Solves { floor(x/m) == a, x mod n == b } over [0, z). Alg. 1 line 9.
+  std::vector<MachineId> Solve(int a, int b) const;
+
+  // |S| per Alg. 1 line 10: 1 when m <= n, ceil(m/n) otherwise.
+  int ExpectedSuspectCardinality() const;
+
+  // Runs both phases. `replay_fails(group_members)` is the replay oracle: it
+  // returns true when the reduced job on those machines reproduces the fault.
+  // Per-group replays within one phase run concurrently (each group is an
+  // independent machine set), so each phase costs one `per_replay` duration.
+  ReplayOutcome Locate(const std::function<bool(const std::vector<MachineId>&)>& replay_fails,
+                       SimDuration per_replay = Minutes(10)) const;
+
+  // Convenience oracle for a set of faulty machines that reproduce with
+  // probability `reproduce_prob` per replay (SDC is stochastic, Sec. 9).
+  static std::function<bool(const std::vector<MachineId>&)> FaultOracle(
+      std::set<MachineId> faulty, double reproduce_prob, Rng* rng);
+
+ private:
+  int z_;
+  int m_;
+  int n_;
+};
+
+}  // namespace byterobust
+
+#endif  // SRC_REPLAY_DUAL_PHASE_REPLAY_H_

@@ -1,0 +1,81 @@
+#include "src/sim/simulator.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "src/common/log.h"
+
+namespace byterobust {
+
+Simulator::Simulator() { SetLogClock(&now_); }
+
+Simulator::~Simulator() { SetLogClock(nullptr); }
+
+EventId Simulator::Schedule(SimDuration delay, std::function<void()> fn) {
+  if (delay < 0) {
+    delay = 0;
+  }
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+  if (when < now_) {
+    throw std::invalid_argument("ScheduleAt in the past");
+  }
+  const EventId id = next_id_++;
+  queue_.push(Event{when, id, std::move(fn)});
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) {
+  if (id == kInvalidEventId || id >= next_id_) {
+    return false;
+  }
+  // Lazy cancellation: the event stays in the heap and is skipped when popped.
+  return cancelled_.insert(id).second;
+}
+
+bool Simulator::DispatchNext() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(ev.id) > 0) {
+      continue;  // skip cancelled event
+    }
+    now_ = ev.time;
+    ++dispatched_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::Run() {
+  stopped_ = false;
+  while (!stopped_ && DispatchNext()) {
+  }
+}
+
+void Simulator::RunUntil(SimTime deadline) {
+  stopped_ = false;
+  while (!stopped_) {
+    // Peek past cancelled events to find the next live one.
+    while (!queue_.empty() && cancelled_.count(queue_.top().id) > 0) {
+      cancelled_.erase(queue_.top().id);
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().time > deadline) {
+      break;
+    }
+    DispatchNext();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+bool Simulator::Step() { return DispatchNext(); }
+
+std::size_t Simulator::pending_events() const { return queue_.size(); }
+
+}  // namespace byterobust

@@ -1,0 +1,95 @@
+// Deterministic discrete-event simulator.
+//
+// The simulator is the substrate that replaces wall-clock time and the
+// physical cluster in this reproduction. Events are ordered by (time,
+// sequence number) so that two events at the same timestamp always fire in
+// scheduling order, making every run bit-reproducible for a fixed seed.
+
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/sim_time.h"
+
+namespace byterobust {
+
+// Handle for a scheduled event; can be used to cancel it before it fires.
+using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEventId = 0;
+
+class Simulator {
+ public:
+  Simulator();
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current simulated time.
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` to run `delay` after Now(). Negative delays clamp to zero
+  // (the event fires "immediately", after already-queued events at Now()).
+  EventId Schedule(SimDuration delay, std::function<void()> fn);
+
+  // Schedules `fn` at an absolute time, which must be >= Now().
+  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+
+  // Cancels a pending event. Returns true if the event existed and had not
+  // fired yet. Cancelling an already-fired or invalid id is a no-op.
+  bool Cancel(EventId id);
+
+  // Runs until the event queue is empty or Stop() is called.
+  void Run();
+
+  // Runs events with time <= deadline, then advances the clock to exactly
+  // `deadline` (even if no event fired there).
+  void RunUntil(SimTime deadline);
+
+  // Runs exactly one event if available; returns false when the queue is
+  // empty. Useful for fine-grained tests.
+  bool Step();
+
+  // Requests that Run()/RunUntil() return after the current event completes.
+  void Stop() { stopped_ = true; }
+
+  // Number of events dispatched so far.
+  std::uint64_t events_dispatched() const { return dispatched_; }
+
+  // Number of events still pending (including cancelled-but-unpopped ones).
+  std::size_t pending_events() const;
+
+ private:
+  struct Event {
+    SimTime time;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;  // min-heap on time
+      }
+      return a.id > b.id;  // FIFO among equal timestamps
+    }
+  };
+
+  bool DispatchNext();
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t dispatched_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace byterobust
+
+#endif  // SRC_SIM_SIMULATOR_H_

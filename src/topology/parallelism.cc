@@ -1,0 +1,215 @@
+#include "src/topology/parallelism.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <stdexcept>
+
+namespace byterobust {
+
+bool ParallelismConfig::Valid() const {
+  if (tp < 1 || pp < 1 || dp < 1 || gpus_per_machine < 1) {
+    return false;
+  }
+  return world_size() % gpus_per_machine == 0;
+}
+
+std::string ParallelismConfig::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "TP=%d, PP=%d, DP=%d (%d GPUs on %d machines)", tp, pp, dp,
+                world_size(), num_machines());
+  return buf;
+}
+
+const char* GroupKindName(GroupKind kind) {
+  switch (kind) {
+    case GroupKind::kTensor:
+      return "TP";
+    case GroupKind::kPipeline:
+      return "PP";
+    case GroupKind::kData:
+      return "DP";
+  }
+  return "??";
+}
+
+Topology::Topology(const ParallelismConfig& config) : config_(config) {
+  if (!config.Valid()) {
+    throw std::invalid_argument("invalid parallelism config: " + config.ToString());
+  }
+}
+
+RankCoord Topology::CoordOf(Rank rank) const {
+  if (rank < 0 || rank >= world_size()) {
+    throw std::out_of_range("rank out of range");
+  }
+  RankCoord c;
+  c.tp = rank % config_.tp;
+  c.pp = (rank / config_.tp) % config_.pp;
+  c.dp = rank / (config_.tp * config_.pp);
+  return c;
+}
+
+Rank Topology::RankOf(const RankCoord& coord) const {
+  return coord.tp + config_.tp * (coord.pp + config_.pp * coord.dp);
+}
+
+MachineId Topology::MachineOfRank(Rank rank) const {
+  if (rank < 0 || rank >= world_size()) {
+    throw std::out_of_range("rank out of range");
+  }
+  return rank / config_.gpus_per_machine;
+}
+
+std::vector<Rank> Topology::RanksOnMachine(MachineId machine) const {
+  if (machine < 0 || machine >= num_machines()) {
+    throw std::out_of_range("machine out of range");
+  }
+  std::vector<Rank> ranks(static_cast<std::size_t>(config_.gpus_per_machine));
+  for (int i = 0; i < config_.gpus_per_machine; ++i) {
+    ranks[static_cast<std::size_t>(i)] = machine * config_.gpus_per_machine + i;
+  }
+  return ranks;
+}
+
+std::vector<Rank> Topology::GroupOf(Rank rank, GroupKind kind) const {
+  RankCoord c = CoordOf(rank);
+  std::vector<Rank> out;
+  switch (kind) {
+    case GroupKind::kTensor:
+      out.reserve(static_cast<std::size_t>(config_.tp));
+      for (int t = 0; t < config_.tp; ++t) {
+        out.push_back(RankOf({t, c.pp, c.dp}));
+      }
+      break;
+    case GroupKind::kPipeline:
+      out.reserve(static_cast<std::size_t>(config_.pp));
+      for (int p = 0; p < config_.pp; ++p) {
+        out.push_back(RankOf({c.tp, p, c.dp}));
+      }
+      break;
+    case GroupKind::kData:
+      out.reserve(static_cast<std::size_t>(config_.dp));
+      for (int d = 0; d < config_.dp; ++d) {
+        out.push_back(RankOf({c.tp, c.pp, d}));
+      }
+      break;
+  }
+  return out;
+}
+
+std::vector<Rank> Topology::TensorGroupOf(Rank rank) const {
+  return GroupOf(rank, GroupKind::kTensor);
+}
+std::vector<Rank> Topology::PipelineGroupOf(Rank rank) const {
+  return GroupOf(rank, GroupKind::kPipeline);
+}
+std::vector<Rank> Topology::DataGroupOf(Rank rank) const { return GroupOf(rank, GroupKind::kData); }
+
+int Topology::GroupIndexOf(Rank rank, GroupKind kind) const {
+  RankCoord c = CoordOf(rank);
+  switch (kind) {
+    case GroupKind::kTensor:
+      return c.pp + config_.pp * c.dp;
+    case GroupKind::kPipeline:
+      return c.tp + config_.tp * c.dp;
+    case GroupKind::kData:
+      return c.tp + config_.tp * c.pp;
+  }
+  return -1;
+}
+
+int Topology::NumGroups(GroupKind kind) const {
+  switch (kind) {
+    case GroupKind::kTensor:
+      return config_.pp * config_.dp;
+    case GroupKind::kPipeline:
+      return config_.tp * config_.dp;
+    case GroupKind::kData:
+      return config_.tp * config_.pp;
+  }
+  return 0;
+}
+
+std::vector<ParallelGroup> Topology::Groups(GroupKind kind) const {
+  const int n = NumGroups(kind);
+  std::vector<ParallelGroup> groups(static_cast<std::size_t>(n));
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (Rank r = 0; r < world_size(); ++r) {
+    const int idx = GroupIndexOf(r, kind);
+    auto& g = groups[static_cast<std::size_t>(idx)];
+    if (!seen[static_cast<std::size_t>(idx)]) {
+      seen[static_cast<std::size_t>(idx)] = true;
+      g.kind = kind;
+      g.index = idx;
+      g.ranks = GroupOf(r, kind);
+    }
+  }
+  return groups;
+}
+
+std::vector<MachineId> Topology::MachinesOfGroup(const ParallelGroup& group) const {
+  std::set<MachineId> machines;
+  for (Rank r : group.ranks) {
+    machines.insert(MachineOfRank(r));
+  }
+  return {machines.begin(), machines.end()};
+}
+
+Rank Topology::BackupPartnerOf(Rank rank) const {
+  RankCoord c = CoordOf(rank);
+  RankCoord partner = c;
+  partner.pp = (c.pp + 1) % config_.pp;
+  partner.dp = (c.dp + 1) % config_.dp;
+  return RankOf(partner);
+}
+
+bool Topology::SharesAnyGroup(Rank a, Rank b) const {
+  const RankCoord ca = CoordOf(a);
+  const RankCoord cb = CoordOf(b);
+  const bool same_tp_group = ca.pp == cb.pp && ca.dp == cb.dp;
+  const bool same_pp_group = ca.tp == cb.tp && ca.dp == cb.dp;
+  const bool same_dp_group = ca.tp == cb.tp && ca.pp == cb.pp;
+  return same_tp_group || same_pp_group || same_dp_group;
+}
+
+bool Topology::FindCoveringGroup(const std::vector<MachineId>& machines,
+                                 ParallelGroup* out) const {
+  if (machines.empty()) {
+    return false;
+  }
+  const std::set<MachineId> targets(machines.begin(), machines.end());
+
+  // Prefer pipeline groups: the paper over-evicts whole PP groups (Sec. 9),
+  // then fall back to DP / TP groups if a smaller kind covers.
+  const GroupKind order[] = {GroupKind::kPipeline, GroupKind::kData, GroupKind::kTensor};
+  const ParallelGroup* best = nullptr;
+  std::vector<std::vector<ParallelGroup>> all;
+  all.reserve(3);
+  for (GroupKind kind : order) {
+    all.push_back(Groups(kind));
+  }
+  std::size_t best_machines = 0;
+  for (const auto& groups : all) {
+    for (const auto& g : groups) {
+      std::vector<MachineId> group_machines = MachinesOfGroup(g);
+      const std::set<MachineId> gm(group_machines.begin(), group_machines.end());
+      const bool covers = std::all_of(targets.begin(), targets.end(),
+                                      [&gm](MachineId m) { return gm.count(m) > 0; });
+      if (covers && (best == nullptr || gm.size() < best_machines)) {
+        best = &g;
+        best_machines = gm.size();
+      }
+    }
+    if (best != nullptr) {
+      break;  // groups of the preferred kind cover; do not widen further
+    }
+  }
+  if (best == nullptr) {
+    return false;
+  }
+  *out = *best;
+  return true;
+}
+
+}  // namespace byterobust

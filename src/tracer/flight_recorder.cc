@@ -1,0 +1,107 @@
+#include "src/tracer/flight_recorder.h"
+
+#include <algorithm>
+#include <set>
+
+namespace byterobust {
+
+const char* CollectiveOpName(CollectiveOp op) {
+  switch (op) {
+    case CollectiveOp::kAllGather:
+      return "all_gather";
+    case CollectiveOp::kReduceScatter:
+      return "reduce_scatter";
+    case CollectiveOp::kAllReduce:
+      return "all_reduce";
+    case CollectiveOp::kSend:
+      return "send";
+    case CollectiveOp::kRecv:
+      return "recv";
+  }
+  return "unknown";
+}
+
+void FlightRecorder::Record(CollectiveRecord record) {
+  records_.push_back(record);
+  while (records_.size() > capacity_) {
+    records_.pop_front();
+  }
+}
+
+std::uint64_t FlightRecorder::LatestSeq(GroupKind kind, int index) const {
+  std::uint64_t latest = 0;
+  for (const CollectiveRecord& r : records_) {
+    if (r.group_kind == kind && r.group_index == index) {
+      latest = std::max(latest, r.seq);
+    }
+  }
+  return latest;
+}
+
+std::vector<CollectiveMismatch> AnalyzeFlightRecords(
+    const std::vector<FlightRecorder>& per_rank, const Topology& topology) {
+  std::vector<CollectiveMismatch> mismatches;
+  for (GroupKind kind : {GroupKind::kTensor, GroupKind::kPipeline, GroupKind::kData}) {
+    for (const ParallelGroup& group : topology.Groups(kind)) {
+      std::uint64_t max_seq = 0;
+      std::uint64_t min_seq = UINT64_MAX;
+      for (Rank r : group.ranks) {
+        const std::uint64_t seq =
+            per_rank[static_cast<std::size_t>(r)].LatestSeq(kind, group.index);
+        max_seq = std::max(max_seq, seq);
+        min_seq = std::min(min_seq, seq);
+      }
+      if (max_seq == min_seq) {
+        continue;  // consistent: everyone reached the same collective
+      }
+      CollectiveMismatch mismatch;
+      mismatch.group_kind = kind;
+      mismatch.group_index = group.index;
+      mismatch.expected_seq = max_seq;
+      std::set<MachineId> machines;
+      for (Rank r : group.ranks) {
+        if (per_rank[static_cast<std::size_t>(r)].LatestSeq(kind, group.index) < max_seq) {
+          mismatch.lagging_ranks.push_back(r);
+          machines.insert(topology.MachineOfRank(r));
+        }
+      }
+      mismatch.lagging_machines.assign(machines.begin(), machines.end());
+      mismatches.push_back(std::move(mismatch));
+    }
+  }
+  return mismatches;
+}
+
+std::vector<FlightRecorder> SynthesizeHangFlightRecords(const Topology& topology, Rank culprit,
+                                                        std::uint64_t healthy_seq,
+                                                        std::uint64_t lag) {
+  std::vector<FlightRecorder> recorders(static_cast<std::size_t>(topology.world_size()));
+  const RankCoord cc = topology.CoordOf(culprit);
+  for (Rank r = 0; r < topology.world_size(); ++r) {
+    const RankCoord rc = topology.CoordOf(r);
+    FlightRecorder& rec = recorders[static_cast<std::size_t>(r)];
+    // TP collectives: the culprit's TP group stalled `lag` collectives ago;
+    // within the group everyone agrees (they all wait on the same launch).
+    const bool tp_stalled = rc.pp == cc.pp && rc.dp == cc.dp;
+    rec.Record({tp_stalled ? healthy_seq - lag : healthy_seq, CollectiveOp::kAllGather,
+                GroupKind::kTensor, topology.GroupIndexOf(r, GroupKind::kTensor),
+                !tp_stalled});
+    // Pipeline sends/recvs: within the culprit's DP column, the culprit's
+    // stage (and later stages feeding it) never launched the current
+    // backward send, while earlier stages already entered their recv — the
+    // mismatch the NCCL flight recorder shows on timeouts.
+    const bool pp_stalled = rc.dp == cc.dp && rc.pp >= cc.pp;
+    rec.Record({pp_stalled ? healthy_seq - lag : healthy_seq,
+                rc.pp >= cc.pp ? CollectiveOp::kSend : CollectiveOp::kRecv,
+                GroupKind::kPipeline, topology.GroupIndexOf(r, GroupKind::kPipeline),
+                !pp_stalled});
+    // DP gradient sync: the stalled column never joins this step's
+    // reduce-scatter; its DP peers in other columns already entered it.
+    const bool dp_stalled = rc.dp == cc.dp;
+    rec.Record({dp_stalled ? healthy_seq - lag : healthy_seq, CollectiveOp::kReduceScatter,
+                GroupKind::kData, topology.GroupIndexOf(r, GroupKind::kData), !dp_stalled});
+  }
+  return recorders;
+}
+
+}  // namespace byterobust

@@ -1,0 +1,81 @@
+// Flight recorder (paper Sec. 7): a per-rank ring buffer of recent collective
+// operations, mirroring PyTorch's flight recorder. On an NCCL timeout the
+// runtime analyzer collects the buffers and finds the collective where some
+// ranks of a communication group entered and others did not — the laggards
+// are the suspects.
+
+#ifndef SRC_TRACER_FLIGHT_RECORDER_H_
+#define SRC_TRACER_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/topology/parallelism.h"
+
+namespace byterobust {
+
+enum class CollectiveOp {
+  kAllGather,
+  kReduceScatter,
+  kAllReduce,
+  kSend,
+  kRecv,
+};
+
+const char* CollectiveOpName(CollectiveOp op);
+
+// One collective launch observed on a rank.
+struct CollectiveRecord {
+  std::uint64_t seq = 0;  // per-(rank, group) monotonically increasing
+  CollectiveOp op = CollectiveOp::kAllReduce;
+  GroupKind group_kind = GroupKind::kData;
+  int group_index = 0;
+  bool completed = false;  // false: entered but never finished
+};
+
+// Ring buffer of the most recent collectives on one rank.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 64) : capacity_(capacity) {}
+
+  void Record(CollectiveRecord record);
+
+  const std::deque<CollectiveRecord>& records() const { return records_; }
+
+  // Latest sequence number this rank reached in the given group
+  // (0 when the rank never touched the group).
+  std::uint64_t LatestSeq(GroupKind kind, int index) const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<CollectiveRecord> records_;
+};
+
+// Result of cross-rank flight-record analysis for one mismatched collective.
+struct CollectiveMismatch {
+  GroupKind group_kind = GroupKind::kData;
+  int group_index = 0;
+  std::uint64_t expected_seq = 0;        // the seq most ranks reached
+  std::vector<Rank> lagging_ranks;       // ranks stuck before expected_seq
+  std::vector<MachineId> lagging_machines;
+};
+
+// Compares per-rank recorders across each communication group and reports
+// groups whose members disagree on the latest sequence number. Ranks at the
+// minimum are the laggards blocking the collective.
+std::vector<CollectiveMismatch> AnalyzeFlightRecords(
+    const std::vector<FlightRecorder>& per_rank, const Topology& topology);
+
+// Synthesizes per-rank flight records for a hang seeded at `culprit`: the
+// culprit's groups stall `lag` collectives early while healthy groups
+// progress to `healthy_seq`.
+std::vector<FlightRecorder> SynthesizeHangFlightRecords(const Topology& topology, Rank culprit,
+                                                        std::uint64_t healthy_seq = 128,
+                                                        std::uint64_t lag = 2);
+
+}  // namespace byterobust
+
+#endif  // SRC_TRACER_FLIGHT_RECORDER_H_

@@ -1,0 +1,65 @@
+#include "src/tracer/process_tree.h"
+
+#include <cstdio>
+
+namespace byterobust {
+
+ProcessTree ProcessTree::BuildPodTree(MachineId machine, int gpus_per_machine) {
+  ProcessTree tree;
+  tree.machine_ = machine;
+  int next_pid = 1;
+  auto add = [&tree, &next_pid](int parent, std::string cmd, std::optional<ProcessKind> kind,
+                                int local_rank) {
+    ProcessNode node;
+    node.pid = next_pid++;
+    node.parent_pid = parent;
+    node.cmdline = std::move(cmd);
+    node.kind = kind;
+    node.local_rank = local_rank;
+    tree.nodes_.push_back(std::move(node));
+    return tree.nodes_.back().pid;
+  };
+
+  const int root = add(0, "root", std::nullopt, -1);
+  const int launcher = add(root, "python3 launch.sh", std::nullopt, -1);
+  add(launcher, "robust_agent --daemon", std::nullopt, -1);  // not a capture target
+  for (int g = 0; g < gpus_per_machine; ++g) {
+    char cmd[64];
+    std::snprintf(cmd, sizeof(cmd), "torchrun worker --local-rank=%d", g);
+    const int trainer = add(launcher, cmd, ProcessKind::kTrainer, g);
+    add(trainer, "dataloader-worker", ProcessKind::kDataLoader, g);
+    add(trainer, "ckpt-io-worker", ProcessKind::kCheckpointWriter, g);
+  }
+  return tree;
+}
+
+std::vector<const ProcessNode*> ProcessTree::ChildrenOf(int pid) const {
+  std::vector<const ProcessNode*> out;
+  for (const auto& n : nodes_) {
+    if (n.parent_pid == pid) {
+      out.push_back(&n);
+    }
+  }
+  return out;
+}
+
+std::vector<const ProcessNode*> ProcessTree::TrainingProcesses() const {
+  std::vector<const ProcessNode*> out;
+  for (const auto& n : nodes_) {
+    if (n.kind.has_value()) {
+      out.push_back(&n);
+    }
+  }
+  return out;
+}
+
+const ProcessNode* ProcessTree::TrainerFor(int local_rank) const {
+  for (const auto& n : nodes_) {
+    if (n.kind == ProcessKind::kTrainer && n.local_rank == local_rank) {
+      return &n;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace byterobust

@@ -1,0 +1,53 @@
+// Pod process-tree model (Fig. 7 step 1): the tracer first parses each pod's
+// process tree to find training-related processes — torchrun workers plus the
+// dataloader and checkpoint subprocesses they fork — and skips unrelated
+// daemons.
+
+#ifndef SRC_TRACER_PROCESS_TREE_H_
+#define SRC_TRACER_PROCESS_TREE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/tracer/stack_trace.h"
+#include "src/topology/parallelism.h"
+
+namespace byterobust {
+
+struct ProcessNode {
+  int pid = 0;
+  int parent_pid = 0;
+  std::string cmdline;
+  // Training role, if this process is training-related.
+  std::optional<ProcessKind> kind;
+  // Local GPU rank for trainer processes (-1 otherwise).
+  int local_rank = -1;
+};
+
+class ProcessTree {
+ public:
+  // Builds the canonical pod tree: root -> launch.sh -> {robust daemon,
+  // trainer x gpus (each forking a dataloader and a ckpt writer)}.
+  static ProcessTree BuildPodTree(MachineId machine, int gpus_per_machine);
+
+  const std::vector<ProcessNode>& nodes() const { return nodes_; }
+  MachineId machine() const { return machine_; }
+
+  // Children of a pid, in creation order.
+  std::vector<const ProcessNode*> ChildrenOf(int pid) const;
+
+  // Training-related processes (kind set), the tracer's capture targets.
+  std::vector<const ProcessNode*> TrainingProcesses() const;
+
+  // The trainer process owning `local_rank`, or nullptr.
+  const ProcessNode* TrainerFor(int local_rank) const;
+
+ private:
+  MachineId machine_ = 0;
+  std::vector<ProcessNode> nodes_;
+};
+
+}  // namespace byterobust
+
+#endif  // SRC_TRACER_PROCESS_TREE_H_

@@ -1,0 +1,202 @@
+#include "src/tracer/stack_synth.h"
+
+namespace byterobust {
+
+namespace {
+
+// SplitMix64 hash for round jitter.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+StackTrace HealthyGradSyncStack() {
+  return StackTrace{{
+      {"train_step", "my_megatron/training.py", 412},
+      {"start_grad_sync", "my_megatron/distributed/param_grad_buffer.py", 597},
+      {"_reduce_scatter_tensor", "torch/distributed/distributed_c10d.py", 3379},
+  }};
+}
+
+StackTrace TensorCollectiveStack() {
+  return StackTrace{{
+      {"backward", "my_megatron/large_centralized_op_v8.py", 6770},
+      {"all_gather_into_tensor", "torch/distributed/distributed_c10d.py", 2898},
+  }};
+}
+
+StackTrace PipelineIsendStack() {
+  return StackTrace{{
+      {"send_backward_recv_backward", "my_megatron/communicate.py", 474},
+      {"isend", "torch/distributed/distributed_c10d.py", 1529},
+  }};
+}
+
+StackTrace PipelineIrecvStack() {
+  return StackTrace{{
+      {"send_backward_recv_backward", "my_megatron/communicate.py", 474},
+      {"irecv", "torch/distributed/distributed_c10d.py", 1569},
+  }};
+}
+
+StackTrace DataLoaderWaitStack() {
+  return StackTrace{{
+      {"train_step", "my_megatron/training.py", 398},
+      {"get_batch", "my_megatron/data/loader.py", 122},
+      {"queue_get", "multiprocessing/queues.py", 103},
+  }};
+}
+
+StackTrace DataLoaderStuckStack() {
+  return StackTrace{{
+      {"fetch_shard", "my_megatron/data/hdfs_reader.py", 233},
+      {"read", "hdfs/client.py", 410},
+  }};
+}
+
+StackTrace DataLoaderIdleStack() {
+  return StackTrace{{
+      {"worker_loop", "my_megatron/data/loader.py", 58},
+      {"poll", "multiprocessing/connection.py", 257},
+  }};
+}
+
+StackTrace CkptWriterIdleStack() {
+  return StackTrace{{
+      {"ckpt_io_loop", "my_megatron/ckpt/writer.py", 71},
+      {"wait", "threading.py", 331},
+  }};
+}
+
+StackTrace CkptWriterStuckStack() {
+  return StackTrace{{
+      {"serialize_shard", "my_megatron/ckpt/writer.py", 144},
+      {"write", "hdfs/client.py", 502},
+  }};
+}
+
+StackTrace ComputeKernelStack() {
+  return StackTrace{{
+      {"backward", "my_megatron/fused_kernels/attention.py", 512},
+      {"_flash_attn_backward", "flash_attn/flash_attn_interface.py", 181},
+  }};
+}
+
+namespace {
+
+// Trainer-process stack for one rank during a hang seeded at `culprit`.
+StackTrace TrainerStackDuringHang(const Topology& topo, Rank rank, Rank culprit, HangSite site) {
+  const RankCoord rc = topo.CoordOf(rank);
+  const RankCoord cc = topo.CoordOf(culprit);
+
+  if (site == HangSite::kDataLoader && rank == culprit) {
+    return DataLoaderWaitStack();  // trainer starves waiting for the batch
+  }
+  if (site == HangSite::kCheckpointWriter && rank == culprit) {
+    // Optimizer step gated on the wedged checkpoint save (Sec. 6.3: the step
+    // waits for each rank's own save to complete).
+    return StackTrace{{
+        {"optimizer_step", "my_megatron/training.py", 455},
+        {"wait_ckpt_flush", "my_megatron/ckpt/manager.py", 203},
+    }};
+  }
+
+  const bool same_tp_group = rc.pp == cc.pp && rc.dp == cc.dp;
+  // Pipeline starvation hits the whole stage: both TP ranks of each earlier
+  // stage in the culprit's DP column block together (Fig. 7, machines 12-14).
+  const bool upstream_stage = rc.dp == cc.dp && rc.pp < cc.pp;
+
+  if (site == HangSite::kTensorCollective || site == HangSite::kDataLoader ||
+      site == HangSite::kCheckpointWriter) {
+    if (same_tp_group) {
+      // The culprit's TP peers wait in the same tensor-parallel collective.
+      return TensorCollectiveStack();
+    }
+  } else if (site == HangSite::kPipelineP2p && rank == culprit) {
+    return PipelineIrecvStack();
+  } else if (site == HangSite::kPipelineP2p && same_tp_group) {
+    return TensorCollectiveStack();
+  }
+
+  if (upstream_stage) {
+    // Backward gradients flow from later stages toward stage 0; stages below
+    // the stalled one starve. The adjacent stage is caught mid fused
+    // send/recv in isend, earlier stages in irecv (Fig. 7).
+    return rc.pp == cc.pp - 1 ? PipelineIsendStack() : PipelineIrecvStack();
+  }
+
+  // Everyone else completed backward kernels and parks in DP gradient sync.
+  return HealthyGradSyncStack();
+}
+
+}  // namespace
+
+std::vector<ProcessStack> SynthesizeHangStacks(const Topology& topology, Rank culprit,
+                                               HangSite site) {
+  std::vector<ProcessStack> out;
+  out.reserve(static_cast<std::size_t>(topology.world_size()));
+  for (Rank r = 0; r < topology.world_size(); ++r) {
+    ProcessStack ps;
+    ps.rank = r;
+    ps.machine = topology.MachineOfRank(r);
+    ps.kind = ProcessKind::kTrainer;
+    ps.stack = TrainerStackDuringHang(topology, r, culprit, site);
+    out.push_back(std::move(ps));
+  }
+  return out;
+}
+
+std::vector<ProcessStack> SynthesizeFullPodStacks(const Topology& topology, Rank culprit,
+                                                  HangSite site) {
+  std::vector<ProcessStack> out = SynthesizeHangStacks(topology, culprit, site);
+  for (Rank r = 0; r < topology.world_size(); ++r) {
+    ProcessStack loader;
+    loader.rank = r;
+    loader.machine = topology.MachineOfRank(r);
+    loader.kind = ProcessKind::kDataLoader;
+    loader.stack = (site == HangSite::kDataLoader && r == culprit) ? DataLoaderStuckStack()
+                                                                   : DataLoaderIdleStack();
+    out.push_back(std::move(loader));
+
+    ProcessStack writer;
+    writer.rank = r;
+    writer.machine = topology.MachineOfRank(r);
+    writer.kind = ProcessKind::kCheckpointWriter;
+    writer.stack = (site == HangSite::kCheckpointWriter && r == culprit)
+                       ? CkptWriterStuckStack()
+                       : CkptWriterIdleStack();
+    out.push_back(std::move(writer));
+  }
+  return out;
+}
+
+std::vector<ProcessStack> SynthesizeFailSlowStacks(const Topology& topology,
+                                                   MachineId slow_machine,
+                                                   std::uint64_t round_seed) {
+  std::vector<ProcessStack> out;
+  out.reserve(static_cast<std::size_t>(topology.world_size()));
+  // Roughly every third round, one random healthy machine is also caught
+  // mid-compute (sampling jitter): single-round aggregation would misfire.
+  const std::uint64_t h = Mix(round_seed);
+  const bool add_noise = (h % 3) == 0;
+  const MachineId noisy =
+      static_cast<MachineId>(Mix(h) % static_cast<std::uint64_t>(topology.num_machines()));
+
+  for (Rank r = 0; r < topology.world_size(); ++r) {
+    const MachineId m = topology.MachineOfRank(r);
+    ProcessStack ps;
+    ps.rank = r;
+    ps.machine = m;
+    ps.kind = ProcessKind::kTrainer;
+    const bool laggard = m == slow_machine || (add_noise && m == noisy && m != slow_machine);
+    ps.stack = laggard ? ComputeKernelStack() : HealthyGradSyncStack();
+    out.push_back(std::move(ps));
+  }
+  return out;
+}
+
+}  // namespace byterobust

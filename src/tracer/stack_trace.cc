@@ -1,0 +1,35 @@
+#include "src/tracer/stack_trace.h"
+
+#include <sstream>
+
+namespace byterobust {
+
+std::string StackTrace::Key() const {
+  std::ostringstream out;
+  for (const StackFrame& f : frames) {
+    out << f.function << "@" << f.file << ":" << f.line << ";";
+  }
+  return out.str();
+}
+
+std::string StackTrace::ToString() const {
+  std::ostringstream out;
+  for (const StackFrame& f : frames) {
+    out << "  " << f.function << " (" << f.file << ":" << f.line << ")\n";
+  }
+  return out.str();
+}
+
+const char* ProcessKindName(ProcessKind kind) {
+  switch (kind) {
+    case ProcessKind::kTrainer:
+      return "trainer";
+    case ProcessKind::kDataLoader:
+      return "dataloader";
+    case ProcessKind::kCheckpointWriter:
+      return "ckpt-writer";
+  }
+  return "unknown";
+}
+
+}  // namespace byterobust

@@ -1,0 +1,53 @@
+// Stack-trace representation: what the on-demand tracer (py-spy +
+// flight-recorder in production, Sec. 7) captures from training processes.
+
+#ifndef SRC_TRACER_STACK_TRACE_H_
+#define SRC_TRACER_STACK_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/topology/parallelism.h"
+
+namespace byterobust {
+
+struct StackFrame {
+  std::string function;
+  std::string file;
+  int line = 0;
+
+  bool operator==(const StackFrame&) const = default;
+};
+
+struct StackTrace {
+  std::vector<StackFrame> frames;  // outermost first
+
+  // Canonical string form; aggregation groups stacks by exact key match
+  // (paper Sec. 5.1 "aggregated into multiple groups via string matching").
+  std::string Key() const;
+  std::string ToString() const;
+
+  bool operator==(const StackTrace&) const = default;
+};
+
+// Which process in the pod's tree the stack came from. Root causes may live
+// in subprocesses (data fetching, checkpointing), so the tracer captures all
+// training-related processes, not just the trainer (Sec. 5.1).
+enum class ProcessKind {
+  kTrainer,
+  kDataLoader,
+  kCheckpointWriter,
+};
+
+const char* ProcessKindName(ProcessKind kind);
+
+struct ProcessStack {
+  Rank rank = 0;
+  MachineId machine = 0;
+  ProcessKind kind = ProcessKind::kTrainer;
+  StackTrace stack;
+};
+
+}  // namespace byterobust
+
+#endif  // SRC_TRACER_STACK_TRACE_H_

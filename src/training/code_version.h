@@ -1,0 +1,31 @@
+// Code versions: LLM pretraining continuously integrates engineering and
+// algorithmic changes (Sec. 2.1). A version carries an efficiency multiplier
+// (kernel fusion, comm/computation overlap, ...) and possibly a latent bug
+// that only manifests at production scale.
+
+#ifndef SRC_TRAINING_CODE_VERSION_H_
+#define SRC_TRAINING_CODE_VERSION_H_
+
+#include <string>
+
+#include "src/common/sim_time.h"
+
+namespace byterobust {
+
+struct CodeVersion {
+  int id = 0;
+  // Step-time / MFU multiplier relative to the naive initial version (>= 1).
+  double efficiency = 1.0;
+  // Latent user-code bug: after this version is applied, training fails
+  // `bug_latency` into the next run. Cleared by rolling the version back.
+  bool buggy = false;
+  SimDuration bug_latency = 0;
+  // Whether the change is urgent (bug fix: apply immediately) or can be
+  // merged lazily into the next failure recovery (Sec. 6.1).
+  bool urgent = false;
+  std::string description;
+};
+
+}  // namespace byterobust
+
+#endif  // SRC_TRAINING_CODE_VERSION_H_

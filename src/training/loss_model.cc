@@ -1,0 +1,35 @@
+#include "src/training/loss_model.h"
+
+#include <cmath>
+
+namespace byterobust {
+
+namespace {
+// SplitMix64: cheap stateless hash giving high-quality 64-bit mixing.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+double LossModel::NoiseAt(std::int64_t step) const {
+  const std::uint64_t h = Mix(seed_ ^ static_cast<std::uint64_t>(step) * 0x2545F4914F6CDD1DULL);
+  return (static_cast<double>(h >> 11) / static_cast<double>(1ULL << 53)) * 2.0 - 1.0;
+}
+
+double LossModel::LossAt(std::int64_t step) const {
+  const double s = static_cast<double>(step);
+  const double decay = std::pow(1.0 + s / config_.loss_decay_steps, -config_.loss_decay_alpha);
+  const double base = config_.loss_floor + (config_.loss_initial - config_.loss_floor) * decay;
+  return base * (1.0 + config_.loss_noise_stddev * NoiseAt(step));
+}
+
+double LossModel::GradNormAt(std::int64_t step) const {
+  // Gradient norm roughly tracks the loss slope; keep it simple and positive.
+  const double l0 = LossAt(step);
+  return 0.5 + 0.1 * l0 * (1.0 + 0.05 * NoiseAt(step + 1));
+}
+
+}  // namespace byterobust

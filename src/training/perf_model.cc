@@ -1,0 +1,29 @@
+#include "src/training/perf_model.h"
+
+#include <algorithm>
+
+namespace byterobust {
+
+double PerfModel::SlowestClockRatio(const Cluster& cluster) {
+  double slowest = 1.0;
+  for (MachineId id : cluster.ServingMachines()) {
+    const Machine& m = cluster.machine(id);
+    for (int g = 0; g < m.num_gpus(); ++g) {
+      slowest = std::min(slowest, m.gpu(g).clock_ratio);
+    }
+  }
+  return slowest;
+}
+
+SimDuration PerfModel::StepTime(double code_efficiency, const Cluster& cluster) const {
+  const double eff = std::max(code_efficiency, 1e-6);
+  const double clock = std::max(SlowestClockRatio(cluster), 1e-3);
+  const double t = static_cast<double>(config_.base_step_time) / (eff * clock);
+  return static_cast<SimDuration>(t);
+}
+
+double PerfModel::Mfu(double code_efficiency, const Cluster& cluster) const {
+  return config_.base_mfu * code_efficiency * SlowestClockRatio(cluster);
+}
+
+}  // namespace byterobust

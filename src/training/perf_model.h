@@ -1,0 +1,40 @@
+// Step-time / MFU performance model.
+//
+// Step duration is synchronous across the whole job (collective communication
+// barriers every step), so the slowest serving machine sets the pace: a single
+// thermally-throttled GPU drags global MFU down — exactly the gray-failure
+// behaviour that makes MFU decline hard to localize (Sec. 5).
+
+#ifndef SRC_TRAINING_PERF_MODEL_H_
+#define SRC_TRAINING_PERF_MODEL_H_
+
+#include "src/cluster/cluster.h"
+#include "src/common/sim_time.h"
+#include "src/training/job_config.h"
+
+namespace byterobust {
+
+class PerfModel {
+ public:
+  explicit PerfModel(const JobConfig& config) : config_(config) {}
+
+  // Minimum GPU clock ratio across machines currently serving `slots`; 1.0
+  // when everything is healthy.
+  static double SlowestClockRatio(const Cluster& cluster);
+
+  // Wall time of one training step given the current code efficiency
+  // (>= 1.0, raised by hot updates) and cluster health.
+  SimDuration StepTime(double code_efficiency, const Cluster& cluster) const;
+
+  // Absolute MFU for the same inputs.
+  double Mfu(double code_efficiency, const Cluster& cluster) const;
+
+  const JobConfig& config() const { return config_; }
+
+ private:
+  JobConfig config_;
+};
+
+}  // namespace byterobust
+
+#endif  // SRC_TRAINING_PERF_MODEL_H_

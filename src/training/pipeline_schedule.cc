@@ -1,0 +1,201 @@
+#include "src/training/pipeline_schedule.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace byterobust {
+
+double IdealBubbleFraction(int stages, int microbatches) {
+  if (stages <= 0 || microbatches <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(stages - 1) / static_cast<double>(microbatches + stages - 1);
+}
+
+PipelineSchedule::PipelineSchedule(const PipelineScheduleConfig& config) : config_(config) {
+  if (config.stages < 1 || config.microbatches < 1 || config.forward_time <= 0 ||
+      config.backward_time <= 0) {
+    throw std::invalid_argument("invalid pipeline schedule config");
+  }
+  Build();
+}
+
+void PipelineSchedule::Build() {
+  const int p = config_.stages;
+  const int m = config_.microbatches;
+
+  // Per-stage 1F1B op order: W_s = min(p - s, m) warmup forwards, then
+  // alternating backward/forward, then the backward drain.
+  std::vector<std::vector<MicroOp>> plan(static_cast<std::size_t>(p));
+  for (int s = 0; s < p; ++s) {
+    const int warmup = std::min(p - s, m);
+    int next_f = 0;
+    int next_b = 0;
+    auto& seq = plan[static_cast<std::size_t>(s)];
+    for (int i = 0; i < warmup; ++i) {
+      seq.push_back({MicroOpKind::kForward, s, next_f++, 0, 0});
+    }
+    while (next_b < m) {
+      seq.push_back({MicroOpKind::kBackward, s, next_b++, 0, 0});
+      if (next_f < m) {
+        seq.push_back({MicroOpKind::kForward, s, next_f++, 0, 0});
+      }
+    }
+  }
+
+  // Relax start times until the DAG stabilizes. Each op waits for the
+  // previous op on its own stage, plus its cross-stage dependency:
+  // forward(mb, s) after forward(mb, s-1); backward(mb, s) after
+  // backward(mb, s+1) (the last stage's backward follows its own forward).
+  auto end_of = [&plan](MicroOpKind kind, int stage, int mb) -> SimTime {
+    for (const MicroOp& op : plan[static_cast<std::size_t>(stage)]) {
+      if (op.kind == kind && op.microbatch == mb) {
+        return op.end;
+      }
+    }
+    return 0;
+  };
+
+  bool changed = true;
+  int guard = 0;
+  while (changed && guard++ < 4 * p * m + 8) {
+    changed = false;
+    for (int s = 0; s < p; ++s) {
+      SimTime stage_cursor = 0;
+      for (MicroOp& op : plan[static_cast<std::size_t>(s)]) {
+        SimTime dep = 0;
+        if (op.kind == MicroOpKind::kForward) {
+          if (s > 0) {
+            dep = end_of(MicroOpKind::kForward, s - 1, op.microbatch);
+          }
+        } else {
+          dep = s + 1 < p ? end_of(MicroOpKind::kBackward, s + 1, op.microbatch)
+                          : end_of(MicroOpKind::kForward, s, op.microbatch);
+        }
+        const SimTime start = std::max(stage_cursor, dep);
+        const SimDuration dur = op.kind == MicroOpKind::kForward ? config_.forward_time
+                                                                 : config_.backward_time;
+        if (start != op.start || start + dur != op.end) {
+          op.start = start;
+          op.end = start + dur;
+          changed = true;
+        }
+        stage_cursor = op.end;
+      }
+    }
+  }
+
+  ops_.clear();
+  for (const auto& seq : plan) {
+    ops_.insert(ops_.end(), seq.begin(), seq.end());
+  }
+}
+
+SimDuration PipelineSchedule::TotalTime() const {
+  SimTime total = 0;
+  for (const MicroOp& op : ops_) {
+    total = std::max(total, op.end);
+  }
+  return total;
+}
+
+double PipelineSchedule::BubbleFraction() const {
+  const SimDuration total = TotalTime();
+  if (total <= 0) {
+    return 0.0;
+  }
+  SimDuration busy = 0;
+  for (const MicroOp& op : ops_) {
+    busy += op.end - op.start;
+  }
+  const double capacity = static_cast<double>(total) * config_.stages;
+  return 1.0 - static_cast<double>(busy) / capacity;
+}
+
+std::vector<MicroOp> PipelineSchedule::OpsOf(int stage) const {
+  std::vector<MicroOp> out;
+  for (const MicroOp& op : ops_) {
+    if (op.stage == stage) {
+      out.push_back(op);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MicroOp& a, const MicroOp& b) { return a.start < b.start; });
+  return out;
+}
+
+std::vector<std::pair<SimTime, SimTime>> PipelineSchedule::IdleWindowsOf(int stage) const {
+  std::vector<std::pair<SimTime, SimTime>> windows;
+  SimTime cursor = 0;
+  for (const MicroOp& op : OpsOf(stage)) {
+    if (op.start > cursor) {
+      windows.push_back({cursor, op.start});
+    }
+    cursor = std::max(cursor, op.end);
+  }
+  const SimTime total = TotalTime();
+  if (cursor < total) {
+    windows.push_back({cursor, total});
+  }
+  return windows;
+}
+
+bool PipelineSchedule::DependenciesHold() const {
+  std::map<std::pair<int, int>, SimTime> f_end;
+  std::map<std::pair<int, int>, SimTime> b_end;
+  for (const MicroOp& op : ops_) {
+    (op.kind == MicroOpKind::kForward ? f_end : b_end)[{op.stage, op.microbatch}] = op.end;
+  }
+  for (const MicroOp& op : ops_) {
+    if (op.kind == MicroOpKind::kForward) {
+      if (op.stage > 0 && op.start < f_end.at({op.stage - 1, op.microbatch})) {
+        return false;
+      }
+    } else {
+      if (op.stage + 1 < config_.stages &&
+          op.start < b_end.at({op.stage + 1, op.microbatch})) {
+        return false;
+      }
+      if (op.stage + 1 == config_.stages &&
+          op.start < f_end.at({op.stage, op.microbatch})) {
+        return false;
+      }
+    }
+  }
+  // Per-stage ops must not overlap.
+  for (int s = 0; s < config_.stages; ++s) {
+    SimTime cursor = 0;
+    for (const MicroOp& op : OpsOf(s)) {
+      if (op.start < cursor) {
+        return false;
+      }
+      cursor = op.end;
+    }
+  }
+  return true;
+}
+
+std::string PipelineSchedule::Render(int columns) const {
+  const SimDuration total = TotalTime();
+  if (total <= 0 || columns < 8) {
+    return "";
+  }
+  std::ostringstream out;
+  for (int s = 0; s < config_.stages; ++s) {
+    std::string row(static_cast<std::size_t>(columns), '.');
+    for (const MicroOp& op : OpsOf(s)) {
+      const auto lo = static_cast<std::size_t>(op.start * columns / total);
+      auto hi = static_cast<std::size_t>(op.end * columns / total);
+      hi = std::min(hi, static_cast<std::size_t>(columns));
+      for (std::size_t i = lo; i < std::max(hi, lo + 1) && i < row.size(); ++i) {
+        row[i] = op.kind == MicroOpKind::kForward ? 'F' : 'B';
+      }
+    }
+    out << "stage " << s << " |" << row << "|\n";
+  }
+  return out.str();
+}
+
+}  // namespace byterobust

@@ -1,0 +1,82 @@
+// 1F1B pipeline schedule model (Megatron-LM style, paper Sec. 2.1).
+//
+// Generates the per-stage timeline of forward/backward micro-batch work for
+// one training step: a warmup ramp of forwards, the steady one-forward-one-
+// backward phase, and the cooldown drain of backwards. The derived bubble
+// fraction (p-1)/(m+p-1) is what determines the idle communication windows
+// the checkpoint scheduler (Fig. 8) and the backup interleaving exploit, and
+// the stage dependency graph is what hang propagation (Fig. 7) follows.
+
+#ifndef SRC_TRAINING_PIPELINE_SCHEDULE_H_
+#define SRC_TRAINING_PIPELINE_SCHEDULE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/sim_time.h"
+
+namespace byterobust {
+
+enum class MicroOpKind {
+  kForward,
+  kBackward,
+};
+
+// One unit of micro-batch work on one pipeline stage.
+struct MicroOp {
+  MicroOpKind kind = MicroOpKind::kForward;
+  int stage = 0;       // pipeline stage index, 0-based
+  int microbatch = 0;  // micro-batch index, 0-based
+  SimTime start = 0;
+  SimTime end = 0;
+};
+
+struct PipelineScheduleConfig {
+  int stages = 4;           // PP size
+  int microbatches = 8;     // m
+  SimDuration forward_time = Milliseconds(100);   // per micro-batch, per stage
+  SimDuration backward_time = Milliseconds(200);  // typically ~2x forward
+};
+
+class PipelineSchedule {
+ public:
+  explicit PipelineSchedule(const PipelineScheduleConfig& config);
+
+  const std::vector<MicroOp>& ops() const { return ops_; }
+  const PipelineScheduleConfig& config() const { return config_; }
+
+  // Wall time of the whole step (max end over all ops).
+  SimDuration TotalTime() const;
+
+  // Fraction of stage-time slots spent idle: the pipeline bubble. For equal
+  // forward+backward cost this approaches (p-1)/(m+p-1).
+  double BubbleFraction() const;
+
+  // Idle intervals of one stage within [0, TotalTime()), the windows
+  // available for interleaved checkpoint/backup traffic.
+  std::vector<std::pair<SimTime, SimTime>> IdleWindowsOf(int stage) const;
+
+  // Ops of a single stage in execution order.
+  std::vector<MicroOp> OpsOf(int stage) const;
+
+  // Validates the data dependencies: forward(mb) on stage s starts only
+  // after forward(mb) on stage s-1 ends; backward(mb) on stage s starts only
+  // after backward(mb) on stage s+1 ends; per-stage ops never overlap.
+  bool DependenciesHold() const;
+
+  // Compact ASCII Gantt chart (one row per stage) for docs/examples.
+  std::string Render(int columns = 80) const;
+
+ private:
+  void Build();
+
+  PipelineScheduleConfig config_;
+  std::vector<MicroOp> ops_;
+};
+
+// Closed-form 1F1B bubble fraction: (p - 1) / (m + p - 1).
+double IdealBubbleFraction(int stages, int microbatches);
+
+}  // namespace byterobust
+
+#endif  // SRC_TRAINING_PIPELINE_SCHEDULE_H_

@@ -1,0 +1,153 @@
+// Unit tests for the runtime analyzer: aggregation analysis and fail-slow
+// voting (paper Sec. 5, Fig. 7).
+
+#include <gtest/gtest.h>
+
+#include "src/analyzer/aggregation.h"
+#include "src/tracer/stack_synth.h"
+
+namespace byterobust {
+namespace {
+
+Topology Fig7Topology() {
+  ParallelismConfig cfg;
+  cfg.tp = 2;
+  cfg.pp = 4;
+  cfg.dp = 4;
+  cfg.gpus_per_machine = 2;
+  return Topology(cfg);
+}
+
+TEST(AggregationTest, Fig7HangIsolatesThePipelineGroup) {
+  const Topology topo = Fig7Topology();
+  const auto stacks = SynthesizeHangStacks(topo, 30, HangSite::kTensorCollective);
+  AggregationAnalyzer analyzer;
+  const AggregationResult result = analyzer.Analyze(stacks, topo);
+
+  // Outliers: machines 12, 13 (irecv), 14 (isend), 15 (all-gather).
+  EXPECT_EQ(result.outlier_machines, (std::vector<MachineId>{12, 13, 14, 15}));
+  ASSERT_TRUE(result.found_group);
+  EXPECT_EQ(result.isolated_group.kind, GroupKind::kPipeline);
+  EXPECT_EQ(result.machines_to_evict, (std::vector<MachineId>{12, 13, 14, 15}));
+  // The dominant group is the 24 healthy reduce-scatter ranks.
+  EXPECT_TRUE(result.groups.front().healthy);
+  EXPECT_EQ(result.groups.front().ranks.size(), 24u);
+}
+
+TEST(AggregationTest, SubprocessOutliersAreDetected) {
+  const Topology topo = Fig7Topology();
+  const auto stacks = SynthesizeFullPodStacks(topo, 6, HangSite::kDataLoader);
+  AggregationAnalyzer analyzer;
+  const AggregationResult result = analyzer.Analyze(stacks, topo);
+  // Rank 6 lives on machine 3; its wedged dataloader makes the machine an
+  // outlier even though most of its processes look healthy.
+  const MachineId culprit_machine = topo.MachineOfRank(6);
+  bool found = false;
+  for (MachineId m : result.outlier_machines) {
+    if (m == culprit_machine) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_FALSE(result.machines_to_evict.empty());
+}
+
+TEST(AggregationTest, AllHealthyYieldsNothing) {
+  const Topology topo = Fig7Topology();
+  std::vector<ProcessStack> stacks;
+  for (Rank r = 0; r < topo.world_size(); ++r) {
+    stacks.push_back({r, topo.MachineOfRank(r), ProcessKind::kTrainer, HealthyGradSyncStack()});
+  }
+  AggregationAnalyzer analyzer;
+  const AggregationResult result = analyzer.Analyze(stacks, topo);
+  EXPECT_TRUE(result.outlier_machines.empty());
+  EXPECT_TRUE(result.machines_to_evict.empty());
+  EXPECT_FALSE(result.found_group);
+}
+
+TEST(AggregationTest, EmptyInputIsSafe) {
+  const Topology topo = Fig7Topology();
+  AggregationAnalyzer analyzer;
+  const AggregationResult result = analyzer.Analyze({}, topo);
+  EXPECT_TRUE(result.groups.empty());
+  EXPECT_TRUE(result.machines_to_evict.empty());
+}
+
+TEST(AggregationTest, DominantFractionControlsHealthyCutoff) {
+  const Topology topo = Fig7Topology();
+  // Two groups of similar size: with dominant_fraction 0.5 both count as
+  // healthy; with 0.95 the smaller one becomes an outlier.
+  std::vector<ProcessStack> stacks;
+  for (Rank r = 0; r < topo.world_size(); ++r) {
+    const bool minority = r >= 20;  // 20 vs 12 split
+    stacks.push_back({r, topo.MachineOfRank(r), ProcessKind::kTrainer,
+                      minority ? TensorCollectiveStack() : HealthyGradSyncStack()});
+  }
+  AggregationAnalyzer loose(AggregationConfig{0.5});
+  EXPECT_TRUE(loose.Analyze(stacks, topo).outlier_machines.empty());
+  AggregationAnalyzer strict(AggregationConfig{0.95});
+  EXPECT_FALSE(strict.Analyze(stacks, topo).outlier_machines.empty());
+}
+
+TEST(FailSlowVoterTest, VotingSeesThroughSamplingNoise) {
+  const Topology topo = Fig7Topology();
+  AggregationAnalyzer analyzer;
+  FailSlowVoter voter(5);
+  // Machine 7 is the true degrader; the synthesized rounds add a noisy false
+  // outlier every ~3rd round.
+  for (int round = 0; round < 5; ++round) {
+    const auto stacks = SynthesizeFailSlowStacks(topo, 7, static_cast<std::uint64_t>(round));
+    voter.AddRound(analyzer.Analyze(stacks, topo));
+  }
+  ASSERT_TRUE(voter.Ready());
+  GroupKind kind;
+  int index;
+  ASSERT_TRUE(voter.Decide(&kind, &index));
+  // The winning group must contain machine 7.
+  bool contains = false;
+  for (const ParallelGroup& g : topo.Groups(kind)) {
+    if (g.index != index) {
+      continue;
+    }
+    for (MachineId m : topo.MachinesOfGroup(g)) {
+      if (m == 7) {
+        contains = true;
+      }
+    }
+  }
+  EXPECT_TRUE(contains);
+}
+
+TEST(FailSlowVoterTest, NotReadyBeforeEnoughRounds) {
+  FailSlowVoter voter(5);
+  AggregationResult empty;
+  EXPECT_FALSE(voter.AddRound(empty));
+  EXPECT_FALSE(voter.Ready());
+  EXPECT_EQ(voter.rounds_seen(), 1);
+}
+
+TEST(FailSlowVoterTest, UndecidedWithoutFlags) {
+  FailSlowVoter voter(2);
+  AggregationResult empty;
+  voter.AddRound(empty);
+  voter.AddRound(empty);
+  ASSERT_TRUE(voter.Ready());
+  GroupKind kind;
+  int index;
+  EXPECT_FALSE(voter.Decide(&kind, &index));
+}
+
+TEST(AggregationTest, DeterministicGroupOrdering) {
+  const Topology topo = Fig7Topology();
+  const auto stacks = SynthesizeHangStacks(topo, 30, HangSite::kTensorCollective);
+  AggregationAnalyzer analyzer;
+  const auto a = analyzer.Analyze(stacks, topo);
+  const auto b = analyzer.Analyze(stacks, topo);
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  for (std::size_t i = 0; i < a.groups.size(); ++i) {
+    EXPECT_EQ(a.groups[i].key, b.groups[i].key);
+  }
+}
+
+}  // namespace
+}  // namespace byterobust

@@ -1,0 +1,123 @@
+// Unit tests for the cluster / machine model.
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster.h"
+
+namespace byterobust {
+namespace {
+
+TEST(MachineTest, StartsHealthy) {
+  Machine m(3, 8);
+  EXPECT_EQ(m.id(), 3);
+  EXPECT_EQ(m.num_gpus(), 8);
+  EXPECT_EQ(m.state(), MachineState::kActive);
+  EXPECT_TRUE(m.InService());
+  EXPECT_FALSE(m.HasSdc());
+  EXPECT_TRUE(m.host().nic_up);
+}
+
+TEST(MachineTest, ResetHealthClearsFlags) {
+  Machine m(0, 4);
+  m.gpu(2).sdc = true;
+  m.gpu(1).available = false;
+  m.host().nic_up = false;
+  EXPECT_TRUE(m.HasSdc());
+  m.ResetHealth();
+  EXPECT_FALSE(m.HasSdc());
+  EXPECT_TRUE(m.gpu(1).available);
+  EXPECT_TRUE(m.host().nic_up);
+}
+
+TEST(MachineTest, DegradedIsInService) {
+  Machine m(0, 4);
+  m.set_state(MachineState::kDegraded);
+  EXPECT_TRUE(m.InService());
+  m.set_state(MachineState::kFaulty);
+  EXPECT_FALSE(m.InService());
+}
+
+TEST(MachineTest, GpuIndexOutOfRangeThrows) {
+  Machine m(0, 4);
+  EXPECT_THROW(m.gpu(4), std::out_of_range);
+}
+
+TEST(ClusterTest, InitialLayout) {
+  Cluster cluster(8, 16, 2);
+  EXPECT_EQ(cluster.num_training_slots(), 8);
+  EXPECT_EQ(cluster.total_machines(), 10u);
+  EXPECT_EQ(cluster.ServingMachines().size(), 8u);
+  for (int s = 0; s < 8; ++s) {
+    EXPECT_EQ(cluster.MachineAtSlot(s), s);
+  }
+  // Spares start outside the job as unprovisioned idle machines.
+  EXPECT_EQ(cluster.machine(8).state(), MachineState::kIdle);
+  EXPECT_EQ(cluster.IdleMachines().size(), 2u);
+}
+
+TEST(ClusterTest, RejectsBadDimensions) {
+  EXPECT_THROW(Cluster(0, 8), std::invalid_argument);
+  EXPECT_THROW(Cluster(4, 0), std::invalid_argument);
+  EXPECT_THROW(Cluster(4, 8, -1), std::invalid_argument);
+}
+
+TEST(ClusterTest, ReplaceSlotEvictsAndInstalls) {
+  Cluster cluster(4, 8, 1);
+  cluster.machine(4).set_state(MachineState::kStandbySleep);
+  cluster.ReplaceSlot(2, 4);
+  EXPECT_EQ(cluster.MachineAtSlot(2), 4);
+  EXPECT_TRUE(cluster.IsBlacklisted(2));
+  EXPECT_EQ(cluster.machine(2).state(), MachineState::kEvicted);
+  EXPECT_EQ(cluster.machine(4).state(), MachineState::kActive);
+  EXPECT_EQ(cluster.SlotOfMachine(4), 2);
+  EXPECT_EQ(cluster.SlotOfMachine(2), -1);
+}
+
+TEST(ClusterTest, ReplaceSlotResetsIncomingHealth) {
+  Cluster cluster(2, 8, 1);
+  cluster.machine(2).gpu(0).sdc = true;
+  cluster.ReplaceSlot(0, 2);
+  EXPECT_FALSE(cluster.machine(2).HasSdc());
+}
+
+TEST(ClusterTest, ReplaceSlotRejectsBlacklistedOrServing) {
+  Cluster cluster(4, 8, 1);
+  cluster.Blacklist(4);
+  EXPECT_THROW(cluster.ReplaceSlot(0, 4), std::invalid_argument);
+  // Machine 1 is serving slot 1; cannot also take slot 0.
+  EXPECT_THROW(cluster.ReplaceSlot(0, 1), std::invalid_argument);
+  EXPECT_THROW(cluster.ReplaceSlot(-1, 4), std::out_of_range);
+  EXPECT_THROW(cluster.ReplaceSlot(4, 4), std::out_of_range);
+}
+
+TEST(ClusterTest, AddMachineGrowsPool) {
+  Cluster cluster(2, 8);
+  const MachineId id = cluster.AddMachine();
+  EXPECT_EQ(id, 2);
+  EXPECT_EQ(cluster.total_machines(), 3u);
+  EXPECT_EQ(cluster.machine(id).state(), MachineState::kIdle);
+}
+
+TEST(ClusterTest, UnhealthyServingCount) {
+  Cluster cluster(4, 8);
+  EXPECT_EQ(cluster.UnhealthyServingCount(), 0);
+  cluster.machine(1).set_state(MachineState::kFaulty);
+  cluster.machine(3).set_state(MachineState::kDegraded);
+  EXPECT_EQ(cluster.UnhealthyServingCount(), 2);
+}
+
+TEST(ClusterTest, IdleExcludesBlacklisted) {
+  Cluster cluster(2, 8, 2);
+  EXPECT_EQ(cluster.IdleMachines().size(), 2u);
+  cluster.Blacklist(2);
+  EXPECT_EQ(cluster.IdleMachines().size(), 1u);
+}
+
+TEST(ClusterTest, StateNames) {
+  EXPECT_STREQ(MachineStateName(MachineState::kActive), "active");
+  EXPECT_STREQ(MachineStateName(MachineState::kEvicted), "evicted");
+  EXPECT_STREQ(MachineStateName(MachineState::kStandbySleep), "standby-sleep");
+}
+
+}  // namespace
+}  // namespace byterobust

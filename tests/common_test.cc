@@ -1,0 +1,240 @@
+// Unit tests for src/common: time formatting, RNG, statistics, tables.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/common/sim_time.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+
+namespace byterobust {
+namespace {
+
+TEST(SimTimeTest, UnitConversionsRoundTrip) {
+  EXPECT_EQ(Seconds(1.0), kSecond);
+  EXPECT_EQ(Minutes(2.0), 2 * kMinute);
+  EXPECT_EQ(Hours(1.5), 90 * kMinute);
+  EXPECT_EQ(Days(1.0), 24 * kHour);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(3.5)), 3.5);
+  EXPECT_DOUBLE_EQ(ToHours(Hours(7.25)), 7.25);
+  EXPECT_DOUBLE_EQ(ToDays(Days(90)), 90.0);
+}
+
+TEST(SimTimeTest, FormatDurationPicksUnits) {
+  EXPECT_EQ(FormatDuration(Hours(2) + Minutes(3)), "2h03m");
+  EXPECT_EQ(FormatDuration(Seconds(45)), "45.00s");
+  EXPECT_EQ(FormatDuration(Milliseconds(120)), "120.00ms");
+  EXPECT_EQ(FormatDuration(5), "5us");
+  EXPECT_EQ(FormatDuration(Minutes(1) + Seconds(30)), "1m30.0s");
+}
+
+TEST(SimTimeTest, FormatDurationNegative) {
+  EXPECT_EQ(FormatDuration(-Seconds(45)), "-45.00s");
+}
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, ForkDecorrelatesButStaysDeterministic) {
+  Rng a(7);
+  Rng b(7);
+  Rng fa = a.Fork();
+  Rng fb = b.Fork();
+  // Forks of identically-seeded parents agree with each other...
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(fa.Uniform(), fb.Uniform());
+  }
+  // ...but differ from the parent stream.
+  Rng parent(7);
+  Rng fork = Rng(7).Fork();
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (parent.Uniform() != fork.Uniform()) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.UniformInt(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(1);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  EXPECT_FALSE(rng.Bernoulli(-0.5));
+  EXPECT_TRUE(rng.Bernoulli(1.5));
+}
+
+TEST(RngTest, ExponentialMeanConverges) {
+  Rng rng(42);
+  RunningStat stat;
+  for (int i = 0; i < 20000; ++i) {
+    stat.Add(rng.Exponential(10.0));
+  }
+  EXPECT_NEAR(stat.mean(), 10.0, 0.3);
+}
+
+TEST(RngTest, ExponentialRejectsNonPositiveMean) {
+  Rng rng(1);
+  EXPECT_THROW(rng.Exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.Exponential(-1.0), std::invalid_argument);
+}
+
+TEST(RngTest, WeightedIndexFollowsWeights) {
+  Rng rng(9);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) {
+    ++counts[rng.WeightedIndex(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.4);
+}
+
+TEST(RngTest, WeightedIndexRejectsEmpty) {
+  Rng rng(1);
+  EXPECT_THROW(rng.WeightedIndex({}), std::invalid_argument);
+}
+
+TEST(BinomialQuantileTest, DegenerateCases) {
+  EXPECT_EQ(BinomialQuantile(0, 0.5, 0.99), 0);
+  EXPECT_EQ(BinomialQuantile(100, 0.0, 0.99), 0);
+  EXPECT_EQ(BinomialQuantile(100, 1.0, 0.99), 100);
+}
+
+TEST(BinomialQuantileTest, MatchesKnownValues) {
+  // Binomial(1024, 0.004): mean 4.1; P99 should land near 10.
+  const int q99 = BinomialQuantile(1024, 0.004, 0.99);
+  EXPECT_GE(q99, 8);
+  EXPECT_LE(q99, 12);
+  // Median of Binomial(100, 0.5) is 50.
+  EXPECT_EQ(BinomialQuantile(100, 0.5, 0.5), 50);
+}
+
+struct QuantileCase {
+  int n;
+  double p;
+};
+
+class BinomialQuantileProperty : public ::testing::TestWithParam<QuantileCase> {};
+
+TEST_P(BinomialQuantileProperty, QuantileIsMonotoneInQ) {
+  const auto& c = GetParam();
+  int prev = 0;
+  for (double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    const int k = BinomialQuantile(c.n, c.p, q);
+    EXPECT_GE(k, prev);
+    EXPECT_LE(k, c.n);
+    prev = k;
+  }
+}
+
+TEST_P(BinomialQuantileProperty, QuantileCoversEmpirically) {
+  const auto& c = GetParam();
+  const int k99 = BinomialQuantile(c.n, c.p, 0.99);
+  Rng rng(c.n * 1000 + static_cast<int>(c.p * 1e6));
+  int covered = 0;
+  const int trials = 3000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.Binomial(c.n, c.p) <= k99) {
+      ++covered;
+    }
+  }
+  EXPECT_GE(static_cast<double>(covered) / trials, 0.975);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BinomialQuantileProperty,
+                         ::testing::Values(QuantileCase{128, 0.004}, QuantileCase{256, 0.004},
+                                           QuantileCase{512, 0.004}, QuantileCase{1024, 0.004},
+                                           QuantileCase{1200, 0.01}, QuantileCase{64, 0.1}));
+
+TEST(RunningStatTest, MeanVarianceMinMax) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 4.571428, 1e-5);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenOrderStats) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.25), 2.0);
+}
+
+TEST(PercentileTest, RejectsOutOfRangeQ) {
+  EXPECT_THROW(Percentile({1.0}, -0.1), std::invalid_argument);
+  EXPECT_THROW(Percentile({1.0}, 1.1), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(Percentile({}, 0.5), 0.0);
+}
+
+TEST(HistogramTest, ClampsAndCounts) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(-1.0);   // clamps into bucket 0
+  h.Add(0.5);
+  h.Add(9.9);
+  h.Add(100.0);  // clamps into last bucket
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[4], 2u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(1), 4.0);
+}
+
+TEST(HistogramTest, RejectsBadBounds) {
+  EXPECT_THROW(Histogram(5.0, 5.0, 3), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22222"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"x"});
+  EXPECT_NE(t.Render().find("| x |"), std::string::npos);
+}
+
+TEST(FormatHelpersTest, Formats) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatPercent(0.973, 1), "97.3%");
+  EXPECT_EQ(FormatInt(12345), "12345");
+}
+
+}  // namespace
+}  // namespace byterobust

@@ -1,0 +1,288 @@
+// End-to-end tests for the robust controller's Fig. 5 paths, driving a small
+// ByteRobustSystem with hand-injected incidents.
+
+#include <gtest/gtest.h>
+
+#include "src/core/byterobust_system.h"
+#include "src/faults/fault_injector.h"
+
+namespace byterobust {
+namespace {
+
+SystemConfig SmallSystem(std::uint64_t seed = 7) {
+  SystemConfig cfg;
+  cfg.job.name = "ctl-test";
+  cfg.job.parallelism.tp = 2;
+  cfg.job.parallelism.pp = 4;
+  cfg.job.parallelism.dp = 4;
+  cfg.job.parallelism.gpus_per_machine = 2;
+  cfg.job.base_step_time = Seconds(10);
+  cfg.job.model_params_b = 0.7;
+  cfg.seed = seed;
+  cfg.spare_machines = 8;
+  // Perfect diagnostics keep these tests deterministic.
+  cfg.diagnoser.eud_recall_explicit = 1.0;
+  cfg.diagnoser.inter_recall = 1.0;
+  cfg.diagnoser.bitwise_recall_sdc = 1.0;
+  cfg.controller.log_attribution_recall = 1.0;
+  cfg.controller.replay_reproduce_prob = 1.0;
+  cfg.standby.provision_time = Minutes(5);
+  return cfg;
+}
+
+Incident MakeIncident(IncidentSymptom symptom, RootCause cause, std::vector<MachineId> machines,
+                      int gpu, SimTime now) {
+  Incident inc;
+  inc.id = 1;
+  inc.symptom = symptom;
+  inc.root_cause = cause;
+  inc.faulty_machines = std::move(machines);
+  inc.gpu_index = gpu;
+  inc.inject_time = now;
+  return inc;
+}
+
+TEST(ControllerTest, HighConfidenceInspectionEvictsAndRestarts) {
+  ByteRobustSystem sys(SmallSystem());
+  sys.Start();
+  sys.sim().RunUntil(Minutes(30));  // standby pool provisioned, job stepping
+
+  const Incident inc = MakeIncident(IncidentSymptom::kGpuUnavailable,
+                                    RootCause::kInfrastructure, {5}, 1, sys.sim().Now());
+  FaultInjector::ApplyToCluster(inc, &sys.cluster());
+  sys.controller().NotifyIncidentInjected(inc);
+  sys.job().Crash();
+
+  sys.sim().RunUntil(Minutes(60));
+  // Machine 5 evicted, a standby installed, training resumed.
+  EXPECT_TRUE(sys.cluster().IsBlacklisted(5));
+  EXPECT_NE(sys.cluster().MachineAtSlot(5), 5);
+  EXPECT_EQ(sys.job().state(), JobRunState::kRunning);
+  EXPECT_GE(sys.job().run_count(), 2);
+
+  // The episode closes as an AutoFT-ER resolution.
+  ASSERT_GE(sys.controller().log().size(), 1u);
+  const IncidentResolution& res = sys.controller().log().entries().front();
+  EXPECT_EQ(res.mechanism, ResolutionMechanism::kAutoFtEvictRestart);
+  EXPECT_TRUE(res.resolved);
+  EXPECT_EQ(res.incident.symptom, IncidentSymptom::kGpuUnavailable);
+  // Detection within one GPU inspection interval (10 s).
+  EXPECT_LE(res.DetectionTime(), Seconds(11));
+}
+
+TEST(ControllerTest, TransientCrashIsReattempted) {
+  ByteRobustSystem sys(SmallSystem());
+  sys.Start();
+  sys.sim().RunUntil(Minutes(30));
+
+  // Transient fault: no machine flags, job crashes once.
+  const Incident inc = MakeIncident(IncidentSymptom::kInfinibandError, RootCause::kTransient,
+                                    {3}, 0, sys.sim().Now());
+  sys.controller().NotifyIncidentInjected(inc);
+  sys.job().Crash();
+
+  sys.sim().RunUntil(Minutes(90));
+  EXPECT_EQ(sys.job().state(), JobRunState::kRunning);
+  EXPECT_FALSE(sys.cluster().IsBlacklisted(3)) << "no eviction for transients";
+  ASSERT_GE(sys.controller().log().size(), 1u);
+  EXPECT_EQ(sys.controller().log().entries().front().mechanism,
+            ResolutionMechanism::kReattempt);
+}
+
+TEST(ControllerTest, UserCodeCrashRollsBack) {
+  ByteRobustSystem sys(SmallSystem());
+  sys.Start();
+  sys.sim().RunUntil(Minutes(20));
+  sys.job().ApplyCodeVersion({5, 1.3, true, Minutes(5), false, "buggy kernels"});
+  EXPECT_EQ(sys.job().current_version().id, 5);
+
+  const Incident inc = MakeIncident(IncidentSymptom::kCudaError, RootCause::kUserCode, {}, -1,
+                                    sys.sim().Now());
+  sys.controller().NotifyIncidentInjected(inc);
+  sys.job().Crash();
+
+  sys.sim().RunUntil(Minutes(60));
+  EXPECT_EQ(sys.job().state(), JobRunState::kRunning);
+  EXPECT_EQ(sys.job().current_version().id, 0) << "buggy version rolled back";
+  ASSERT_GE(sys.controller().log().size(), 1u);
+  EXPECT_EQ(sys.controller().log().entries().front().mechanism,
+            ResolutionMechanism::kRollback);
+}
+
+TEST(ControllerTest, HangTriggersAggregationOverEviction) {
+  SystemConfig cfg = SmallSystem();
+  cfg.monitor.hang_grace = Minutes(2);  // speed the test up
+  ByteRobustSystem sys(cfg);
+  sys.Start();
+  sys.sim().RunUntil(Minutes(30));
+
+  // Infrastructure hang: comm defect on machine 13's GPU, culprit rank 26.
+  const Incident inc = MakeIncident(IncidentSymptom::kJobHang, RootCause::kInfrastructure, {13},
+                                    0, sys.sim().Now());
+  FaultInjector::ApplyToCluster(inc, &sys.cluster());
+  sys.controller().NotifyIncidentInjected(inc);
+  sys.job().Hang(26);
+
+  sys.sim().RunUntil(Minutes(90));
+  EXPECT_EQ(sys.job().state(), JobRunState::kRunning);
+  // Over-eviction: the whole PP group's machines (12-15) are gone, including
+  // the true culprit.
+  EXPECT_TRUE(sys.cluster().IsBlacklisted(13));
+  EXPECT_GE(sys.controller().evictions_total(), 2) << "over-eviction evicts a group";
+  ASSERT_GE(sys.controller().log().size(), 1u);
+  EXPECT_EQ(sys.controller().log().entries().front().mechanism,
+            ResolutionMechanism::kAnalyzerEvictRestart);
+}
+
+TEST(ControllerTest, NanFromSdcIsCaughtByBitwiseAlignment) {
+  ByteRobustSystem sys(SmallSystem());
+  sys.Start();
+  sys.sim().RunUntil(Minutes(30));
+
+  const Incident inc =
+      MakeIncident(IncidentSymptom::kNanValue, RootCause::kSdc, {7}, 1, sys.sim().Now());
+  FaultInjector::ApplyToCluster(inc, &sys.cluster());
+  sys.controller().NotifyIncidentInjected(inc);
+  sys.job().SetNanLoss(true);
+
+  sys.sim().RunUntil(Minutes(120));
+  EXPECT_EQ(sys.job().state(), JobRunState::kRunning);
+  EXPECT_TRUE(sys.cluster().IsBlacklisted(7)) << "SDC machine isolated";
+  ASSERT_GE(sys.controller().log().size(), 1u);
+  EXPECT_EQ(sys.controller().log().entries().front().mechanism,
+            ResolutionMechanism::kAutoFtEvictRestart);
+}
+
+TEST(ControllerTest, LazyHotUpdateMergesIntoFailureRecovery) {
+  ByteRobustSystem sys(SmallSystem());
+  sys.Start();
+  sys.sim().RunUntil(Minutes(20));
+  sys.hot_updates().Submit({9, 1.4, false, 0, /*urgent=*/false, "comm overlap"});
+  EXPECT_EQ(sys.job().current_version().id, 0) << "lazy update not yet applied";
+
+  // A failure arrives; its recovery should carry the update along.
+  const Incident inc = MakeIncident(IncidentSymptom::kGpuUnavailable,
+                                    RootCause::kInfrastructure, {2}, 0, sys.sim().Now());
+  FaultInjector::ApplyToCluster(inc, &sys.cluster());
+  sys.controller().NotifyIncidentInjected(inc);
+  sys.job().Crash();
+
+  sys.sim().RunUntil(Minutes(60));
+  EXPECT_EQ(sys.job().current_version().id, 9);
+  EXPECT_EQ(sys.hot_updates().merged_count(), 1);
+  // The merged update is logged as an AutoFT-HU resolution (Table 4 row).
+  EXPECT_EQ(sys.controller().log().CountBy(ResolutionMechanism::kAutoFtHotUpdate), 1);
+}
+
+TEST(ControllerTest, UrgentHotUpdateRestartsInPlace) {
+  ByteRobustSystem sys(SmallSystem());
+  sys.Start();
+  sys.sim().RunUntil(Minutes(20));
+  const int runs_before = sys.job().run_count();
+  sys.hot_updates().Submit({4, 1.2, false, 0, /*urgent=*/true, "hotfix"});
+  sys.sim().RunUntil(Minutes(30));
+  EXPECT_EQ(sys.job().current_version().id, 4);
+  EXPECT_EQ(sys.job().run_count(), runs_before + 1);
+  EXPECT_EQ(sys.controller().log().CountBy(ResolutionMechanism::kAutoFtHotUpdate), 1);
+  // In-place: no machine was evicted.
+  EXPECT_EQ(sys.controller().evictions_total(), 0);
+}
+
+TEST(ControllerTest, SilentMfuDeclineResolvedByFailSlowVoting) {
+  ByteRobustSystem sys(SmallSystem());
+  sys.Start();
+  sys.sim().RunUntil(Minutes(30));
+
+  // Silent downclock (odd gpu_index: no thermal signal) on machine 9.
+  Incident inc = MakeIncident(IncidentSymptom::kMfuDecline, RootCause::kInfrastructure, {9}, 1,
+                              sys.sim().Now());
+  FaultInjector::ApplyToCluster(inc, &sys.cluster());
+  EXPECT_LT(sys.cluster().machine(9).gpu(1).clock_ratio, 1.0);
+  EXPECT_LT(sys.cluster().machine(9).gpu(1).temperature_c, 85.0);
+  sys.controller().NotifyIncidentInjected(inc);
+
+  sys.sim().RunUntil(Hours(2));
+  EXPECT_TRUE(sys.cluster().IsBlacklisted(9)) << "degrader over-evicted";
+  EXPECT_EQ(sys.job().state(), JobRunState::kRunning);
+  EXPECT_GE(sys.controller().log().CountBy(ResolutionMechanism::kAnalyzerEvictRestart), 1);
+  // After eviction the job runs at full speed again.
+  EXPECT_DOUBLE_EQ(PerfModel::SlowestClockRatio(sys.cluster()), 1.0);
+}
+
+TEST(ControllerTest, ThermalMfuDeclineEvictedViaInspection) {
+  ByteRobustSystem sys(SmallSystem());
+  sys.Start();
+  sys.sim().RunUntil(Minutes(30));
+
+  // Even gpu_index: overheating visible to the 10 s GPU inspection.
+  Incident inc = MakeIncident(IncidentSymptom::kMfuDecline, RootCause::kInfrastructure, {4}, 0,
+                              sys.sim().Now());
+  FaultInjector::ApplyToCluster(inc, &sys.cluster());
+  EXPECT_GT(sys.cluster().machine(4).gpu(0).temperature_c, 85.0);
+  sys.controller().NotifyIncidentInjected(inc);
+
+  sys.sim().RunUntil(Hours(1));
+  EXPECT_TRUE(sys.cluster().IsBlacklisted(4));
+  EXPECT_GE(sys.controller().log().CountBy(ResolutionMechanism::kAutoFtEvictRestart), 1);
+}
+
+TEST(ControllerTest, NetworkFlapHealsWithoutEviction) {
+  ByteRobustSystem sys(SmallSystem());
+  sys.Start();
+  sys.sim().RunUntil(Minutes(30));
+
+  // NIC goes down, the job crashes; the flap heals before the debounce check.
+  Incident inc = MakeIncident(IncidentSymptom::kInfinibandError, RootCause::kInfrastructure, {6},
+                              0, sys.sim().Now());
+  FaultInjector::ApplyToCluster(inc, &sys.cluster());
+  sys.controller().NotifyIncidentInjected(inc);
+  sys.job().Crash();
+  sys.sim().Schedule(Minutes(1), [&] {
+    FaultInjector::ClearFromCluster(inc, &sys.cluster());
+  });
+
+  sys.sim().RunUntil(Minutes(90));
+  EXPECT_FALSE(sys.cluster().IsBlacklisted(6));
+  EXPECT_EQ(sys.job().state(), JobRunState::kRunning);
+  EXPECT_GE(sys.controller().log().CountBy(ResolutionMechanism::kReattempt), 1);
+}
+
+TEST(ControllerTest, PersistentNicFailureIsEvictedAfterDebounce) {
+  ByteRobustSystem sys(SmallSystem());
+  sys.Start();
+  sys.sim().RunUntil(Minutes(30));
+
+  Incident inc = MakeIncident(IncidentSymptom::kInfinibandError, RootCause::kInfrastructure, {6},
+                              0, sys.sim().Now());
+  FaultInjector::ApplyToCluster(inc, &sys.cluster());
+  sys.controller().NotifyIncidentInjected(inc);
+  sys.job().Crash();
+
+  sys.sim().RunUntil(Minutes(90));
+  EXPECT_TRUE(sys.cluster().IsBlacklisted(6));
+  EXPECT_EQ(sys.job().state(), JobRunState::kRunning);
+}
+
+TEST(ControllerTest, RestartResumesFromDurableCheckpoint) {
+  ByteRobustSystem sys(SmallSystem());
+  sys.Start();
+  sys.sim().RunUntil(Minutes(30));
+  const std::int64_t progress = sys.job().max_step_reached();
+  EXPECT_GT(progress, 100);
+
+  const Incident inc = MakeIncident(IncidentSymptom::kGpuUnavailable,
+                                    RootCause::kInfrastructure, {1}, 0, sys.sim().Now());
+  FaultInjector::ApplyToCluster(inc, &sys.cluster());
+  sys.controller().NotifyIncidentInjected(inc);
+  sys.job().Crash();
+
+  sys.sim().RunUntil(Minutes(60));
+  // With every-step checkpointing, at most a couple of steps recompute.
+  EXPECT_GE(sys.job().max_step_reached(), progress);
+  EXPECT_LE(sys.ettr().recompute_time(), Seconds(30));
+  // ETTR stays high: unproductive time is only detection + failover.
+  EXPECT_GT(sys.ettr().CumulativeEttr(sys.sim().Now()), 0.9);
+}
+
+}  // namespace
+}  // namespace byterobust

@@ -1,0 +1,142 @@
+// Unit tests for stop-time diagnostics and the selective-stress baseline.
+
+#include <gtest/gtest.h>
+
+#include "src/diagnoser/diagnoser.h"
+#include "src/diagnoser/stress_baseline.h"
+
+namespace byterobust {
+namespace {
+
+DiagnoserConfig PerfectRecall() {
+  DiagnoserConfig cfg;
+  cfg.eud_recall_explicit = 1.0;
+  cfg.eud_recall_sdc = 0.0;
+  cfg.intra_recall = 1.0;
+  cfg.inter_recall = 1.0;
+  cfg.bitwise_recall_sdc = 1.0;
+  return cfg;
+}
+
+TEST(DiagnoserTest, EudCatchesExplicitGpuFaults) {
+  Cluster cluster(4, 8);
+  cluster.machine(1).gpu(3).hbm_ok = false;
+  Diagnoser diag(PerfectRecall(), Rng(1));
+  const DiagnosisResult result = diag.RunNcclSuite(cluster);
+  EXPECT_EQ(result.suspects, (std::vector<MachineId>{1}));
+  // EUD found it; the suite stops there.
+  EXPECT_EQ(result.tests_run, (std::vector<std::string>{"EUD"}));
+  EXPECT_EQ(result.elapsed, diag.config().eud_duration);
+}
+
+TEST(DiagnoserTest, InterMachineTestCatchesNetworkFaults) {
+  Cluster cluster(4, 8);
+  cluster.machine(2).host().nic_up = false;
+  Diagnoser diag(PerfectRecall(), Rng(1));
+  const DiagnosisResult result = diag.RunNcclSuite(cluster);
+  EXPECT_EQ(result.suspects, (std::vector<MachineId>{2}));
+  ASSERT_EQ(result.tests_run.size(), 3u);
+  EXPECT_EQ(result.tests_run.back(), "inter-machine all-gather");
+  EXPECT_EQ(result.elapsed, diag.config().eud_duration + diag.config().intra_machine_duration +
+                                diag.config().inter_machine_duration);
+}
+
+TEST(DiagnoserTest, CleanClusterYieldsNoSuspects) {
+  Cluster cluster(4, 8);
+  Diagnoser diag(PerfectRecall(), Rng(1));
+  const DiagnosisResult result = diag.RunNcclSuite(cluster);
+  EXPECT_FALSE(result.HasSuspects());
+  EXPECT_EQ(result.tests_run.size(), 3u);  // the whole ladder ran
+}
+
+TEST(DiagnoserTest, NanSuiteBitwiseAlignmentCatchesSdc) {
+  Cluster cluster(4, 8);
+  cluster.machine(3).gpu(0).sdc = true;
+  Diagnoser diag(PerfectRecall(), Rng(1));
+  const DiagnosisResult result = diag.RunNanSuite(cluster);
+  EXPECT_EQ(result.suspects, (std::vector<MachineId>{3}));
+  EXPECT_EQ(result.tests_run.back(), "bit-wise alignment (MiniGPT)");
+}
+
+TEST(DiagnoserTest, NcclSuiteMissesSdc) {
+  // SDC is invisible to EUD/NCCL testing (the paper's motivation for the
+  // MiniGPT suite); only the NaN suite escalates to bit-wise alignment.
+  Cluster cluster(4, 8);
+  cluster.machine(3).gpu(0).sdc = true;
+  Diagnoser diag(PerfectRecall(), Rng(1));
+  EXPECT_FALSE(diag.RunNcclSuite(cluster).HasSuspects());
+}
+
+TEST(DiagnoserTest, ZeroRecallFindsNothing) {
+  DiagnoserConfig cfg;
+  cfg.eud_recall_explicit = 0.0;
+  cfg.eud_recall_sdc = 0.0;
+  cfg.intra_recall = 0.0;
+  cfg.intra_recall_comm_defect = 0.0;
+  cfg.inter_recall = 0.0;
+  cfg.bitwise_recall_sdc = 0.0;
+  Cluster cluster(4, 8);
+  cluster.machine(0).gpu(0).hbm_ok = false;
+  cluster.machine(1).host().nic_up = false;
+  cluster.machine(2).gpu(0).sdc = true;
+  Diagnoser diag(cfg, Rng(1));
+  EXPECT_FALSE(diag.RunNanSuite(cluster).HasSuspects());
+}
+
+TEST(DiagnoserTest, ImperfectEudRecallIsStochastic) {
+  DiagnoserConfig cfg = PerfectRecall();
+  cfg.eud_recall_explicit = 0.7;  // Sec. 9: EUD achieves ~70% recall
+  int found = 0;
+  const int trials = 2000;
+  Rng rng(7);
+  for (int i = 0; i < trials; ++i) {
+    Cluster cluster(2, 8);
+    cluster.machine(0).gpu(0).dcgm_responsive = false;
+    Diagnoser diag(cfg, rng.Fork());
+    if (!diag.RunEud(cluster).empty()) {
+      ++found;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(found) / trials, 0.7, 0.05);
+}
+
+TEST(DiagnoserTest, CommDefectRarelyTripsIntraTest) {
+  DiagnoserConfig cfg = PerfectRecall();
+  cfg.intra_recall_comm_defect = 0.1;
+  int found = 0;
+  const int trials = 2000;
+  Rng rng(11);
+  for (int i = 0; i < trials; ++i) {
+    Cluster cluster(2, 8);
+    cluster.machine(1).gpu(2).comm_defect = true;
+    Diagnoser diag(cfg, rng.Fork());
+    if (!diag.RunIntraMachineAllToAll(cluster).empty()) {
+      ++found;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(found) / trials, 0.1, 0.04);
+}
+
+TEST(StressBaselineTest, Table6Durations) {
+  using S = IncidentSymptom;
+  const RootCause infra = RootCause::kInfrastructure;
+  EXPECT_EQ(SelectiveStressResolutionTime(S::kCudaError, infra), Seconds(518));
+  EXPECT_EQ(SelectiveStressResolutionTime(S::kInfinibandError, infra), Seconds(288));
+  EXPECT_EQ(SelectiveStressResolutionTime(S::kOsKernelPanic, infra), Seconds(168));
+  EXPECT_EQ(SelectiveStressResolutionTime(S::kGpuMemoryError, infra), Seconds(600));
+  EXPECT_EQ(SelectiveStressResolutionTime(S::kNanValue, RootCause::kSdc), Seconds(7200));
+  EXPECT_EQ(SelectiveStressResolutionTime(S::kGpuUnavailable, infra), Seconds(120));
+}
+
+TEST(StressBaselineTest, HumanMistakesAndStorageAreUnresolvable) {
+  using S = IncidentSymptom;
+  EXPECT_FALSE(SelectiveStressResolutionTime(S::kCudaError, RootCause::kUserCode).has_value());
+  EXPECT_FALSE(SelectiveStressResolutionTime(S::kNanValue, RootCause::kUserCode).has_value());
+  EXPECT_FALSE(
+      SelectiveStressResolutionTime(S::kHdfsError, RootCause::kInfrastructure).has_value());
+  EXPECT_FALSE(SelectiveStressResolutionTime(S::kCodeDataAdjustment, RootCause::kUserCode)
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace byterobust

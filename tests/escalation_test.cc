@@ -1,0 +1,211 @@
+// Escalation-ladder tests: the Fig. 5 paths that require multiple stages
+// (replay after rollback, human fallback, episode separation, stability
+// window semantics).
+
+#include <gtest/gtest.h>
+
+#include "src/core/byterobust_system.h"
+#include "src/faults/fault_injector.h"
+
+namespace byterobust {
+namespace {
+
+SystemConfig LadderSystem(std::uint64_t seed) {
+  SystemConfig cfg;
+  cfg.job.parallelism = {2, 4, 4, 2};
+  cfg.job.base_step_time = Seconds(10);
+  cfg.job.model_params_b = 0.7;
+  cfg.seed = seed;
+  cfg.spare_machines = 12;
+  cfg.standby.provision_time = Minutes(5);
+  cfg.controller.replay_reproduce_prob = 1.0;
+  return cfg;
+}
+
+// An SDC machine that defeats every stop-time check must eventually be
+// isolated by dual-phase replay (Fig. 5 steps 8-9). We simulate the
+// recurrence loop by re-crashing the job after each restart while the
+// machine is still serving.
+TEST(EscalationTest, ReplayIsolatesUndiagnosableFault) {
+  SystemConfig cfg = LadderSystem(3);
+  // All diagnostics blind: only replay (which reproduces by running the
+  // actual workload) can find the machine.
+  cfg.diagnoser.eud_recall_explicit = 0.0;
+  cfg.diagnoser.eud_recall_sdc = 0.0;
+  cfg.diagnoser.intra_recall = 0.0;
+  cfg.diagnoser.intra_recall_comm_defect = 0.0;
+  cfg.diagnoser.inter_recall = 0.0;
+  cfg.diagnoser.bitwise_recall_sdc = 0.0;
+  cfg.controller.log_attribution_recall = 0.0;  // logs never pinpoint it
+
+  ByteRobustSystem sys(cfg);
+  sys.Start();
+  sys.sim().RunUntil(Minutes(30));
+
+  // An SDC machine: invisible to inspections, and with the bit-wise suite's
+  // recall forced to zero, invisible to every stop-time check too. Only
+  // replaying the actual workload (dual-phase replay) reproduces it.
+  const MachineId faulty = 6;
+  Incident inc;
+  inc.id = 1;
+  inc.symptom = IncidentSymptom::kNanValue;
+  inc.root_cause = RootCause::kSdc;
+  inc.faulty_machines = {faulty};
+  inc.gpu_index = 0;
+  inc.inject_time = sys.sim().Now();
+  FaultInjector::ApplyToCluster(inc, &sys.cluster());
+  sys.controller().NotifyIncidentInjected(inc);
+  sys.job().SetNanLoss(true);
+
+  // Re-manifest the fault after every restart while the machine serves.
+  sys.controller().SetRestartListener([&sys, faulty](ResolutionMechanism) {
+    if (sys.cluster().SlotOfMachine(faulty) >= 0) {
+      sys.sim().Schedule(Seconds(90), [&sys, faulty] {
+        if (sys.cluster().SlotOfMachine(faulty) >= 0 &&
+            sys.job().state() == JobRunState::kRunning) {
+          sys.job().SetNanLoss(true);
+        }
+      });
+    }
+  });
+
+  sys.sim().RunUntil(Hours(8));
+  EXPECT_TRUE(sys.cluster().IsBlacklisted(faulty));
+  EXPECT_EQ(sys.job().state(), JobRunState::kRunning);
+  // The ladder went through stop-time checks -> reattempt -> rollback ->
+  // replay; the final resolution is the replay (or, at worst, human).
+  bool replay_used = false;
+  for (const auto& r : sys.controller().log().entries()) {
+    if (r.mechanism == ResolutionMechanism::kDualPhaseReplay) {
+      replay_used = true;
+      EXPECT_GE(r.escalations, 2);
+    }
+  }
+  EXPECT_TRUE(replay_used);
+}
+
+// When even replay cannot reproduce (reproduce_prob = 0), the episode lands
+// with humans, who isolate the ground-truth machines after offline work.
+TEST(EscalationTest, HumanFallbackIsTerminal) {
+  SystemConfig cfg = LadderSystem(5);
+  cfg.diagnoser.eud_recall_explicit = 0.0;
+  cfg.diagnoser.eud_recall_sdc = 0.0;
+  cfg.diagnoser.intra_recall = 0.0;
+  cfg.diagnoser.intra_recall_comm_defect = 0.0;
+  cfg.diagnoser.inter_recall = 0.0;
+  cfg.diagnoser.bitwise_recall_sdc = 0.0;
+  cfg.controller.log_attribution_recall = 0.0;
+  cfg.controller.replay_reproduce_prob = 0.0;
+
+  ByteRobustSystem sys(cfg);
+  sys.Start();
+  sys.sim().RunUntil(Minutes(30));
+
+  const MachineId faulty = 4;
+  Incident inc;
+  inc.id = 1;
+  inc.symptom = IncidentSymptom::kContainerError;
+  inc.root_cause = RootCause::kInfrastructure;
+  inc.faulty_machines = {faulty};
+  inc.inject_time = sys.sim().Now();
+  FaultInjector::ApplyToCluster(inc, &sys.cluster());
+  sys.controller().NotifyIncidentInjected(inc);
+  sys.job().Crash();
+
+  sys.controller().SetRestartListener([&sys, faulty](ResolutionMechanism) {
+    if (sys.cluster().SlotOfMachine(faulty) >= 0) {
+      sys.sim().Schedule(Seconds(90), [&sys, faulty] {
+        if (sys.cluster().SlotOfMachine(faulty) >= 0 &&
+            sys.job().state() == JobRunState::kRunning) {
+          sys.job().Crash();
+        }
+      });
+    }
+  });
+
+  sys.sim().RunUntil(Hours(10));
+  EXPECT_TRUE(sys.cluster().IsBlacklisted(faulty));
+  EXPECT_GE(sys.controller().log().CountBy(ResolutionMechanism::kUnresolvedHuman), 1);
+  EXPECT_EQ(sys.job().state(), JobRunState::kRunning);
+}
+
+// Two unrelated incidents close together must produce two episodes, not one
+// escalating mega-episode.
+TEST(EscalationTest, ConcurrentIncidentsOpenSeparateEpisodes) {
+  SystemConfig cfg = LadderSystem(7);
+  cfg.diagnoser.eud_recall_explicit = 1.0;
+  cfg.controller.log_attribution_recall = 1.0;
+  ByteRobustSystem sys(cfg);
+  sys.Start();
+  sys.sim().RunUntil(Minutes(30));
+
+  Incident first;
+  first.id = 1;
+  first.symptom = IncidentSymptom::kGpuUnavailable;
+  first.root_cause = RootCause::kInfrastructure;
+  first.faulty_machines = {3};
+  first.gpu_index = 0;
+  first.inject_time = sys.sim().Now();
+  FaultInjector::ApplyToCluster(first, &sys.cluster());
+  sys.controller().NotifyIncidentInjected(first);
+  sys.job().Crash();
+
+  // Second incident lands shortly after the first recovery.
+  sys.sim().Schedule(Minutes(8), [&sys] {
+    Incident second;
+    second.id = 2;
+    second.symptom = IncidentSymptom::kOsKernelPanic;
+    second.root_cause = RootCause::kInfrastructure;
+    second.faulty_machines = {11};
+    second.inject_time = sys.sim().Now();
+    FaultInjector::ApplyToCluster(second, &sys.cluster());
+    sys.controller().NotifyIncidentInjected(second);
+    sys.job().Crash();
+  });
+
+  sys.sim().RunUntil(Hours(3));
+  EXPECT_TRUE(sys.cluster().IsBlacklisted(3));
+  EXPECT_TRUE(sys.cluster().IsBlacklisted(11));
+  // Both incidents resolved by plain eviction, no escalations.
+  int er = 0;
+  for (const auto& r : sys.controller().log().entries()) {
+    if (r.mechanism == ResolutionMechanism::kAutoFtEvictRestart) {
+      ++er;
+      EXPECT_EQ(r.escalations, 0);
+    }
+  }
+  EXPECT_EQ(er, 2);
+}
+
+// A resolution record's timestamps must be ordered: inject <= detect <=
+// localize <= restart, across every campaign entry.
+TEST(EscalationTest, ResolutionTimestampsAreOrdered) {
+  SystemConfig cfg = LadderSystem(11);
+  ByteRobustSystem sys(cfg);
+  sys.Start();
+  sys.sim().RunUntil(Minutes(20));
+
+  for (int i = 0; i < 4; ++i) {
+    Incident inc;
+    inc.id = static_cast<std::uint64_t>(i) + 1;
+    inc.symptom = IncidentSymptom::kGpuUnavailable;
+    inc.root_cause = RootCause::kInfrastructure;
+    inc.faulty_machines = {static_cast<MachineId>(2 + i * 3)};
+    inc.gpu_index = 0;
+    inc.inject_time = sys.sim().Now();
+    FaultInjector::ApplyToCluster(inc, &sys.cluster());
+    sys.controller().NotifyIncidentInjected(inc);
+    sys.job().Crash();
+    sys.sim().RunUntil(sys.sim().Now() + Hours(1));
+  }
+
+  ASSERT_GE(sys.controller().log().size(), 4u);
+  for (const auto& r : sys.controller().log().entries()) {
+    EXPECT_LE(r.inject_time, r.detect_time);
+    EXPECT_LE(r.detect_time, r.localize_done_time);
+    EXPECT_LE(r.localize_done_time, r.restart_done_time);
+  }
+}
+
+}  // namespace
+}  // namespace byterobust

@@ -1,0 +1,210 @@
+// Unit tests for the incident taxonomy (Table 1 / Table 2) and fault injector.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "src/faults/fault_injector.h"
+#include "src/faults/incident.h"
+
+namespace byterobust {
+namespace {
+
+TEST(IncidentTest, CategoryTaxonomyMatchesTable1) {
+  EXPECT_EQ(CategoryOf(IncidentSymptom::kCudaError), IncidentCategory::kExplicit);
+  EXPECT_EQ(CategoryOf(IncidentSymptom::kDiskFault), IncidentCategory::kExplicit);
+  EXPECT_EQ(CategoryOf(IncidentSymptom::kJobHang), IncidentCategory::kImplicit);
+  EXPECT_EQ(CategoryOf(IncidentSymptom::kMfuDecline), IncidentCategory::kImplicit);
+  EXPECT_EQ(CategoryOf(IncidentSymptom::kNanValue), IncidentCategory::kImplicit);
+  EXPECT_EQ(CategoryOf(IncidentSymptom::kCodeDataAdjustment), IncidentCategory::kManualRestart);
+}
+
+TEST(IncidentTest, PaperStatsCoverAllSymptomsAndSumToOne) {
+  const auto& stats = PaperSymptomStats();
+  EXPECT_EQ(stats.size(), static_cast<std::size_t>(kNumIncidentSymptoms));
+  double fraction_sum = 0.0;
+  int count_sum = 0;
+  for (const auto& s : stats) {
+    fraction_sum += s.paper_fraction;
+    count_sum += s.paper_count;
+  }
+  EXPECT_NEAR(fraction_sum, 1.0, 0.01);  // Table 1 percentages round to 100%
+  EXPECT_EQ(count_sum, 55365);           // total incidents in Table 1
+}
+
+TEST(IncidentTest, Table2RootCauseMix) {
+  EXPECT_NEAR(UserCodeProbability(IncidentSymptom::kJobHang), 5.0 / 26.0, 1e-9);
+  EXPECT_NEAR(UserCodeProbability(IncidentSymptom::kCudaError), 41.0 / 62.0, 1e-9);
+  EXPECT_NEAR(UserCodeProbability(IncidentSymptom::kNanValue), 0.25, 1e-9);
+  EXPECT_DOUBLE_EQ(UserCodeProbability(IncidentSymptom::kCodeDataAdjustment), 1.0);
+  EXPECT_DOUBLE_EQ(UserCodeProbability(IncidentSymptom::kDiskFault), 0.0);
+}
+
+TEST(IncidentTest, ToStringIncludesEssentials) {
+  Incident inc;
+  inc.id = 7;
+  inc.symptom = IncidentSymptom::kJobHang;
+  inc.root_cause = RootCause::kInfrastructure;
+  inc.faulty_machines = {3, 4};
+  const std::string s = inc.ToString();
+  EXPECT_NE(s.find("Job Hang"), std::string::npos);
+  EXPECT_NE(s.find("Implicit"), std::string::npos);
+  EXPECT_NE(s.find("3,4"), std::string::npos);
+}
+
+TEST(FaultInjectorTest, MtbfScalesInverselyWithMachines) {
+  FaultInjectorConfig cfg;
+  cfg.reference_mtbf = Hours(2.78);
+  cfg.reference_machines = 2048;
+  FaultInjector inj(cfg, Rng(1));
+  EXPECT_EQ(inj.MtbfFor(2048), Hours(2.78));
+  EXPECT_EQ(inj.MtbfFor(1024), 2 * Hours(2.78));
+  EXPECT_NEAR(static_cast<double>(inj.MtbfFor(4096)),
+              static_cast<double>(Hours(2.78)) / 2.0, 1.0);
+  EXPECT_THROW(inj.MtbfFor(0), std::invalid_argument);
+}
+
+TEST(FaultInjectorTest, SymptomMixConvergesToTable1) {
+  FaultInjector inj(FaultInjectorConfig{}, Rng(99));
+  std::vector<MachineId> serving(128);
+  for (int i = 0; i < 128; ++i) {
+    serving[static_cast<std::size_t>(i)] = i;
+  }
+  std::map<IncidentSymptom, int> counts;
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) {
+    ++counts[inj.SampleFailure(0, serving).symptom];
+  }
+  // CUDA errors are 36.1% of all incidents => 43.7% of non-manual incidents.
+  const double cuda = static_cast<double>(counts[IncidentSymptom::kCudaError]) / trials;
+  EXPECT_NEAR(cuda, 0.361 / 0.827, 0.02);
+  const double hang = static_cast<double>(counts[IncidentSymptom::kJobHang]) / trials;
+  EXPECT_NEAR(hang, 0.099 / 0.827, 0.02);
+  // Manual restarts never come from SampleFailure.
+  EXPECT_EQ(counts[IncidentSymptom::kCodeDataAdjustment], 0);
+}
+
+TEST(FaultInjectorTest, UserCodeIncidentsHaveNoFaultyMachine) {
+  FaultInjector inj(FaultInjectorConfig{}, Rng(5));
+  std::vector<MachineId> serving = {0, 1, 2, 3};
+  for (int i = 0; i < 2000; ++i) {
+    const Incident inc = inj.SampleFailure(0, serving);
+    if (inc.root_cause == RootCause::kUserCode) {
+      EXPECT_TRUE(inc.faulty_machines.empty());
+    } else {
+      ASSERT_EQ(inc.faulty_machines.size(), 1u);
+      EXPECT_GE(inc.faulty_machines[0], 0);
+      EXPECT_LE(inc.faulty_machines[0], 3);
+    }
+  }
+}
+
+TEST(FaultInjectorTest, ManualRestartIncident) {
+  FaultInjector inj(FaultInjectorConfig{}, Rng(5));
+  const Incident inc = inj.SampleManualRestart(Seconds(100));
+  EXPECT_EQ(inc.symptom, IncidentSymptom::kCodeDataAdjustment);
+  EXPECT_EQ(inc.root_cause, RootCause::kUserCode);
+  EXPECT_EQ(inc.inject_time, Seconds(100));
+}
+
+TEST(FaultInjectorTest, SampleFailureRejectsEmptyServingSet) {
+  FaultInjector inj(FaultInjectorConfig{}, Rng(5));
+  EXPECT_THROW(inj.SampleFailure(0, {}), std::invalid_argument);
+}
+
+struct ApplyCase {
+  IncidentSymptom symptom;
+  MachineState expected_state;
+};
+
+class ApplyToClusterTest : public ::testing::TestWithParam<ApplyCase> {};
+
+TEST_P(ApplyToClusterTest, SetsObservableFlagsAndState) {
+  Cluster cluster(4, 8);
+  Incident inc;
+  inc.symptom = GetParam().symptom;
+  inc.root_cause = inc.symptom == IncidentSymptom::kNanValue ? RootCause::kSdc
+                                                             : RootCause::kInfrastructure;
+  inc.faulty_machines = {2};
+  inc.gpu_index = 1;
+  FaultInjector::ApplyToCluster(inc, &cluster);
+  EXPECT_EQ(cluster.machine(2).state(), GetParam().expected_state);
+  EXPECT_EQ(cluster.machine(2).incident_count, 1);
+  // Other machines untouched.
+  EXPECT_EQ(cluster.machine(0).state(), MachineState::kActive);
+
+  FaultInjector::ClearFromCluster(inc, &cluster);
+  EXPECT_EQ(cluster.machine(2).state(), MachineState::kActive);
+  EXPECT_FALSE(cluster.machine(2).HasSdc());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Symptoms, ApplyToClusterTest,
+    ::testing::Values(ApplyCase{IncidentSymptom::kCudaError, MachineState::kFaulty},
+                      ApplyCase{IncidentSymptom::kGpuUnavailable, MachineState::kFaulty},
+                      ApplyCase{IncidentSymptom::kGpuMemoryError, MachineState::kFaulty},
+                      ApplyCase{IncidentSymptom::kInfinibandError, MachineState::kFaulty},
+                      ApplyCase{IncidentSymptom::kOsKernelPanic, MachineState::kFaulty},
+                      ApplyCase{IncidentSymptom::kDiskFault, MachineState::kFaulty},
+                      ApplyCase{IncidentSymptom::kCpuOom, MachineState::kFaulty},
+                      ApplyCase{IncidentSymptom::kJobHang, MachineState::kDegraded},
+                      ApplyCase{IncidentSymptom::kMfuDecline, MachineState::kDegraded},
+                      ApplyCase{IncidentSymptom::kNanValue, MachineState::kDegraded}));
+
+TEST(ApplyToClusterEdge, TransientLeavesNoTrace) {
+  Cluster cluster(4, 8);
+  Incident inc;
+  inc.symptom = IncidentSymptom::kInfinibandError;
+  inc.root_cause = RootCause::kTransient;
+  inc.faulty_machines = {1};
+  FaultInjector::ApplyToCluster(inc, &cluster);
+  EXPECT_EQ(cluster.machine(1).state(), MachineState::kActive);
+  EXPECT_TRUE(cluster.machine(1).host().nic_up);
+}
+
+TEST(ApplyToClusterEdge, SdcNanIsInvisibleToHostChecks) {
+  Cluster cluster(4, 8);
+  Incident inc;
+  inc.symptom = IncidentSymptom::kNanValue;
+  inc.root_cause = RootCause::kSdc;
+  inc.faulty_machines = {0};
+  inc.gpu_index = 3;
+  FaultInjector::ApplyToCluster(inc, &cluster);
+  const Machine& m = cluster.machine(0);
+  EXPECT_TRUE(m.HasSdc());
+  // All inspection-visible attributes remain nominal.
+  EXPECT_TRUE(m.gpu(3).dcgm_responsive);
+  EXPECT_TRUE(m.gpu(3).available);
+  EXPECT_TRUE(m.gpu(3).hbm_ok);
+  EXPECT_TRUE(m.host().nic_up);
+}
+
+TEST(ApplyToClusterEdge, JobHangSetsSilentCommDefect) {
+  Cluster cluster(4, 8);
+  Incident inc;
+  inc.symptom = IncidentSymptom::kJobHang;
+  inc.root_cause = RootCause::kInfrastructure;
+  inc.faulty_machines = {3};
+  inc.gpu_index = 0;
+  FaultInjector::ApplyToCluster(inc, &cluster);
+  EXPECT_TRUE(cluster.machine(3).gpu(0).comm_defect);
+  EXPECT_TRUE(cluster.machine(3).gpu(0).dcgm_responsive);
+}
+
+TEST(FaultInjectorTest, DelaysAreExponentialWithScaledMean) {
+  FaultInjectorConfig cfg;
+  cfg.reference_mtbf = Hours(2.78);
+  cfg.reference_machines = 2048;
+  FaultInjector inj(cfg, Rng(77));
+  double total = 0.0;
+  const int trials = 5000;
+  for (int i = 0; i < trials; ++i) {
+    total += static_cast<double>(inj.NextFailureDelay(1024));
+  }
+  const double mean_hours = ToHours(static_cast<SimDuration>(total / trials));
+  EXPECT_NEAR(mean_hours, 5.56, 0.3);  // 2.78 h * 2048/1024
+}
+
+}  // namespace
+}  // namespace byterobust

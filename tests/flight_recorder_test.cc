@@ -1,0 +1,116 @@
+// Unit tests for the flight recorder and its cross-rank mismatch analysis.
+
+#include <gtest/gtest.h>
+
+#include "src/tracer/flight_recorder.h"
+
+namespace byterobust {
+namespace {
+
+Topology Fig7Topology() {
+  ParallelismConfig cfg;
+  cfg.tp = 2;
+  cfg.pp = 4;
+  cfg.dp = 4;
+  cfg.gpus_per_machine = 2;
+  return Topology(cfg);
+}
+
+TEST(FlightRecorderTest, RingBufferEvictsOldest) {
+  FlightRecorder rec(3);
+  for (std::uint64_t s = 1; s <= 5; ++s) {
+    rec.Record({s, CollectiveOp::kAllReduce, GroupKind::kData, 0, true});
+  }
+  EXPECT_EQ(rec.records().size(), 3u);
+  EXPECT_EQ(rec.records().front().seq, 3u);
+  EXPECT_EQ(rec.LatestSeq(GroupKind::kData, 0), 5u);
+}
+
+TEST(FlightRecorderTest, LatestSeqIsPerGroup) {
+  FlightRecorder rec;
+  rec.Record({7, CollectiveOp::kAllGather, GroupKind::kTensor, 2, true});
+  rec.Record({9, CollectiveOp::kReduceScatter, GroupKind::kData, 1, true});
+  EXPECT_EQ(rec.LatestSeq(GroupKind::kTensor, 2), 7u);
+  EXPECT_EQ(rec.LatestSeq(GroupKind::kData, 1), 9u);
+  EXPECT_EQ(rec.LatestSeq(GroupKind::kPipeline, 0), 0u);
+}
+
+TEST(FlightRecorderTest, ConsistentRanksProduceNoMismatch) {
+  const Topology topo = Fig7Topology();
+  std::vector<FlightRecorder> recorders(static_cast<std::size_t>(topo.world_size()));
+  for (Rank r = 0; r < topo.world_size(); ++r) {
+    recorders[static_cast<std::size_t>(r)].Record(
+        {50, CollectiveOp::kReduceScatter, GroupKind::kData,
+         topo.GroupIndexOf(r, GroupKind::kData), true});
+  }
+  EXPECT_TRUE(AnalyzeFlightRecords(recorders, topo).empty());
+}
+
+TEST(FlightRecorderTest, HangAnalysisFindsCulpritTpGroup) {
+  const Topology topo = Fig7Topology();
+  const Rank culprit = 30;  // machine 15, last stage of dp column 3
+  const auto recorders = SynthesizeHangFlightRecords(topo, culprit);
+  const auto mismatches = AnalyzeFlightRecords(recorders, topo);
+  ASSERT_FALSE(mismatches.empty());
+
+  // Every lagging machine across all mismatches belongs to the culprit's DP
+  // column (machines 12-15) — the same fault domain aggregation isolates.
+  bool culprit_machine_flagged = false;
+  for (const CollectiveMismatch& m : mismatches) {
+    for (MachineId machine : m.lagging_machines) {
+      EXPECT_GE(machine, 12);
+      EXPECT_LE(machine, 15);
+      if (machine == 15) {
+        culprit_machine_flagged = true;
+      }
+    }
+  }
+  EXPECT_TRUE(culprit_machine_flagged);
+}
+
+TEST(FlightRecorderTest, MismatchReportsExpectedSeqAndLaggards) {
+  const Topology topo = Fig7Topology();
+  std::vector<FlightRecorder> recorders(static_cast<std::size_t>(topo.world_size()));
+  // DP group of rank 0: ranks {0, 8, 16, 24}; rank 16 lags two collectives.
+  for (Rank r : topo.DataGroupOf(0)) {
+    recorders[static_cast<std::size_t>(r)].Record(
+        {r == 16 ? 98u : 100u, CollectiveOp::kAllReduce, GroupKind::kData,
+         topo.GroupIndexOf(0, GroupKind::kData), r != 16});
+  }
+  const auto mismatches = AnalyzeFlightRecords(recorders, topo);
+  ASSERT_EQ(mismatches.size(), 1u);
+  EXPECT_EQ(mismatches[0].group_kind, GroupKind::kData);
+  EXPECT_EQ(mismatches[0].expected_seq, 100u);
+  EXPECT_EQ(mismatches[0].lagging_ranks, (std::vector<Rank>{16}));
+  EXPECT_EQ(mismatches[0].lagging_machines, (std::vector<MachineId>{8}));
+}
+
+TEST(FlightRecorderTest, SynthesizedHealthyGroupsAreConsistent) {
+  const Topology topo = Fig7Topology();
+  const auto recorders = SynthesizeHangFlightRecords(topo, 30);
+  // TP groups outside the culprit's DP column must be internally consistent.
+  for (const ParallelGroup& g : topo.Groups(GroupKind::kTensor)) {
+    bool has_culprit_column = false;
+    for (Rank r : g.ranks) {
+      const RankCoord c = topo.CoordOf(r);
+      if (c.dp == 3 && c.pp == 3) {
+        has_culprit_column = true;
+      }
+    }
+    std::uint64_t first =
+        recorders[static_cast<std::size_t>(g.ranks[0])].LatestSeq(GroupKind::kTensor, g.index);
+    for (Rank r : g.ranks) {
+      EXPECT_EQ(recorders[static_cast<std::size_t>(r)].LatestSeq(GroupKind::kTensor, g.index),
+                first)
+          << (has_culprit_column ? "culprit group" : "healthy group");
+    }
+  }
+}
+
+TEST(FlightRecorderTest, OpNames) {
+  EXPECT_STREQ(CollectiveOpName(CollectiveOp::kAllGather), "all_gather");
+  EXPECT_STREQ(CollectiveOpName(CollectiveOp::kSend), "send");
+}
+
+}  // namespace
+}  // namespace byterobust

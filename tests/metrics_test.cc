@@ -1,0 +1,152 @@
+// Unit tests for ETTR accounting, MFU series and the resolution log.
+
+#include <gtest/gtest.h>
+
+#include "src/metrics/ettr.h"
+#include "src/metrics/resolution.h"
+
+namespace byterobust {
+namespace {
+
+StepRecord MakeStep(std::int64_t step, SimTime start, SimTime end, bool recompute = false,
+                    double mfu = 0.3) {
+  StepRecord rec;
+  rec.step = step;
+  rec.start = start;
+  rec.end = end;
+  rec.recompute = recompute;
+  rec.mfu = mfu;
+  rec.loss = 2.0;
+  return rec;
+}
+
+TEST(EttrTrackerTest, CumulativeEttrIsProductiveOverWall) {
+  EttrTracker tracker(0);
+  tracker.OnStep(MakeStep(0, 0, Seconds(10)));
+  tracker.OnStep(MakeStep(1, Seconds(10), Seconds(20)));
+  // 20 s productive over 40 s wall.
+  EXPECT_DOUBLE_EQ(tracker.CumulativeEttr(Seconds(40)), 0.5);
+  EXPECT_EQ(tracker.productive_time(), Seconds(20));
+  EXPECT_EQ(tracker.productive_steps(), 2);
+}
+
+TEST(EttrTrackerTest, RecomputeIsNotProductive) {
+  EttrTracker tracker(0);
+  tracker.OnStep(MakeStep(0, 0, Seconds(10)));
+  tracker.OnStep(MakeStep(0, Seconds(20), Seconds(30), /*recompute=*/true));
+  EXPECT_EQ(tracker.productive_time(), Seconds(10));
+  EXPECT_EQ(tracker.recompute_time(), Seconds(10));
+  EXPECT_EQ(tracker.productive_steps(), 1);
+}
+
+TEST(EttrTrackerTest, SlidingWindowClipsSpans) {
+  EttrTracker tracker(0);
+  tracker.OnStep(MakeStep(0, 0, Minutes(30)));
+  // Window [30m, 90m): only half the step's span falls inside... none, the
+  // step ended exactly at the window start.
+  EXPECT_DOUBLE_EQ(tracker.SlidingEttr(Minutes(90), Hours(1)), 0.0);
+  tracker.OnStep(MakeStep(1, Minutes(30), Minutes(75)));
+  // [30m, 90m) window at t=90m: step 1 contributes 45 of 60 minutes.
+  EXPECT_NEAR(tracker.SlidingEttr(Minutes(90), Hours(1)), 0.75, 1e-9);
+}
+
+TEST(EttrTrackerTest, PerfectTrainingGivesEttrOne) {
+  EttrTracker tracker(0);
+  for (int i = 0; i < 100; ++i) {
+    tracker.OnStep(MakeStep(i, Seconds(i * 10), Seconds((i + 1) * 10)));
+  }
+  EXPECT_DOUBLE_EQ(tracker.CumulativeEttr(Seconds(1000)), 1.0);
+  EXPECT_DOUBLE_EQ(tracker.SlidingEttr(Seconds(1000), Seconds(500)), 1.0);
+}
+
+TEST(EttrTrackerTest, ZeroWallClockIsSafe) {
+  EttrTracker tracker(0);
+  EXPECT_DOUBLE_EQ(tracker.CumulativeEttr(0), 1.0);
+}
+
+TEST(MfuSeriesTest, RelativeMfuIsRatioToMinimum) {
+  MfuSeries series;
+  series.OnStep(MakeStep(0, 0, Seconds(10), false, 0.2));
+  series.OnStep(MakeStep(1, Seconds(10), Seconds(20), false, 0.3));
+  series.OnStep(MakeStep(2, Seconds(20), Seconds(30), false, 0.25));
+  EXPECT_DOUBLE_EQ(series.MinMfu(), 0.2);
+  EXPECT_DOUBLE_EQ(series.MaxMfu(), 0.3);
+  const auto rel = series.RelativeMfu();
+  ASSERT_EQ(rel.size(), 3u);
+  EXPECT_DOUBLE_EQ(rel[0], 1.0);
+  EXPECT_DOUBLE_EQ(rel[1], 1.5);
+}
+
+TEST(MfuSeriesTest, RecomputeStepsAreExcluded) {
+  MfuSeries series;
+  series.OnStep(MakeStep(0, 0, Seconds(10), true, 0.1));
+  EXPECT_TRUE(series.samples().empty());
+  EXPECT_TRUE(series.RelativeMfu().empty());
+}
+
+IncidentResolution MakeResolution(IncidentSymptom symptom, ResolutionMechanism mech,
+                                  SimTime inject, SimDuration detect, SimDuration localize,
+                                  SimDuration failover) {
+  IncidentResolution r;
+  r.incident.symptom = symptom;
+  r.mechanism = mech;
+  r.inject_time = inject;
+  r.detect_time = inject + detect;
+  r.localize_done_time = r.detect_time + localize;
+  r.restart_done_time = r.localize_done_time + failover;
+  r.resolved = true;
+  return r;
+}
+
+TEST(ResolutionLogTest, CountsByMechanismAndCategory) {
+  ResolutionLog log;
+  log.Add(MakeResolution(IncidentSymptom::kCudaError, ResolutionMechanism::kAutoFtEvictRestart,
+                         0, Seconds(60), Minutes(5), Seconds(90)));
+  log.Add(MakeResolution(IncidentSymptom::kJobHang, ResolutionMechanism::kAnalyzerEvictRestart,
+                         Hours(1), Minutes(10), Minutes(2), Seconds(120)));
+  log.Add(MakeResolution(IncidentSymptom::kCodeDataAdjustment,
+                         ResolutionMechanism::kAutoFtHotUpdate, Hours(2), 0, 0, Seconds(50)));
+  EXPECT_EQ(log.CountBy(ResolutionMechanism::kAutoFtEvictRestart), 1);
+  EXPECT_EQ(log.CountBy(ResolutionMechanism::kAnalyzerEvictRestart,
+                        IncidentCategory::kImplicit),
+            1);
+  EXPECT_EQ(log.CountBy(ResolutionMechanism::kAnalyzerEvictRestart,
+                        IncidentCategory::kExplicit),
+            0);
+  EXPECT_EQ(log.CountBy(IncidentCategory::kManualRestart), 1);
+  EXPECT_EQ(log.size(), 3u);
+}
+
+TEST(ResolutionLogTest, BreakdownArithmetic) {
+  const auto r = MakeResolution(IncidentSymptom::kCudaError,
+                                ResolutionMechanism::kAutoFtEvictRestart, Hours(1), Seconds(60),
+                                Minutes(5), Seconds(90));
+  EXPECT_EQ(r.DetectionTime(), Seconds(60));
+  EXPECT_EQ(r.LocalizationTime(), Minutes(5));
+  EXPECT_EQ(r.FailoverTime(), Seconds(90));
+  EXPECT_EQ(r.TotalUnproductive(), Seconds(60) + Minutes(5) + Seconds(90));
+}
+
+TEST(ResolutionLogTest, MeanMaxResolutionPerSymptom) {
+  ResolutionLog log;
+  log.Add(MakeResolution(IncidentSymptom::kCudaError, ResolutionMechanism::kAutoFtEvictRestart,
+                         0, 0, 0, Seconds(60)));
+  log.Add(MakeResolution(IncidentSymptom::kCudaError, ResolutionMechanism::kAutoFtEvictRestart,
+                         0, 0, 0, Seconds(120)));
+  const auto [mean, max] = log.MeanMaxResolution(IncidentSymptom::kCudaError);
+  EXPECT_EQ(mean, Seconds(90));
+  EXPECT_EQ(max, Seconds(120));
+  const auto [mean0, max0] = log.MeanMaxResolution(IncidentSymptom::kDiskFault);
+  EXPECT_EQ(mean0, 0);
+  EXPECT_EQ(max0, 0);
+}
+
+TEST(ResolutionLogTest, MechanismNames) {
+  EXPECT_STREQ(MechanismName(ResolutionMechanism::kAutoFtEvictRestart), "AutoFT-ER");
+  EXPECT_STREQ(MechanismName(ResolutionMechanism::kAutoFtHotUpdate), "AutoFT-HU");
+  EXPECT_STREQ(MechanismName(ResolutionMechanism::kAnalyzerEvictRestart), "Analyzer-ER");
+  EXPECT_STREQ(MechanismName(ResolutionMechanism::kRollback), "Rollback");
+}
+
+}  // namespace
+}  // namespace byterobust

@@ -1,0 +1,93 @@
+// Unit tests for the MiniGPT bit-wise verification suite (Sec. 4.3 / 9).
+
+#include <gtest/gtest.h>
+
+#include "src/diagnoser/minigpt.h"
+
+namespace byterobust {
+namespace {
+
+TEST(MiniGptTest, GoldenOutputIsDeterministic) {
+  MiniGptVerifier a;
+  MiniGptVerifier b;
+  EXPECT_EQ(a.GoldenOutput(), b.GoldenOutput());
+  EXPECT_EQ(a.GoldenOutput().size(), 16u);
+}
+
+TEST(MiniGptTest, DifferentWeightSeedsChangeTheGolden) {
+  MiniGptConfig cfg;
+  cfg.weight_seed = 123;
+  MiniGptVerifier a(cfg);
+  cfg.weight_seed = 456;
+  MiniGptVerifier b(cfg);
+  EXPECT_NE(a.GoldenOutput(), b.GoldenOutput());
+}
+
+TEST(MiniGptTest, HealthyMachineReproducesGoldenBitwise) {
+  MiniGptVerifier verifier;
+  Machine healthy(0, 8);
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(verifier.RunOnMachine(healthy, &rng), verifier.GoldenOutput());
+  }
+}
+
+TEST(MiniGptTest, SdcMachineDivergesWithManifestProbability) {
+  MiniGptConfig cfg;
+  cfg.sdc_manifest_prob = 0.9;
+  MiniGptVerifier verifier(cfg);
+  Machine sdc(0, 8);
+  sdc.gpu(3).sdc = true;
+  Rng rng(2);
+  int diverged = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    if (verifier.RunOnMachine(sdc, &rng) != verifier.GoldenOutput()) {
+      ++diverged;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(diverged) / trials, 0.9, 0.03);
+}
+
+TEST(MiniGptTest, SingleBitFlipPropagatesToOutput) {
+  // Property: any single corrupted accumulator must change the final output
+  // (otherwise the test would silently miss that corruption site). The
+  // residual connection plus multiplicative mixing make every lane live.
+  MiniGptConfig cfg;
+  cfg.sdc_manifest_prob = 1.0;
+  MiniGptVerifier verifier(cfg);
+  Machine sdc(0, 8);
+  sdc.gpu(0).sdc = true;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_NE(verifier.RunOnMachine(sdc, &rng), verifier.GoldenOutput());
+  }
+}
+
+TEST(MiniGptTest, FindMismatchedMachinesIsolatesOnlySdc) {
+  MiniGptConfig cfg;
+  cfg.sdc_manifest_prob = 1.0;
+  MiniGptVerifier verifier(cfg);
+  Cluster cluster(6, 8);
+  cluster.machine(2).gpu(1).sdc = true;
+  cluster.machine(4).gpu(0).sdc = true;
+  // Non-SDC faults do not corrupt arithmetic and must not be flagged.
+  cluster.machine(1).host().nic_up = false;
+  cluster.machine(3).gpu(0).dcgm_responsive = false;
+  Rng rng(4);
+  EXPECT_EQ(verifier.FindMismatchedMachines(cluster, &rng),
+            (std::vector<MachineId>{2, 4}));
+}
+
+TEST(MiniGptTest, LargerConfigsStillDeterministic) {
+  MiniGptConfig cfg;
+  cfg.layers = 8;
+  cfg.dim = 32;
+  MiniGptVerifier a(cfg);
+  MiniGptVerifier b(cfg);
+  EXPECT_EQ(a.GoldenOutput(), b.GoldenOutput());
+  EXPECT_EQ(a.GoldenOutput().size(), 32u);
+}
+
+}  // namespace
+}  // namespace byterobust

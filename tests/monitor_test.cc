@@ -1,0 +1,205 @@
+// Unit tests for the data-plane monitor: inspections (Table 3), metric rules
+// and the hang/crash watchdogs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/monitor/monitor.h"
+
+namespace byterobust {
+namespace {
+
+JobConfig SmallJob() {
+  JobConfig cfg;
+  cfg.parallelism.tp = 2;
+  cfg.parallelism.pp = 2;
+  cfg.parallelism.dp = 2;
+  cfg.parallelism.gpus_per_machine = 2;
+  cfg.base_step_time = Seconds(10);
+  return cfg;
+}
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  MonitorTest()
+      : cluster_(4, 2, 1), job_(SmallJob(), &sim_, &cluster_, 1), monitor_(MakeConfig(), &sim_,
+                                                                           &cluster_, &job_) {
+    monitor_.SetAnomalyHandler([this](const AnomalyReport& r) { reports_.push_back(r); });
+  }
+
+  static MonitorConfig MakeConfig() {
+    MonitorConfig cfg;
+    cfg.hang_grace = Minutes(10);
+    return cfg;
+  }
+
+  Simulator sim_;
+  Cluster cluster_;
+  TrainJob job_;
+  Monitor monitor_;
+  std::vector<AnomalyReport> reports_;
+};
+
+TEST_F(MonitorTest, GpuUnavailableDetectedWithinGpuInterval) {
+  monitor_.Start();
+  job_.Start();
+  sim_.RunUntil(Seconds(5));
+  cluster_.machine(2).gpu(1).available = false;
+  sim_.RunUntil(Seconds(25));
+  ASSERT_FALSE(reports_.empty());
+  const AnomalyReport& r = reports_.front();
+  EXPECT_EQ(r.source, AnomalySource::kInspection);
+  EXPECT_EQ(r.symptom_hint, IncidentSymptom::kGpuUnavailable);
+  EXPECT_TRUE(r.high_confidence);
+  EXPECT_EQ(r.machines, (std::vector<MachineId>{2}));
+  // Detection within one 10 s GPU inspection interval of the fault (Table 3).
+  EXPECT_LE(r.detect_time - Seconds(5), Seconds(10));
+}
+
+TEST_F(MonitorTest, KernelPanicDetectedWithinHostInterval) {
+  monitor_.Start();
+  sim_.RunUntil(Seconds(3));
+  cluster_.machine(0).host().os_kernel_ok = false;
+  sim_.RunUntil(Seconds(6));
+  ASSERT_FALSE(reports_.empty());
+  EXPECT_EQ(reports_.front().symptom_hint, IncidentSymptom::kOsKernelPanic);
+  // Host items are polled every 2 s (Table 3).
+  EXPECT_LE(reports_.front().detect_time - Seconds(3), Seconds(2) + 1);
+}
+
+TEST_F(MonitorTest, NicCrashDetectedWithinNetworkInterval) {
+  monitor_.Start();
+  cluster_.machine(1).host().nic_up = false;
+  sim_.RunUntil(Seconds(31));
+  ASSERT_FALSE(reports_.empty());
+  EXPECT_EQ(reports_.front().symptom_hint, IncidentSymptom::kInfinibandError);
+  EXPECT_LE(reports_.front().detect_time, Seconds(30) + 1);
+}
+
+TEST_F(MonitorTest, SwitchDownNeedsTwoConsecutiveEvents) {
+  monitor_.Start();
+  cluster_.machine(1).host().switch_reachable = false;
+  sim_.RunUntil(Seconds(31));
+  EXPECT_TRUE(reports_.empty()) << "first switch event must not alert";
+  sim_.RunUntil(Seconds(61));
+  ASSERT_FALSE(reports_.empty());
+  EXPECT_EQ(reports_.front().symptom_hint, IncidentSymptom::kInfinibandError);
+}
+
+TEST_F(MonitorTest, FindingsAreDedupedPerRun) {
+  monitor_.Start();
+  cluster_.machine(2).gpu(0).available = false;
+  sim_.RunUntil(Minutes(5));
+  EXPECT_EQ(reports_.size(), 1u);
+  monitor_.OnJobRestart();  // new run: the outstanding set clears
+  sim_.RunUntil(Minutes(6));
+  EXPECT_EQ(reports_.size(), 2u);
+}
+
+TEST_F(MonitorTest, HighTemperatureFlagsMfuDecline) {
+  monitor_.Start();
+  cluster_.machine(3).gpu(1).temperature_c = 93.0;
+  sim_.RunUntil(Seconds(11));
+  ASSERT_FALSE(reports_.empty());
+  EXPECT_EQ(reports_.front().symptom_hint, IncidentSymptom::kMfuDecline);
+  EXPECT_FALSE(reports_.front().high_confidence);
+}
+
+TEST_F(MonitorTest, SdcAndCommDefectAreInvisibleToInspection) {
+  monitor_.Start();
+  cluster_.machine(0).gpu(0).sdc = true;
+  cluster_.machine(1).gpu(1).comm_defect = true;
+  sim_.RunUntil(Minutes(3));
+  EXPECT_TRUE(reports_.empty());
+}
+
+TEST_F(MonitorTest, CrashDetectedViaLogScrape) {
+  monitor_.Start();
+  job_.Start();
+  sim_.RunUntil(Seconds(15));
+  job_.Crash();
+  sim_.RunUntil(Seconds(15) + Minutes(3));
+  ASSERT_FALSE(reports_.empty());
+  EXPECT_EQ(reports_.front().source, AnomalySource::kCrashLog);
+  // Watchdog tick (30 s) + log scrape latency (60 s).
+  EXPECT_LE(reports_.front().detect_time - Seconds(15), Seconds(95));
+}
+
+TEST_F(MonitorTest, HangDetectedAfterGracePeriod) {
+  monitor_.Start();
+  job_.Start();
+  sim_.RunUntil(Seconds(25));
+  job_.Hang(0);
+  sim_.RunUntil(Seconds(25) + Minutes(11));
+  ASSERT_FALSE(reports_.empty());
+  EXPECT_EQ(reports_.front().source, AnomalySource::kHangSuspect);
+  EXPECT_EQ(reports_.front().symptom_hint, IncidentSymptom::kJobHang);
+  // Not before the 10-minute grace.
+  EXPECT_GE(reports_.front().detect_time - Seconds(20), Minutes(10));
+}
+
+TEST_F(MonitorTest, NanLossReportedImmediately) {
+  monitor_.Start();
+  job_.Start();
+  sim_.RunUntil(Seconds(15));
+  job_.SetNanLoss(true);
+  sim_.RunUntil(Seconds(26));
+  ASSERT_FALSE(reports_.empty());
+  EXPECT_EQ(reports_.front().source, AnomalySource::kMetricNan);
+  EXPECT_EQ(reports_.front().symptom_hint, IncidentSymptom::kNanValue);
+}
+
+TEST_F(MonitorTest, MfuDeclineRuleFiresAfterSustainedDrop) {
+  monitor_.Start();
+  job_.Start();
+  sim_.RunUntil(Minutes(2));  // establish the high-water mark
+  cluster_.machine(0).gpu(0).clock_ratio = 0.55;  // silent downclock
+  sim_.RunUntil(Minutes(2) + Seconds(10 / 0.55 * 7));
+  ASSERT_FALSE(reports_.empty());
+  EXPECT_EQ(reports_.front().source, AnomalySource::kMfuDecline);
+}
+
+TEST(MetricsRulesTest, SpikeRuleNeedsHistory) {
+  MetricsRules rules(MetricsRulesConfig{});
+  StepRecord rec;
+  rec.mfu = 0.3;
+  rec.loss = 2.0;
+  rec.grad_norm = 0.5;
+  // Below half the trailing window: no spike detection yet.
+  for (int i = 0; i < 20; ++i) {
+    rec.step = i;
+    EXPECT_FALSE(rules.OnStep(rec).has_value());
+  }
+  rec.loss = 11.0;  // > 5x the median of 2.0
+  const auto report = rules.OnStep(rec);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->source, AnomalySource::kMetricSpike);
+}
+
+TEST(MetricsRulesTest, ResetClearsBaselines) {
+  MetricsRules rules(MetricsRulesConfig{});
+  StepRecord rec;
+  rec.mfu = 0.3;
+  rec.loss = 2.0;
+  rec.grad_norm = 0.5;
+  for (int i = 0; i < 20; ++i) {
+    rules.OnStep(rec);
+  }
+  rules.Reset();
+  rec.loss = 11.0;  // no history anymore: not a spike
+  EXPECT_FALSE(rules.OnStep(rec).has_value());
+}
+
+TEST(MetricsRulesTest, NanWinsOverEverything) {
+  MetricsRules rules(MetricsRulesConfig{});
+  StepRecord rec;
+  rec.is_nan = true;
+  rec.loss = std::nan("");
+  const auto report = rules.OnStep(rec);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->source, AnomalySource::kMetricNan);
+}
+
+}  // namespace
+}  // namespace byterobust

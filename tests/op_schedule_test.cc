@@ -1,0 +1,108 @@
+// Unit tests for the Fig. 8 checkpoint operation schedule.
+
+#include <gtest/gtest.h>
+
+#include "src/ckpt/op_schedule.h"
+
+namespace byterobust {
+namespace {
+
+OpScheduleInputs DefaultInputs() {
+  OpScheduleInputs in;
+  in.forward = Seconds(1.4);
+  in.backward = Seconds(2.6);
+  in.optimizer = Seconds(0.1);
+  in.model_bytes = 2.2e9;
+  in.optimizer_bytes = 0.4e9;
+  return in;
+}
+
+TEST(OpScheduleTest, InterleavedScheduleIsResourceFeasible) {
+  const OpSchedule schedule = BuildCheckpointSchedule(DefaultInputs(), true);
+  EXPECT_TRUE(schedule.ResourceFeasible()) << schedule.Render();
+}
+
+TEST(OpScheduleTest, BulkScheduleIsResourceFeasible) {
+  const OpSchedule schedule = BuildCheckpointSchedule(DefaultInputs(), false);
+  EXPECT_TRUE(schedule.ResourceFeasible()) << schedule.Render();
+}
+
+TEST(OpScheduleTest, InterleavingHidesTheBackupTraffic) {
+  const OpSchedule interleaved = BuildCheckpointSchedule(DefaultInputs(), true);
+  const OpSchedule bulk = BuildCheckpointSchedule(DefaultInputs(), false);
+  // Chunked interleaving hides backup sends in idle comm windows; the bulk
+  // baseline extends the step by (almost) the whole transfer.
+  EXPECT_LT(interleaved.BlockingTime(), bulk.BlockingTime());
+  EXPECT_GE(bulk.BlockingTime(), Milliseconds(100));
+  EXPECT_LE(interleaved.BlockingTime(), Milliseconds(20));
+}
+
+TEST(OpScheduleTest, D2hRunsOnDedicatedStreamDuringCompute) {
+  const OpSchedule schedule = BuildCheckpointSchedule(DefaultInputs(), true);
+  // D2H ops overlap forward/backward compute but never touch the compute
+  // stream or the training collectives' channel.
+  for (const ScheduledOp& op : schedule.ops) {
+    if (op.name.rfind("D2H", 0) == 0) {
+      EXPECT_EQ(op.resource, OpResource::kCkptStream);
+      EXPECT_LT(op.start, Seconds(1.4) + Seconds(2.6)) << "D2H should overlap compute";
+    }
+  }
+}
+
+TEST(OpScheduleTest, OptimizerWaitsForOwnSave) {
+  // Make D2H artificially slow so it outlasts forward+backward: the
+  // optimizer must be pushed back to the D2H completion point.
+  OpScheduleInputs in = DefaultInputs();
+  in.pcie_gbps = 0.5;  // 2.6 GB at 0.5 GB/s = 5.2 s > 4.0 s of compute
+  const OpSchedule schedule = BuildCheckpointSchedule(in, true);
+  SimTime d2h_done = 0;
+  SimTime opt_start = 0;
+  for (const ScheduledOp& op : schedule.ops) {
+    if (op.name == "D2H optimizer shard") {
+      d2h_done = op.end;
+    }
+    if (op.name == "optimizer step") {
+      opt_start = op.start;
+    }
+  }
+  EXPECT_EQ(opt_start, d2h_done);
+  EXPECT_GT(schedule.BlockingTime(), Seconds(1.0));
+}
+
+TEST(OpScheduleTest, SerializationIsPipelinedBehindD2h) {
+  const OpSchedule schedule = BuildCheckpointSchedule(DefaultInputs(), true);
+  SimTime model_d2h_end = 0;
+  SimTime model_ser_start = 0;
+  for (const ScheduledOp& op : schedule.ops) {
+    if (op.name == "D2H model shard") {
+      model_d2h_end = op.end;
+    }
+    if (op.name == "serialize model shard") {
+      model_ser_start = op.start;
+    }
+  }
+  EXPECT_EQ(model_ser_start, model_d2h_end);
+}
+
+TEST(OpScheduleTest, ChunkCountControlsGranularity) {
+  OpScheduleInputs in = DefaultInputs();
+  in.backup_chunks = 4;
+  const OpSchedule s4 = BuildCheckpointSchedule(in, true);
+  int chunks = 0;
+  for (const ScheduledOp& op : s4.ops) {
+    if (op.name.rfind("backup send chunk", 0) == 0) {
+      ++chunks;
+    }
+  }
+  EXPECT_EQ(chunks, 4);
+}
+
+TEST(OpScheduleTest, StepTimeAccounting) {
+  const OpSchedule schedule = BuildCheckpointSchedule(DefaultInputs(), true);
+  EXPECT_EQ(schedule.step_time_without_ckpt, Seconds(1.4) + Seconds(2.6) + Seconds(0.1));
+  EXPECT_GE(schedule.step_time_with_ckpt, schedule.step_time_without_ckpt);
+  EXPECT_FALSE(schedule.Render().empty());
+}
+
+}  // namespace
+}  // namespace byterobust

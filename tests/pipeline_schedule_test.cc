@@ -1,0 +1,133 @@
+// Unit + property tests for the 1F1B pipeline schedule.
+
+#include <gtest/gtest.h>
+
+#include "src/training/pipeline_schedule.h"
+
+namespace byterobust {
+namespace {
+
+PipelineScheduleConfig Config(int stages, int microbatches) {
+  PipelineScheduleConfig cfg;
+  cfg.stages = stages;
+  cfg.microbatches = microbatches;
+  cfg.forward_time = Milliseconds(100);
+  cfg.backward_time = Milliseconds(200);
+  return cfg;
+}
+
+TEST(PipelineScheduleTest, SingleStageIsSequential) {
+  PipelineSchedule sched(Config(1, 4));
+  EXPECT_TRUE(sched.DependenciesHold());
+  // 4 forwards + 4 backwards back to back, no bubble.
+  EXPECT_EQ(sched.TotalTime(), 4 * Milliseconds(100) + 4 * Milliseconds(200));
+  EXPECT_DOUBLE_EQ(sched.BubbleFraction(), 0.0);
+}
+
+TEST(PipelineScheduleTest, OpCountsAreExact) {
+  PipelineSchedule sched(Config(4, 8));
+  int forwards = 0;
+  int backwards = 0;
+  for (const MicroOp& op : sched.ops()) {
+    (op.kind == MicroOpKind::kForward ? forwards : backwards)++;
+  }
+  EXPECT_EQ(forwards, 4 * 8);
+  EXPECT_EQ(backwards, 4 * 8);
+}
+
+TEST(PipelineScheduleTest, DependenciesHoldForFig7Config) {
+  PipelineSchedule sched(Config(4, 8));
+  EXPECT_TRUE(sched.DependenciesHold());
+}
+
+TEST(PipelineScheduleTest, BubbleShrinksWithMoreMicrobatches) {
+  const double b4 = PipelineSchedule(Config(4, 4)).BubbleFraction();
+  const double b16 = PipelineSchedule(Config(4, 16)).BubbleFraction();
+  const double b64 = PipelineSchedule(Config(4, 64)).BubbleFraction();
+  EXPECT_GT(b4, b16);
+  EXPECT_GT(b16, b64);
+  EXPECT_LT(b64, 0.08);
+}
+
+TEST(PipelineScheduleTest, BubbleMatchesClosedFormForEqualCosts) {
+  // With forward_time == backward_time the 1F1B bubble is exactly
+  // (p-1)/(m+p-1).
+  PipelineScheduleConfig cfg;
+  cfg.stages = 4;
+  cfg.microbatches = 8;
+  cfg.forward_time = Milliseconds(100);
+  cfg.backward_time = Milliseconds(100);
+  PipelineSchedule sched(cfg);
+  EXPECT_NEAR(sched.BubbleFraction(), IdealBubbleFraction(4, 8), 1e-9);
+}
+
+TEST(PipelineScheduleTest, FirstStageHasMidStepIdleWindows) {
+  PipelineSchedule sched(Config(4, 8));
+  // Stage 0 finishes its warmup forwards and then waits for backwards to
+  // arrive: it must have idle windows (the Fig. 8 interleaving opportunity).
+  const auto windows = sched.IdleWindowsOf(0);
+  EXPECT_FALSE(windows.empty());
+  SimDuration idle = 0;
+  for (const auto& [lo, hi] : windows) {
+    EXPECT_LT(lo, hi);
+    idle += hi - lo;
+  }
+  EXPECT_GT(idle, Milliseconds(100));
+}
+
+TEST(PipelineScheduleTest, LastStageStartsAfterPipelineFill) {
+  PipelineSchedule sched(Config(4, 8));
+  const auto ops = sched.OpsOf(3);
+  ASSERT_FALSE(ops.empty());
+  // Stage 3's first forward waits for the first micro-batch to traverse
+  // stages 0..2: 3 x 100 ms.
+  EXPECT_EQ(ops.front().start, 3 * Milliseconds(100));
+  EXPECT_EQ(ops.front().kind, MicroOpKind::kForward);
+  // Its first backward immediately follows its first forward (1F1B).
+  EXPECT_EQ(ops[1].kind, MicroOpKind::kBackward);
+  EXPECT_EQ(ops[1].microbatch, 0);
+}
+
+struct SchedCase {
+  int stages;
+  int microbatches;
+};
+
+class PipelineScheduleProperty : public ::testing::TestWithParam<SchedCase> {};
+
+TEST_P(PipelineScheduleProperty, DependenciesAndAccountingHold) {
+  const auto& c = GetParam();
+  PipelineSchedule sched(Config(c.stages, c.microbatches));
+  EXPECT_TRUE(sched.DependenciesHold());
+  // Total time is at least the critical path: fill + m rounds on one stage.
+  const SimDuration f = Milliseconds(100);
+  const SimDuration b = Milliseconds(200);
+  EXPECT_GE(sched.TotalTime(), (c.stages - 1) * f + c.microbatches * (f + b));
+  // Busy time is conserved: every stage does m forwards and m backwards.
+  SimDuration busy = 0;
+  for (const MicroOp& op : sched.ops()) {
+    busy += op.end - op.start;
+  }
+  EXPECT_EQ(busy, static_cast<SimDuration>(c.stages) * c.microbatches * (f + b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PipelineScheduleProperty,
+                         ::testing::Values(SchedCase{1, 1}, SchedCase{2, 2}, SchedCase{4, 8},
+                                           SchedCase{8, 8}, SchedCase{8, 32}, SchedCase{16, 4},
+                                           SchedCase{3, 7}));
+
+TEST(PipelineScheduleTest, RenderProducesOneRowPerStage) {
+  PipelineSchedule sched(Config(4, 8));
+  const std::string chart = sched.Render(64);
+  EXPECT_EQ(std::count(chart.begin(), chart.end(), '\n'), 4);
+  EXPECT_NE(chart.find('F'), std::string::npos);
+  EXPECT_NE(chart.find('B'), std::string::npos);
+}
+
+TEST(PipelineScheduleTest, RejectsInvalidConfig) {
+  EXPECT_THROW(PipelineSchedule(Config(0, 4)), std::invalid_argument);
+  EXPECT_THROW(PipelineSchedule(Config(4, 0)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace byterobust

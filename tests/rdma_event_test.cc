@@ -1,0 +1,127 @@
+// Unit tests for the MegaScale-style RDMA hang detector and the Sec. 7
+// unified event bus.
+
+#include <gtest/gtest.h>
+
+#include "src/analyzer/event_bus.h"
+#include "src/monitor/rdma_monitor.h"
+
+namespace byterobust {
+namespace {
+
+TEST(RdmaTrafficTest, RunningJobHasTrafficHungJobDoesNot) {
+  for (SimTime t = 0; t < Minutes(5); t += Seconds(10)) {
+    EXPECT_GT(SyntheticRdmaTraffic(JobRunState::kRunning, t, 7), 0.5);
+    EXPECT_LT(SyntheticRdmaTraffic(JobRunState::kHung, t, 7), 0.05);
+    EXPECT_LT(SyntheticRdmaTraffic(JobRunState::kCrashed, t, 7), 0.05);
+  }
+}
+
+TEST(RdmaDetectorTest, FiresAfterConsecutiveLowSamples) {
+  RdmaHangDetector detector;
+  SimTime now = 0;
+  // Healthy traffic: never fires.
+  for (int i = 0; i < 20; ++i) {
+    now += Seconds(10);
+    EXPECT_FALSE(detector.OnSample(now, 0.9).has_value());
+  }
+  // Traffic collapses: fires on exactly the 6th low sample (60 s).
+  std::optional<SimTime> fired;
+  const SimTime collapse = now;
+  for (int i = 0; i < 10 && !fired; ++i) {
+    now += Seconds(10);
+    fired = detector.OnSample(now, 0.01);
+  }
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(*fired - collapse, Seconds(60));
+  EXPECT_TRUE(detector.fired());
+}
+
+TEST(RdmaDetectorTest, OneAlertPerQuietPeriodAndRecovery) {
+  RdmaHangDetector detector;
+  SimTime now = 0;
+  int alerts = 0;
+  for (int i = 0; i < 30; ++i) {
+    now += Seconds(10);
+    if (detector.OnSample(now, 0.0)) {
+      ++alerts;
+    }
+  }
+  EXPECT_EQ(alerts, 1);
+  // Traffic recovers, then collapses again: a second alert is allowed.
+  detector.OnSample(now += Seconds(10), 0.9);
+  for (int i = 0; i < 10; ++i) {
+    if (detector.OnSample(now += Seconds(10), 0.0)) {
+      ++alerts;
+    }
+  }
+  EXPECT_EQ(alerts, 2);
+}
+
+TEST(RdmaDetectorTest, NoisyBlipsDoNotAccumulate) {
+  RdmaHangDetector detector;
+  SimTime now = 0;
+  for (int i = 0; i < 50; ++i) {
+    now += Seconds(10);
+    // Alternating low/high never reaches 6 consecutive lows.
+    EXPECT_FALSE(detector.OnSample(now, i % 2 == 0 ? 0.0 : 0.8).has_value());
+  }
+}
+
+TEST(EventBusTest, PublishDispatchesToKindAndAllSubscribers) {
+  EventBus bus;
+  int host_events = 0;
+  int all_events = 0;
+  bus.Subscribe(UnifiedEventKind::kHostAnomaly, [&](const UnifiedEvent&) { ++host_events; });
+  bus.SubscribeAll([&](const UnifiedEvent&) { ++all_events; });
+  bus.Publish({UnifiedEventKind::kHostAnomaly, Seconds(1), 3, IncidentSymptom::kOsKernelPanic,
+               "xid in dmesg"});
+  bus.Publish({UnifiedEventKind::kMetric, Seconds(2), -1, IncidentSymptom::kMfuDecline, ""});
+  EXPECT_EQ(host_events, 1);
+  EXPECT_EQ(all_events, 2);
+  EXPECT_EQ(bus.published(), 2u);
+}
+
+TEST(EventBusTest, HistoryIsBounded) {
+  EventBus bus(/*history_capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    bus.Publish({UnifiedEventKind::kLog, Seconds(i), -1, IncidentSymptom::kCudaError, ""});
+  }
+  EXPECT_EQ(bus.history().size(), 4u);
+  EXPECT_EQ(bus.history().front().time, Seconds(6));
+}
+
+TEST(EventBusTest, CorrelateFiltersByMachineAndWindow) {
+  EventBus bus;
+  bus.Publish({UnifiedEventKind::kHostAnomaly, Minutes(1), 5, IncidentSymptom::kMfuDecline,
+               "gpu 92C"});
+  bus.Publish({UnifiedEventKind::kMetric, Minutes(2), 5, IncidentSymptom::kMfuDecline, ""});
+  bus.Publish({UnifiedEventKind::kMetric, Minutes(2), 6, IncidentSymptom::kMfuDecline, ""});
+  bus.Publish({UnifiedEventKind::kLog, Minutes(30), 5, IncidentSymptom::kCudaError, ""});
+
+  const auto hits = bus.Correlate(5, Minutes(3), Minutes(5));
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].kind, UnifiedEventKind::kMetric);  // newest first
+  EXPECT_EQ(hits[1].kind, UnifiedEventKind::kHostAnomaly);
+}
+
+TEST(EventBusTest, GrayFailureCorrelationRule) {
+  // Sec. 8.1.1: overheating (host anomaly) + MFU degradation (metric) on the
+  // same machine within the window verifies a thermal gray failure.
+  EventBus bus;
+  bus.Publish({UnifiedEventKind::kHostAnomaly, Minutes(10), 7, IncidentSymptom::kMfuDecline,
+               "gpu over 85C"});
+  bus.Publish({UnifiedEventKind::kMetric, Minutes(11), 7, IncidentSymptom::kMfuDecline,
+               "mfu -25%"});
+  EXPECT_TRUE(bus.HasCorrelatedPair(7, Minutes(12), Minutes(5), UnifiedEventKind::kHostAnomaly,
+                                    UnifiedEventKind::kMetric));
+  EXPECT_FALSE(bus.HasCorrelatedPair(8, Minutes(12), Minutes(5),
+                                     UnifiedEventKind::kHostAnomaly,
+                                     UnifiedEventKind::kMetric));
+  // Outside the window the pair no longer correlates.
+  EXPECT_FALSE(bus.HasCorrelatedPair(7, Hours(2), Minutes(5), UnifiedEventKind::kHostAnomaly,
+                                     UnifiedEventKind::kMetric));
+}
+
+}  // namespace
+}  // namespace byterobust

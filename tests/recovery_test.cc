@@ -1,0 +1,184 @@
+// Unit tests for the recovery module: restart-cost model (Table 7 / Fig. 12),
+// warm-standby pool (Sec. 6.2) and hot-update manager (Sec. 6.1).
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster.h"
+#include "src/recovery/hot_update.h"
+#include "src/recovery/restart_model.h"
+#include "src/recovery/warm_standby.h"
+#include "src/sim/simulator.h"
+
+namespace byterobust {
+namespace {
+
+TEST(RestartModelTest, RequeueMatchesTable7Shape) {
+  RestartCostModel model;
+  // Table 7 requeue: 454 / 545 / 635 / 768 s at 128/256/512/1024 machines.
+  EXPECT_NEAR(ToSeconds(model.RequeueTime(128)), 454.0, 1.0);
+  EXPECT_NEAR(ToSeconds(model.RequeueTime(256)), 559.0, 10.0);
+  EXPECT_NEAR(ToSeconds(model.RequeueTime(512)), 664.0, 30.0);
+  EXPECT_NEAR(ToSeconds(model.RequeueTime(1024)), 769.0, 10.0);
+}
+
+TEST(RestartModelTest, HotUpdateIsAboutElevenTimesFaster) {
+  RestartCostModel model;
+  for (int machines : {128, 256, 512, 1024}) {
+    const double ratio = ToSeconds(model.RequeueTime(machines)) /
+                         ToSeconds(model.HotUpdateTime(machines));
+    EXPECT_GT(ratio, 8.0) << machines;
+    EXPECT_LT(ratio, 13.0) << machines;
+  }
+  // Table 7 hot update: 46..65 s across scales.
+  EXPECT_NEAR(ToSeconds(model.HotUpdateTime(128)), 46.0, 1.0);
+  EXPECT_LT(ToSeconds(model.HotUpdateTime(1024)), 70.0);
+}
+
+TEST(RestartModelTest, OrderingStandbyLtRescheduleLtRequeue) {
+  RestartCostModel model;
+  for (int machines : {128, 512, 1024}) {
+    for (int evicted : {1, 4, 8}) {
+      const double wake = ToSeconds(model.StandbyWakeTime(evicted));
+      const double resched = ToSeconds(model.RescheduleTime(machines, evicted));
+      const double requeue = ToSeconds(model.RequeueTime(machines));
+      EXPECT_LT(wake, resched);
+      EXPECT_LT(resched, requeue);
+    }
+  }
+}
+
+TEST(RestartModelTest, CostsGrowMonotonicallyWithScale) {
+  RestartCostModel model;
+  EXPECT_LT(model.RequeueTime(128), model.RequeueTime(1024));
+  EXPECT_LT(model.HotUpdateTime(128), model.HotUpdateTime(1024));
+  EXPECT_LE(model.RescheduleTime(128, 2), model.RescheduleTime(1024, 2));
+  // Below the 128-machine reference, costs never go negative.
+  EXPECT_GT(model.RequeueTime(4), 0);
+}
+
+TEST(WarmStandbyTest, TargetSizeReproducesTable5P99Column) {
+  Simulator sim;
+  Cluster cluster(1024, 16, 0);
+  WarmStandbyPool pool(StandbyConfig{}, &sim, &cluster);
+  // Table 5 "#P99": 2x16, 2x16(*), 3x16, 4x16 backups across the four scales.
+  // (*The 256-machine row of the paper lists 2 backups.)
+  EXPECT_EQ(pool.TargetSize(128), 2);
+  EXPECT_EQ(pool.TargetSize(256), 2);
+  EXPECT_EQ(pool.TargetSize(512), 3);
+  EXPECT_EQ(pool.TargetSize(1024), 4);
+}
+
+TEST(WarmStandbyTest, ProvisioningTakesTimeThenReady) {
+  Simulator sim;
+  Cluster cluster(8, 8, 4);
+  StandbyConfig cfg;
+  cfg.provision_time = Minutes(20);
+  WarmStandbyPool pool(cfg, &sim, &cluster);
+  pool.Replenish(3);
+  EXPECT_EQ(pool.ready_count(), 0);
+  EXPECT_EQ(pool.provisioning_count(), 3);
+  sim.RunUntil(Minutes(21));
+  EXPECT_EQ(pool.ready_count(), 3);
+  EXPECT_EQ(pool.provisioning_count(), 0);
+}
+
+TEST(WarmStandbyTest, ClaimReturnsUpToAvailable) {
+  Simulator sim;
+  Cluster cluster(8, 8, 4);
+  WarmStandbyPool pool(StandbyConfig{}, &sim, &cluster);
+  pool.Replenish(2);
+  sim.RunUntil(Hours(1));
+  const auto claimed = pool.Claim(5);
+  EXPECT_EQ(claimed.size(), 2u);
+  EXPECT_EQ(pool.ready_count(), 0);
+  for (MachineId id : claimed) {
+    EXPECT_EQ(cluster.machine(id).state(), MachineState::kStandbySleep);
+  }
+}
+
+TEST(WarmStandbyTest, ReplenishGrowsClusterWhenNoIdleMachines) {
+  Simulator sim;
+  Cluster cluster(4, 8, 0);  // no spares at all
+  WarmStandbyPool pool(StandbyConfig{}, &sim, &cluster);
+  pool.Replenish(2);
+  EXPECT_EQ(cluster.total_machines(), 6u);  // two fresh machines requested
+  sim.RunUntil(Hours(1));
+  EXPECT_EQ(pool.ready_count(), 2);
+}
+
+TEST(WarmStandbyTest, ReplenishIsIdempotentWhileProvisioning) {
+  Simulator sim;
+  Cluster cluster(4, 8, 4);
+  WarmStandbyPool pool(StandbyConfig{}, &sim, &cluster);
+  pool.Replenish(2);
+  pool.Replenish(2);  // should not double-provision
+  EXPECT_EQ(pool.provisioning_count(), 2);
+}
+
+TEST(HotUpdateTest, UrgentUpdateTriggersImmediateRestart) {
+  Simulator sim;
+  HotUpdateManager mgr(HotUpdateConfig{}, &sim);
+  int restarts = 0;
+  mgr.SetRestartRequester([&] { ++restarts; });
+  CodeVersion v{1, 1.1, false, 0, /*urgent=*/true, "bug fix"};
+  mgr.Submit(v);
+  EXPECT_EQ(restarts, 1);
+  EXPECT_TRUE(mgr.HasPending());
+}
+
+TEST(HotUpdateTest, LazyUpdateWaitsForRecovery) {
+  Simulator sim;
+  HotUpdateManager mgr(HotUpdateConfig{}, &sim);
+  int restarts = 0;
+  mgr.SetRestartRequester([&] { ++restarts; });
+  mgr.Submit({1, 1.1, false, 0, /*urgent=*/false, "optimization"});
+  EXPECT_EQ(restarts, 0);
+  EXPECT_EQ(mgr.pending_count(), 1);
+  const auto taken = mgr.TakePending(/*merged_into_recovery=*/true);
+  ASSERT_EQ(taken.size(), 1u);
+  EXPECT_EQ(taken[0].id, 1);
+  EXPECT_FALSE(mgr.HasPending());
+  EXPECT_EQ(mgr.applied_count(), 1);
+  EXPECT_EQ(mgr.merged_count(), 1);
+}
+
+TEST(HotUpdateTest, TriggerWindowForcesApply) {
+  Simulator sim;
+  HotUpdateConfig cfg;
+  cfg.trigger_window = Hours(24);
+  HotUpdateManager mgr(cfg, &sim);
+  int restarts = 0;
+  mgr.SetRestartRequester([&] { ++restarts; });
+  mgr.Submit({1, 1.1, false, 0, false, "lazy"});
+  sim.RunUntil(Hours(23));
+  EXPECT_EQ(restarts, 0);
+  sim.RunUntil(Hours(25));
+  EXPECT_EQ(restarts, 1);
+}
+
+TEST(HotUpdateTest, TakePendingCancelsWindowTimer) {
+  Simulator sim;
+  HotUpdateManager mgr(HotUpdateConfig{}, &sim);
+  int restarts = 0;
+  mgr.SetRestartRequester([&] { ++restarts; });
+  mgr.Submit({1, 1.1, false, 0, false, "lazy"});
+  mgr.TakePending(true);  // merged into an early failure recovery
+  sim.RunUntil(Hours(48));
+  EXPECT_EQ(restarts, 0) << "window expiry after merge must not fire";
+}
+
+TEST(HotUpdateTest, HistoryRecordsTimeline) {
+  Simulator sim;
+  HotUpdateManager mgr(HotUpdateConfig{}, &sim);
+  sim.Schedule(Hours(1), [&] { mgr.Submit({3, 1.2, false, 0, false, "x"}); });
+  sim.RunUntil(Hours(1));
+  sim.Schedule(Hours(1), [&] { mgr.TakePending(false); });
+  sim.RunUntil(Hours(2));
+  ASSERT_EQ(mgr.history().size(), 1u);
+  EXPECT_EQ(mgr.history()[0].submitted, Hours(1));
+  EXPECT_EQ(mgr.history()[0].applied, Hours(2));
+  EXPECT_FALSE(mgr.history()[0].merged_into_failure_recovery);
+}
+
+}  // namespace
+}  // namespace byterobust

@@ -1,0 +1,148 @@
+// Unit + property tests for dual-phase replay (Algorithm 1, Fig. 6).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/replay/dual_phase_replay.h"
+
+namespace byterobust {
+namespace {
+
+TEST(DualPhaseReplayTest, Fig6GroupingAndSolve) {
+  // Fig. 6: z = 24, m = 4, n = 6; SDC machine #13.
+  DualPhaseReplay replay(24, 4);
+  EXPECT_EQ(replay.n(), 6);
+  // Machine 13: horizontal group H3 = {12, 13, 14, 15}.
+  EXPECT_EQ(replay.HorizontalGroupOf(13), 3);
+  EXPECT_EQ(replay.HorizontalGroup(3), (std::vector<MachineId>{12, 13, 14, 15}));
+  // Vertical group: 13 mod 6 = 1 -> V1 = {1, 7, 13, 19}.
+  EXPECT_EQ(replay.VerticalGroupOf(13), 1);
+  EXPECT_EQ(replay.VerticalGroup(1), (std::vector<MachineId>{1, 7, 13, 19}));
+  // The constrained system has the unique solution {13}.
+  EXPECT_EQ(replay.Solve(3, 1), (std::vector<MachineId>{13}));
+  EXPECT_EQ(replay.ExpectedSuspectCardinality(), 1);
+}
+
+TEST(DualPhaseReplayTest, LocateFindsEveryMachineDeterministically) {
+  DualPhaseReplay replay(24, 4);
+  for (MachineId faulty = 0; faulty < 24; ++faulty) {
+    Rng rng(1);
+    auto oracle = DualPhaseReplay::FaultOracle({faulty}, 1.0, &rng);
+    const ReplayOutcome outcome = replay.Locate(oracle, Minutes(10));
+    ASSERT_TRUE(outcome.found) << "machine " << faulty;
+    EXPECT_EQ(outcome.suspects, (std::vector<MachineId>{faulty}));
+    // Two phases => two replay rounds of sim time.
+    EXPECT_EQ(outcome.elapsed, Minutes(20));
+  }
+}
+
+TEST(DualPhaseReplayTest, NonReproducingFaultReturnsNotFound) {
+  DualPhaseReplay replay(24, 4);
+  Rng rng(1);
+  auto oracle = DualPhaseReplay::FaultOracle({13}, 0.0, &rng);
+  const ReplayOutcome outcome = replay.Locate(oracle, Minutes(10));
+  EXPECT_FALSE(outcome.found);
+  EXPECT_EQ(outcome.faulty_horizontal, -1);
+  EXPECT_EQ(outcome.elapsed, Minutes(10));  // gave up after phase 1
+}
+
+TEST(DualPhaseReplayTest, ValidatesConstruction) {
+  EXPECT_THROW(DualPhaseReplay(0, 4), std::invalid_argument);
+  EXPECT_THROW(DualPhaseReplay(24, 0), std::invalid_argument);
+  EXPECT_THROW(DualPhaseReplay(24, 5), std::invalid_argument);  // 24 % 5 != 0
+  EXPECT_THROW(DualPhaseReplay(24, 4).HorizontalGroup(6), std::out_of_range);
+  EXPECT_THROW(DualPhaseReplay(24, 4).VerticalGroup(-1), std::out_of_range);
+}
+
+struct ReplayCase {
+  int z;
+  int m;
+};
+
+class ReplayProperty : public ::testing::TestWithParam<ReplayCase> {};
+
+TEST_P(ReplayProperty, GroupsPartitionMachines) {
+  const auto& c = GetParam();
+  DualPhaseReplay replay(c.z, c.m);
+  std::set<MachineId> horizontal;
+  for (int a = 0; a < replay.n(); ++a) {
+    for (MachineId x : replay.HorizontalGroup(a)) {
+      EXPECT_TRUE(horizontal.insert(x).second);
+    }
+  }
+  EXPECT_EQ(static_cast<int>(horizontal.size()), c.z);
+  std::set<MachineId> vertical;
+  for (int b = 0; b < replay.n(); ++b) {
+    for (MachineId x : replay.VerticalGroup(b)) {
+      EXPECT_TRUE(vertical.insert(x).second);
+    }
+  }
+  EXPECT_EQ(static_cast<int>(vertical.size()), c.z);
+}
+
+TEST_P(ReplayProperty, SolveMatchesBruteForce) {
+  const auto& c = GetParam();
+  DualPhaseReplay replay(c.z, c.m);
+  for (int a = 0; a < replay.n(); ++a) {
+    for (int b = 0; b < replay.n(); ++b) {
+      std::vector<MachineId> expected;
+      for (int x = 0; x < c.z; ++x) {
+        if (x / c.m == a && x % replay.n() == b) {
+          expected.push_back(x);
+        }
+      }
+      EXPECT_EQ(replay.Solve(a, b), expected);
+    }
+  }
+}
+
+TEST_P(ReplayProperty, EverySingleFaultIsLocatedWithinCardinality) {
+  const auto& c = GetParam();
+  DualPhaseReplay replay(c.z, c.m);
+  for (MachineId faulty = 0; faulty < c.z; ++faulty) {
+    Rng rng(static_cast<std::uint64_t>(faulty) + 1);
+    auto oracle = DualPhaseReplay::FaultOracle({faulty}, 1.0, &rng);
+    const ReplayOutcome outcome = replay.Locate(oracle, Minutes(10));
+    ASSERT_TRUE(outcome.found);
+    EXPECT_LE(static_cast<int>(outcome.suspects.size()),
+              replay.ExpectedSuspectCardinality());
+    // The true faulty machine is always inside the suspect set.
+    EXPECT_NE(std::find(outcome.suspects.begin(), outcome.suspects.end(), faulty),
+              outcome.suspects.end());
+  }
+}
+
+TEST_P(ReplayProperty, UniqueSolutionWhenMLeqN) {
+  const auto& c = GetParam();
+  DualPhaseReplay replay(c.z, c.m);
+  if (c.m > replay.n()) {
+    GTEST_SKIP();
+  }
+  EXPECT_EQ(replay.ExpectedSuspectCardinality(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ReplayProperty,
+                         ::testing::Values(ReplayCase{24, 4}, ReplayCase{16, 4}, ReplayCase{64, 8},
+                                           ReplayCase{36, 6}, ReplayCase{128, 8},
+                                           ReplayCase{100, 10}, ReplayCase{12, 2}));
+
+TEST(DualPhaseReplayTest, StochasticReproductionStillLocatesUsually) {
+  // SDC reproduces with probability 0.75 per replay; over many trials the
+  // two-phase procedure should still land on the right machine most times.
+  DualPhaseReplay replay(24, 4);
+  Rng rng(99);
+  int located = 0;
+  const int trials = 400;
+  for (int i = 0; i < trials; ++i) {
+    auto oracle = DualPhaseReplay::FaultOracle({13}, 0.75, &rng);
+    const ReplayOutcome outcome = replay.Locate(oracle, Minutes(10));
+    if (outcome.found && outcome.suspects == std::vector<MachineId>{13}) {
+      ++located;
+    }
+  }
+  EXPECT_GT(static_cast<double>(located) / trials, 0.5);
+}
+
+}  // namespace
+}  // namespace byterobust

@@ -1,0 +1,148 @@
+// Unit + property tests for load-time checkpoint resharding.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/ckpt/reshard.h"
+
+namespace byterobust {
+namespace {
+
+ParallelismConfig Config(int tp, int pp, int dp, int gpm = 2) {
+  ParallelismConfig cfg;
+  cfg.tp = tp;
+  cfg.pp = pp;
+  cfg.dp = dp;
+  cfg.gpus_per_machine = gpm;
+  return cfg;
+}
+
+TEST(ReshardTest, ShardsTileTheSpaceExactly) {
+  const ParallelismConfig cfg = Config(2, 4, 2);
+  const std::int64_t total = 1000;  // deliberately not divisible by 8
+  std::int64_t covered = 0;
+  std::int64_t prev_hi = 0;
+  for (int s = 0; s < cfg.tp * cfg.pp; ++s) {
+    // Model shards keyed by (tp, pp) at dp=0.
+    const Rank rank = s;  // ranks 0..7 are exactly the dp=0 grid
+    const ByteInterval shard = ReshardPlanner::ModelShard(cfg, rank, total);
+    EXPECT_EQ(shard.lo, prev_hi) << "gap or overlap at shard " << s;
+    prev_hi = shard.hi;
+    covered += shard.size();
+  }
+  EXPECT_EQ(prev_hi, total);
+  EXPECT_EQ(covered, total);
+}
+
+TEST(ReshardTest, DpReplicasHoldIdenticalModelShards) {
+  const ParallelismConfig cfg = Config(2, 4, 4);
+  const Topology topo(cfg);
+  const std::int64_t total = 1 << 20;
+  for (Rank r = 0; r < topo.world_size(); ++r) {
+    const RankCoord c = topo.CoordOf(r);
+    RankCoord replica = c;
+    replica.dp = 0;
+    EXPECT_EQ(ReshardPlanner::ModelShard(cfg, r, total),
+              ReshardPlanner::ModelShard(cfg, topo.RankOf(replica), total));
+  }
+}
+
+TEST(ReshardTest, IdentityReshardReadsExactlyOwnShard) {
+  const ParallelismConfig cfg = Config(2, 4, 2);
+  ReshardPlanner planner(cfg, cfg, 1 << 20, 1 << 18);
+  for (Rank r = 0; r < cfg.world_size(); ++r) {
+    const auto opt_sources = planner.OptimizerSourcesFor(r);
+    ASSERT_EQ(opt_sources.size(), 1u);
+    EXPECT_EQ(opt_sources[0].old_rank, r);
+    EXPECT_EQ(opt_sources[0].range, ReshardPlanner::OptimizerShard(cfg, r, 1 << 18));
+  }
+}
+
+TEST(ReshardTest, DpExpansionSplitsOptimizerShards) {
+  // Long-context stage: DP grows 2 -> 4 (Sec. 2.1); every new optimizer
+  // shard is half of an old one.
+  const ParallelismConfig old_cfg = Config(2, 4, 2);
+  const ParallelismConfig new_cfg = Config(2, 4, 4);
+  const std::int64_t opt_bytes = 1 << 20;
+  ReshardPlanner planner(old_cfg, new_cfg, 1 << 22, opt_bytes);
+  for (Rank r = 0; r < new_cfg.world_size(); ++r) {
+    const auto sources = planner.OptimizerSourcesFor(r);
+    ASSERT_EQ(sources.size(), 1u) << "aligned split should read one old shard";
+    const ByteInterval want = ReshardPlanner::OptimizerShard(new_cfg, r, opt_bytes);
+    EXPECT_EQ(sources[0].range, want);
+  }
+}
+
+struct ReshardCase {
+  ParallelismConfig old_cfg;
+  ParallelismConfig new_cfg;
+};
+
+class ReshardProperty : public ::testing::TestWithParam<ReshardCase> {};
+
+TEST_P(ReshardProperty, SourcesExactlyCoverEveryNewShard) {
+  const auto& c = GetParam();
+  const std::int64_t model_bytes = 10'000'019;  // prime: stresses boundaries
+  const std::int64_t opt_bytes = 7'000'003;
+  ReshardPlanner planner(c.old_cfg, c.new_cfg, model_bytes, opt_bytes);
+
+  for (Rank r = 0; r < c.new_cfg.world_size(); ++r) {
+    // Optimizer: sources must tile the wanted interval in order.
+    const ByteInterval opt_want = ReshardPlanner::OptimizerShard(c.new_cfg, r, opt_bytes);
+    std::int64_t cursor = opt_want.lo;
+    for (const ShardSource& s : planner.OptimizerSourcesFor(r)) {
+      EXPECT_EQ(s.range.lo, cursor);
+      // The source range must lie inside the old rank's shard.
+      const ByteInterval old_shard =
+          ReshardPlanner::OptimizerShard(c.old_cfg, s.old_rank, opt_bytes);
+      EXPECT_GE(s.range.lo, old_shard.lo);
+      EXPECT_LE(s.range.hi, old_shard.hi);
+      cursor = s.range.hi;
+    }
+    EXPECT_EQ(cursor, opt_want.hi);
+
+    // Model: same tiling property.
+    const ByteInterval model_want = ReshardPlanner::ModelShard(c.new_cfg, r, model_bytes);
+    cursor = model_want.lo;
+    for (const ShardSource& s : planner.ModelSourcesFor(r)) {
+      EXPECT_EQ(s.range.lo, cursor);
+      const ByteInterval old_shard =
+          ReshardPlanner::ModelShard(c.old_cfg, s.old_rank, model_bytes);
+      EXPECT_GE(s.range.lo, old_shard.lo);
+      EXPECT_LE(s.range.hi, old_shard.hi);
+      cursor = s.range.hi;
+    }
+    EXPECT_EQ(cursor, model_want.hi);
+  }
+}
+
+TEST_P(ReshardProperty, TotalBytesMovedMatchTheStateSizes) {
+  const auto& c = GetParam();
+  const std::int64_t model_bytes = 1 << 22;
+  const std::int64_t opt_bytes = 1 << 20;
+  ReshardPlanner planner(c.old_cfg, c.new_cfg, model_bytes, opt_bytes);
+  const ReshardStats stats = planner.Stats();
+  // Optimizer state is read exactly once in total; model state once per new
+  // DP replica set.
+  EXPECT_EQ(stats.optimizer_bytes_moved, opt_bytes);
+  EXPECT_EQ(stats.model_bytes_moved, model_bytes * c.new_cfg.dp);
+  EXPECT_GE(stats.max_fan_in, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Transitions, ReshardProperty,
+    ::testing::Values(ReshardCase{Config(2, 4, 2), Config(2, 4, 4)},   // DP growth
+                      ReshardCase{Config(2, 4, 4), Config(2, 4, 2)},   // DP shrink
+                      ReshardCase{Config(2, 4, 2), Config(4, 2, 2)},   // TP/PP reshape
+                      ReshardCase{Config(4, 2, 2), Config(2, 2, 4)},   // mixed
+                      ReshardCase{Config(2, 4, 2), Config(2, 4, 2)},   // identity
+                      ReshardCase{Config(8, 8, 4, 16), Config(8, 8, 8, 16)}));
+
+TEST(ReshardTest, RejectsInvalidInputs) {
+  EXPECT_THROW(ReshardPlanner(Config(0, 1, 1), Config(2, 2, 2), 1, 1), std::invalid_argument);
+  EXPECT_THROW(ReshardPlanner(Config(2, 2, 2), Config(2, 2, 2), -1, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace byterobust

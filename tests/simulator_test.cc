@@ -1,0 +1,144 @@
+// Unit tests for the discrete-event simulator.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace byterobust {
+namespace {
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(Seconds(3), [&] { order.push_back(3); });
+  sim.Schedule(Seconds(1), [&] { order.push_back(1); });
+  sim.Schedule(Seconds(2), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), Seconds(3));
+}
+
+TEST(SimulatorTest, SameTimestampIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(Seconds(5), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  bool fired = false;
+  sim.Schedule(-Seconds(10), [&] { fired = true; });
+  sim.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.Now(), 0);
+}
+
+TEST(SimulatorTest, ScheduleAtPastThrows) {
+  Simulator sim;
+  sim.Schedule(Seconds(2), [] {});
+  sim.Run();
+  EXPECT_THROW(sim.ScheduleAt(Seconds(1), [] {}), std::invalid_argument);
+}
+
+TEST(SimulatorTest, CancelPreventsDispatch) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.Schedule(Seconds(1), [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelInvalidOrTwiceIsNoop) {
+  Simulator sim;
+  const EventId id = sim.Schedule(Seconds(1), [] {});
+  EXPECT_FALSE(sim.Cancel(kInvalidEventId));
+  EXPECT_FALSE(sim.Cancel(9999));
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockToDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(Seconds(1), [&] { ++fired; });
+  sim.Schedule(Seconds(10), [&] { ++fired; });
+  sim.RunUntil(Seconds(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), Seconds(5));
+  sim.RunUntil(Seconds(20));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.Now(), Seconds(20));
+}
+
+TEST(SimulatorTest, EventsScheduledDuringRunAreDispatched) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.Schedule(Seconds(1), [&] {
+    times.push_back(sim.Now());
+    sim.Schedule(Seconds(1), [&] { times.push_back(sim.Now()); });
+  });
+  sim.Run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], Seconds(1));
+  EXPECT_EQ(times[1], Seconds(2));
+}
+
+TEST(SimulatorTest, StopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(Seconds(1), [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.Schedule(Seconds(2), [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  // A later Run resumes with the remaining event.
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, StepDispatchesExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(Seconds(1), [&] { ++fired; });
+  sim.Schedule(Seconds(2), [&] { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, DispatchCountAndPending) {
+  Simulator sim;
+  sim.Schedule(Seconds(1), [] {});
+  sim.Schedule(Seconds(2), [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.Run();
+  EXPECT_EQ(sim.events_dispatched(), 2u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, RunUntilSkipsCancelledHead) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.Schedule(Seconds(1), [&] { fired = true; });
+  sim.Schedule(Seconds(2), [&] {});
+  sim.Cancel(id);
+  sim.RunUntil(Seconds(3));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_dispatched(), 1u);
+}
+
+}  // namespace
+}  // namespace byterobust

@@ -1,0 +1,125 @@
+// System-level tests: warm-standby shortfall (reschedule path), group
+// over-eviction with checkpoint survivability, campaign CSV export, and
+// production-preset smoke tests.
+
+#include <gtest/gtest.h>
+
+#include "src/core/production_presets.h"
+#include "src/faults/fault_injector.h"
+#include "src/metrics/report.h"
+
+namespace byterobust {
+namespace {
+
+SystemConfig SmallSystem(std::uint64_t seed) {
+  SystemConfig cfg;
+  cfg.job.parallelism = {2, 4, 4, 2};
+  cfg.job.base_step_time = Seconds(10);
+  cfg.job.model_params_b = 0.7;
+  cfg.seed = seed;
+  cfg.spare_machines = 12;
+  cfg.standby.provision_time = Minutes(5);
+  cfg.monitor.hang_grace = Minutes(3);
+  cfg.diagnoser.eud_recall_explicit = 1.0;
+  return cfg;
+}
+
+TEST(SystemTest, GroupOverEvictionExceedsStandbyPoolAndStillRecovers) {
+  // The standby pool holds P99(16, 0.0012) = 1-2 machines; a hang-driven
+  // PP-group over-eviction removes 4 at once, forcing the reschedule
+  // shortfall path (Fig. 12's catastrophic branch).
+  ByteRobustSystem sys(SmallSystem(13));
+  sys.Start();
+  sys.sim().RunUntil(Minutes(30));
+  const int pool_before = sys.standby_pool().ready_count();
+  EXPECT_LE(pool_before, 2);
+
+  Incident inc;
+  inc.id = 1;
+  inc.symptom = IncidentSymptom::kJobHang;
+  inc.root_cause = RootCause::kInfrastructure;
+  inc.faulty_machines = {13};
+  inc.gpu_index = 0;
+  inc.inject_time = sys.sim().Now();
+  FaultInjector::ApplyToCluster(inc, &sys.cluster());
+  sys.controller().NotifyIncidentInjected(inc);
+  sys.job().Hang(26);
+
+  sys.sim().RunUntil(sys.sim().Now() + Hours(2));
+  EXPECT_EQ(sys.job().state(), JobRunState::kRunning);
+  EXPECT_GE(sys.controller().evictions_total(), 4);
+  // Every evicted slot got a working replacement.
+  for (int slot = 0; slot < sys.cluster().num_training_slots(); ++slot) {
+    EXPECT_FALSE(sys.cluster().IsBlacklisted(sys.cluster().MachineAtSlot(slot)));
+  }
+  // The pool replenished itself afterwards.
+  EXPECT_GE(sys.standby_pool().ready_count() + sys.standby_pool().provisioning_count(), 1);
+}
+
+TEST(SystemTest, CheckpointsSurviveTheGroupEvictionThatActuallyHappens) {
+  ByteRobustSystem sys(SmallSystem(17));
+  sys.Start();
+  sys.sim().RunUntil(Minutes(30));
+  // The analyzer over-evicts PP groups; the backup plan must guarantee
+  // restorability for exactly those machine sets.
+  const Topology& topo = sys.job().topology();
+  for (const ParallelGroup& g : topo.Groups(GroupKind::kPipeline)) {
+    EXPECT_TRUE(sys.ckpt().CanRestoreAfterEviction(topo.MachinesOfGroup(g)));
+  }
+}
+
+TEST(SystemTest, CampaignExportsWellFormedCsv) {
+  ScenarioConfig cfg;
+  cfg.system = SmallSystem(19);
+  cfg.system.monitor = CampaignMonitorConfig();
+  cfg.duration = Days(1);
+  cfg.injector.reference_mtbf = Hours(3.0);
+  cfg.injector.reference_machines = 16;
+  cfg.planned_updates = 3;
+  Scenario scenario(cfg);
+  scenario.Run();
+  ByteRobustSystem& sys = scenario.system();
+
+  const std::string mfu_csv = MfuSeriesCsv(sys.mfu_series(), /*stride=*/50);
+  const std::string ettr_csv = EttrCurveCsv(sys.ettr(), sys.sim().Now(), 20);
+  const std::string log_csv = ResolutionLogCsv(sys.controller().log());
+  EXPECT_GT(mfu_csv.size(), 100u);
+  EXPECT_NE(ettr_csv.find("cumulative_ettr"), std::string::npos);
+  // Every resolution row has 10 comma-separated fields.
+  std::istringstream lines(log_csv);
+  std::string line;
+  std::getline(lines, line);  // header
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 9) << line;
+  }
+}
+
+TEST(SystemTest, ProductionPresetsSmoke) {
+  // One simulated day of each production preset must run clean and stay
+  // productive.
+  for (int preset = 0; preset < 3; ++preset) {
+    ScenarioConfig cfg = preset == 0   ? DenseCampaignConfig(1.0, 23)
+                         : preset == 1 ? MoeCampaignConfig(1.0, 29)
+                                       : Fig2CampaignConfig(31);
+    cfg.duration = Days(1);
+    Scenario scenario(cfg);
+    scenario.Run();
+    ByteRobustSystem& sys = scenario.system();
+    EXPECT_GT(sys.job().max_step_reached(), 100) << "preset " << preset;
+    EXPECT_GT(sys.ettr().CumulativeEttr(sys.sim().Now()), 0.6) << "preset " << preset;
+  }
+}
+
+TEST(SystemTest, StandbyPoolPreProvisionedAtStart) {
+  ByteRobustSystem sys(SmallSystem(37));
+  sys.Start();
+  sys.sim().RunUntil(Minutes(10));
+  EXPECT_GE(sys.standby_pool().ready_count(), 1);
+  // Pool machines are in low-power sleep, not serving.
+  for (MachineId id : sys.cluster().ServingMachines()) {
+    EXPECT_NE(sys.cluster().machine(id).state(), MachineState::kStandbySleep);
+  }
+}
+
+}  // namespace
+}  // namespace byterobust

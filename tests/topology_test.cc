@@ -1,0 +1,213 @@
+// Unit + property tests for the 3D-parallel topology. The concrete expectations
+// come straight from the paper's figures: Fig. 7 (TP=2, PP=4, DP=4 on 16
+// two-GPU machines) and Fig. 9 (TP=2, PP=4, DP=2 backup exchange).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/topology/parallelism.h"
+
+namespace byterobust {
+namespace {
+
+ParallelismConfig Fig7Config() {
+  ParallelismConfig cfg;
+  cfg.tp = 2;
+  cfg.pp = 4;
+  cfg.dp = 4;
+  cfg.gpus_per_machine = 2;
+  return cfg;
+}
+
+ParallelismConfig Fig9Config() {
+  ParallelismConfig cfg;
+  cfg.tp = 2;
+  cfg.pp = 4;
+  cfg.dp = 2;
+  cfg.gpus_per_machine = 2;
+  return cfg;
+}
+
+TEST(ParallelismConfigTest, Validity) {
+  EXPECT_TRUE(Fig7Config().Valid());
+  ParallelismConfig bad = Fig7Config();
+  bad.gpus_per_machine = 3;  // 32 % 3 != 0
+  EXPECT_FALSE(bad.Valid());
+  bad = Fig7Config();
+  bad.tp = 0;
+  EXPECT_FALSE(bad.Valid());
+  EXPECT_THROW(Topology{bad}, std::invalid_argument);
+}
+
+TEST(TopologyTest, Fig7MachinePlacement) {
+  Topology topo(Fig7Config());
+  EXPECT_EQ(topo.world_size(), 32);
+  EXPECT_EQ(topo.num_machines(), 16);
+  // Machine 15 hosts ranks 30, 31 (the last pipeline stage of dp group 3).
+  EXPECT_EQ(topo.RanksOnMachine(15), (std::vector<Rank>{30, 31}));
+  EXPECT_EQ(topo.MachineOfRank(30), 15);
+}
+
+TEST(TopologyTest, Fig7PipelineGroupSpansMachines12To15) {
+  Topology topo(Fig7Config());
+  // Rank 30 = (tp=0, pp=3, dp=3); its PP group walks pp = 0..3 at dp=3.
+  const std::vector<Rank> pp_group = topo.PipelineGroupOf(30);
+  EXPECT_EQ(pp_group, (std::vector<Rank>{24, 26, 28, 30}));
+  std::set<MachineId> machines;
+  for (Rank r : pp_group) {
+    machines.insert(topo.MachineOfRank(r));
+  }
+  EXPECT_EQ(machines, (std::set<MachineId>{12, 13, 14, 15}));
+}
+
+TEST(TopologyTest, CoordRoundTripFig7) {
+  Topology topo(Fig7Config());
+  const RankCoord c = topo.CoordOf(30);
+  EXPECT_EQ(c.tp, 0);
+  EXPECT_EQ(c.pp, 3);
+  EXPECT_EQ(c.dp, 3);
+  EXPECT_EQ(topo.RankOf(c), 30);
+}
+
+TEST(TopologyTest, Fig9BackupPartnerIsRanks8To2) {
+  Topology topo(Fig9Config());
+  // Paper: "ranks 8 and 9 exchange their optimizer states with ranks 2 and 3,
+  // ensuring that none share the same PP, DP, or TP groups."
+  EXPECT_EQ(topo.BackupPartnerOf(8), 2);
+  EXPECT_EQ(topo.BackupPartnerOf(9), 3);
+  EXPECT_FALSE(topo.SharesAnyGroup(8, 2));
+  EXPECT_FALSE(topo.SharesAnyGroup(9, 3));
+}
+
+TEST(TopologyTest, GroupIndexingIsDense) {
+  Topology topo(Fig7Config());
+  for (GroupKind kind : {GroupKind::kTensor, GroupKind::kPipeline, GroupKind::kData}) {
+    const int n = topo.NumGroups(kind);
+    std::set<int> seen;
+    for (Rank r = 0; r < topo.world_size(); ++r) {
+      const int idx = topo.GroupIndexOf(r, kind);
+      EXPECT_GE(idx, 0);
+      EXPECT_LT(idx, n);
+      seen.insert(idx);
+    }
+    EXPECT_EQ(static_cast<int>(seen.size()), n);
+  }
+}
+
+TEST(TopologyTest, GroupsPartitionTheWorld) {
+  Topology topo(Fig7Config());
+  for (GroupKind kind : {GroupKind::kTensor, GroupKind::kPipeline, GroupKind::kData}) {
+    std::set<Rank> covered;
+    for (const ParallelGroup& g : topo.Groups(kind)) {
+      for (Rank r : g.ranks) {
+        EXPECT_TRUE(covered.insert(r).second) << "rank in two groups of same kind";
+      }
+    }
+    EXPECT_EQ(static_cast<int>(covered.size()), topo.world_size());
+  }
+}
+
+TEST(TopologyTest, FindCoveringGroupPrefersPipeline) {
+  Topology topo(Fig7Config());
+  // Machines 12-15 are exactly one PP group (see Fig. 7).
+  ParallelGroup group;
+  ASSERT_TRUE(topo.FindCoveringGroup({12, 13, 14, 15}, &group));
+  EXPECT_EQ(group.kind, GroupKind::kPipeline);
+  EXPECT_EQ(topo.MachinesOfGroup(group), (std::vector<MachineId>{12, 13, 14, 15}));
+}
+
+TEST(TopologyTest, FindCoveringGroupSingleMachine) {
+  Topology topo(Fig7Config());
+  ParallelGroup group;
+  ASSERT_TRUE(topo.FindCoveringGroup({5}, &group));
+  const std::vector<MachineId> machines = topo.MachinesOfGroup(group);
+  EXPECT_NE(std::find(machines.begin(), machines.end(), 5), machines.end());
+}
+
+TEST(TopologyTest, FindCoveringGroupFailsAcrossUnrelatedMachines) {
+  Topology topo(Fig7Config());
+  ParallelGroup group;
+  // Machines 0 and 15 share no single TP/PP/DP group (different tp columns,
+  // different dp, different pp rows at machine granularity).
+  EXPECT_FALSE(topo.FindCoveringGroup({0, 5, 10, 15}, &group));
+}
+
+TEST(TopologyTest, OutOfRangeThrows) {
+  Topology topo(Fig7Config());
+  EXPECT_THROW(topo.CoordOf(-1), std::out_of_range);
+  EXPECT_THROW(topo.CoordOf(32), std::out_of_range);
+  EXPECT_THROW(topo.MachineOfRank(32), std::out_of_range);
+  EXPECT_THROW(topo.RanksOnMachine(16), std::out_of_range);
+}
+
+// ---- Parameterized properties over a spread of configurations -------------
+
+struct TopoCase {
+  int tp, pp, dp, gpm;
+};
+
+class TopologyProperty : public ::testing::TestWithParam<TopoCase> {
+ protected:
+  Topology MakeTopo() const {
+    const auto& c = GetParam();
+    ParallelismConfig cfg;
+    cfg.tp = c.tp;
+    cfg.pp = c.pp;
+    cfg.dp = c.dp;
+    cfg.gpus_per_machine = c.gpm;
+    return Topology(cfg);
+  }
+};
+
+TEST_P(TopologyProperty, CoordRoundTripsForAllRanks) {
+  Topology topo = MakeTopo();
+  for (Rank r = 0; r < topo.world_size(); ++r) {
+    EXPECT_EQ(topo.RankOf(topo.CoordOf(r)), r);
+  }
+}
+
+TEST_P(TopologyProperty, GroupSizesMatchDegrees) {
+  Topology topo = MakeTopo();
+  const auto& cfg = topo.config();
+  for (Rank r = 0; r < topo.world_size(); ++r) {
+    EXPECT_EQ(topo.TensorGroupOf(r).size(), static_cast<std::size_t>(cfg.tp));
+    EXPECT_EQ(topo.PipelineGroupOf(r).size(), static_cast<std::size_t>(cfg.pp));
+    EXPECT_EQ(topo.DataGroupOf(r).size(), static_cast<std::size_t>(cfg.dp));
+  }
+}
+
+TEST_P(TopologyProperty, BackupPartnerCrossesAllGroupsWhenNonDegenerate) {
+  Topology topo = MakeTopo();
+  const auto& cfg = topo.config();
+  if (cfg.pp < 2 || cfg.dp < 2) {
+    GTEST_SKIP() << "degenerate config uses neighbor fallback";
+  }
+  for (Rank r = 0; r < topo.world_size(); ++r) {
+    const Rank partner = topo.BackupPartnerOf(r);
+    EXPECT_NE(partner, r);
+    EXPECT_FALSE(topo.SharesAnyGroup(r, partner))
+        << "rank " << r << " backs up into its own parallel group";
+  }
+}
+
+TEST_P(TopologyProperty, MachineMappingIsContiguousAndComplete) {
+  Topology topo = MakeTopo();
+  std::set<Rank> all;
+  for (MachineId m = 0; m < topo.num_machines(); ++m) {
+    for (Rank r : topo.RanksOnMachine(m)) {
+      EXPECT_EQ(topo.MachineOfRank(r), m);
+      all.insert(r);
+    }
+  }
+  EXPECT_EQ(static_cast<int>(all.size()), topo.world_size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, TopologyProperty,
+    ::testing::Values(TopoCase{2, 4, 4, 2}, TopoCase{2, 4, 2, 2}, TopoCase{8, 8, 4, 16},
+                      TopoCase{4, 2, 8, 8}, TopoCase{1, 4, 4, 4}, TopoCase{2, 1, 8, 4},
+                      TopoCase{8, 1, 1, 8}, TopoCase{1, 1, 16, 8}, TopoCase{8, 16, 4, 16}));
+
+}  // namespace
+}  // namespace byterobust
