@@ -4,83 +4,33 @@
 // Per the paper's methodology (Sec. 8.2.1): identify the P99 faulty-machine
 // count N per scale, simulate evictions of 1..N machines, add a catastrophic
 // switch failure (32 machines evicted) fixed at 1% probability, and weight
-// the scenarios by the binomial failure model of Sec. 6.2.
+// the scenarios by the binomial failure model of Sec. 6.2. The model itself
+// lives in src/recovery/was_model.h (shared with the byterobust CLI).
 
-#include <cmath>
 #include <cstdio>
-#include <vector>
+#include <string>
 
-#include "src/common/rng.h"
 #include "src/common/table.h"
-#include "src/recovery/restart_model.h"
-#include "src/recovery/warm_standby.h"
+#include "src/recovery/was_model.h"
 
 using namespace byterobust;
-
-namespace {
-
-// Binomial pmf via the same recurrence the quantile uses.
-std::vector<double> BinomialPmf(int n, double p, int up_to) {
-  std::vector<double> pmf(static_cast<std::size_t>(up_to) + 1);
-  double v = std::pow(1.0 - p, n);
-  pmf[0] = v;
-  for (int k = 0; k < up_to; ++k) {
-    v *= static_cast<double>(n - k) / static_cast<double>(k + 1) * (p / (1.0 - p));
-    pmf[static_cast<std::size_t>(k) + 1] = v;
-  }
-  return pmf;
-}
-
-}  // namespace
 
 int main() {
   std::printf("=== Fig. 12: weighted average scheduling (WAS) time on eviction ===\n\n");
 
-  const RestartCostModel model;
-  const StandbyConfig standby;
-  const double p = standby.daily_machine_failure_prob;
-  const int catastrophic_machines = 32;
-  const double catastrophic_weight = 0.01;
-
   TablePrinter table({"Scale", "P99 N", "Requeue (s)", "Reschedule (s)", "Oracle (s)",
                       "ByteRobust (s)", "BR vs requeue", "BR vs oracle"});
   for (int machines : {128, 256, 512, 1024}) {
-    const int n_p99 = std::max(1, BinomialQuantile(machines, p, standby.quantile));
-    // Weights for k = 1..N evictions, conditioned on at least one failure,
-    // scaled to 99%; the catastrophic case takes the remaining 1%.
-    std::vector<double> pmf = BinomialPmf(machines, p, n_p99);
-    double mass = 0.0;
-    for (int k = 1; k <= n_p99; ++k) {
-      mass += pmf[static_cast<std::size_t>(k)];
-    }
-    double requeue = 0.0;
-    double reschedule = 0.0;
-    double oracle = 0.0;
-    double ours = 0.0;
-    for (int k = 1; k <= n_p99; ++k) {
-      const double w =
-          (1.0 - catastrophic_weight) * pmf[static_cast<std::size_t>(k)] / mass;
-      requeue += w * ToSeconds(model.RequeueTime(machines));
-      reschedule += w * ToSeconds(model.RescheduleTime(machines, k));
-      oracle += w * ToSeconds(model.StandbyWakeTime(k));
-      // k <= N evictions: warm standbys cover everything.
-      ours += w * ToSeconds(model.StandbyWakeTime(k));
-    }
-    // Catastrophic switch failure: all 32 machines behind the switch evicted.
-    requeue += catastrophic_weight * ToSeconds(model.RequeueTime(machines));
-    reschedule +=
-        catastrophic_weight * ToSeconds(model.RescheduleTime(machines, catastrophic_machines));
-    oracle += catastrophic_weight * ToSeconds(model.StandbyWakeTime(catastrophic_machines));
-    // ByteRobust reschedules only the shortfall beyond the standby pool.
-    ours += catastrophic_weight *
-            ToSeconds(model.RescheduleTime(machines, catastrophic_machines - n_p99));
-
+    const WasEstimate est = EstimateWas(machines);
     char scale[32];
     std::snprintf(scale, sizeof(scale), "%dx16", machines);
-    table.AddRow({scale, FormatInt(n_p99), FormatDouble(requeue, 0),
-                  FormatDouble(reschedule, 0), FormatDouble(oracle, 0), FormatDouble(ours, 0),
-                  FormatDouble(requeue / ours, 2) + "x",
-                  "+" + FormatPercent(ours / oracle - 1.0, 2)});
+    std::string br_vs_oracle = "+";
+    br_vs_oracle += FormatPercent(est.byterobust_s / est.oracle_s - 1.0, 2);
+    table.AddRow({scale, FormatInt(est.p99_evictions), FormatDouble(est.requeue_s, 0),
+                  FormatDouble(est.reschedule_s, 0), FormatDouble(est.oracle_s, 0),
+                  FormatDouble(est.byterobust_s, 0),
+                  FormatDouble(est.requeue_s / est.byterobust_s, 2) + "x",
+                  br_vs_oracle});
   }
   table.Print();
 

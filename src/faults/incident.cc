@@ -132,7 +132,10 @@ std::string Incident::ToString() const {
   char buf[160];
   std::string machines;
   for (MachineId m : faulty_machines) {
-    machines += (machines.empty() ? "" : ",") + std::to_string(m);
+    if (!machines.empty()) {
+      machines += ',';
+    }
+    machines += std::to_string(m);
   }
   std::snprintf(buf, sizeof(buf), "incident#%llu %s (%s, cause=%s, machines=[%s])",
                 static_cast<unsigned long long>(id), SymptomName(symptom),

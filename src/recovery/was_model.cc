@@ -1,0 +1,65 @@
+#include "src/recovery/was_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace byterobust {
+
+namespace {
+
+// Binomial pmf via the same recurrence BinomialQuantile uses.
+std::vector<double> BinomialPmf(int n, double p, int up_to) {
+  std::vector<double> pmf(static_cast<std::size_t>(up_to) + 1);
+  double v = std::pow(1.0 - p, n);
+  pmf[0] = v;
+  for (int k = 0; k < up_to; ++k) {
+    v *= static_cast<double>(n - k) / static_cast<double>(k + 1) * (p / (1.0 - p));
+    pmf[static_cast<std::size_t>(k) + 1] = v;
+  }
+  return pmf;
+}
+
+}  // namespace
+
+WasEstimate EstimateWas(int num_machines, const RestartCostModel& model,
+                        const StandbyConfig& standby, int catastrophic_machines,
+                        double catastrophic_weight) {
+  const double p = standby.daily_machine_failure_prob;
+  WasEstimate est;
+  est.p99_evictions = std::max(1, BinomialQuantile(num_machines, p, standby.quantile));
+  const int n_p99 = est.p99_evictions;
+
+  // Weights for k = 1..N evictions, conditioned on at least one failure,
+  // scaled to 1 - catastrophic_weight; the catastrophic case (all machines
+  // behind one switch evicted) takes the rest.
+  const std::vector<double> pmf = BinomialPmf(num_machines, p, n_p99);
+  double mass = 0.0;
+  for (int k = 1; k <= n_p99; ++k) {
+    mass += pmf[static_cast<std::size_t>(k)];
+  }
+  for (int k = 1; k <= n_p99; ++k) {
+    const double w = (1.0 - catastrophic_weight) * pmf[static_cast<std::size_t>(k)] / mass;
+    est.requeue_s += w * ToSeconds(model.RequeueTime(num_machines));
+    est.reschedule_s += w * ToSeconds(model.RescheduleTime(num_machines, k));
+    est.oracle_s += w * ToSeconds(model.StandbyWakeTime(k));
+    // k <= N evictions: warm standbys cover everything.
+    est.byterobust_s += w * ToSeconds(model.StandbyWakeTime(k));
+  }
+  est.requeue_s += catastrophic_weight * ToSeconds(model.RequeueTime(num_machines));
+  est.reschedule_s +=
+      catastrophic_weight * ToSeconds(model.RescheduleTime(num_machines, catastrophic_machines));
+  est.oracle_s += catastrophic_weight * ToSeconds(model.StandbyWakeTime(catastrophic_machines));
+  // ByteRobust reschedules only the shortfall beyond the standby pool; when
+  // the pool covers even the catastrophic eviction, standby wake suffices.
+  const int shortfall = catastrophic_machines - n_p99;
+  est.byterobust_s +=
+      catastrophic_weight *
+      ToSeconds(shortfall > 0 ? model.RescheduleTime(num_machines, shortfall)
+                              : model.StandbyWakeTime(catastrophic_machines));
+  return est;
+}
+
+}  // namespace byterobust

@@ -1,0 +1,777 @@
+// byterobust: the campaign CLI for the ByteRobust reproduction.
+//
+// Subcommands:
+//   run          run one named scenario for one seed, emit a JSON summary
+//   campaign     run a scenario across N seeds, emit per-seed + aggregate JSON
+//   bench-report emit the restart-cost / WAS model as JSON across scales
+//   list         list the named scenarios
+//
+//   ./build/tools/byterobust run --preset quickstart --seed 2024
+//   ./build/tools/byterobust campaign --scenario gpu-fault --seeds 8
+//   ./build/tools/byterobust bench-report
+//
+// Mixed scenarios drive the full Scenario engine (Table 1 fault mix, hot
+// updates, re-fail ground truth); targeted scenarios inject a single symptom
+// at exponential intervals to isolate one detection/resolution pipeline.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/production_presets.h"
+#include "src/core/scenario.h"
+#include "src/faults/fault_injector.h"
+#include "src/metrics/report.h"
+#include "src/recovery/restart_model.h"
+#include "src/recovery/was_model.h"
+
+namespace byterobust {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON writer: enough for flat objects, nested objects and arrays.
+// ---------------------------------------------------------------------------
+class JsonWriter {
+ public:
+  std::string Take() { return out_.str(); }
+
+  void BeginObject() { Open('{'); }
+  void EndObject() { Close('}'); }
+  void BeginArray() { Open('['); }
+  void EndArray() { Close(']'); }
+
+  void Key(const std::string& k) {
+    Comma();
+    Indent();
+    out_ << '"' << Escape(k) << "\": ";
+    pending_value_ = true;
+  }
+
+  void Value(const std::string& v) { Scalar('"' + Escape(v) + '"'); }
+  void Value(const char* v) { Value(std::string(v)); }
+  void Value(double v) {
+    if (!std::isfinite(v)) {
+      Scalar("null");
+      return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    Scalar(buf);
+  }
+  void Value(std::int64_t v) { Scalar(std::to_string(v)); }
+  void Value(int v) { Scalar(std::to_string(v)); }
+  void Value(std::uint64_t v) { Scalar(std::to_string(v)); }
+  void Value(bool v) { Scalar(v ? "true" : "false"); }
+
+  template <typename T>
+  void Field(const std::string& k, T v) {
+    Key(k);
+    Value(v);
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string r;
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        r += '\\';
+        r += c;
+      } else if (c == '\n') {
+        r += "\\n";
+      } else {
+        r += c;
+      }
+    }
+    return r;
+  }
+
+  void Open(char c) {
+    if (!pending_value_) {
+      Comma();
+      Indent();
+    }
+    pending_value_ = false;
+    out_ << c;
+    ++depth_;
+    need_comma_.push_back(false);
+  }
+
+  void Close(char c) {
+    --depth_;
+    need_comma_.pop_back();
+    out_ << '\n';
+    Indent();
+    out_ << c;
+    if (!need_comma_.empty()) {
+      need_comma_.back() = true;
+    }
+    pending_value_ = false;
+  }
+
+  void Scalar(const std::string& text) {
+    if (!pending_value_) {
+      Comma();
+      Indent();
+    }
+    pending_value_ = false;
+    out_ << text;
+    if (!need_comma_.empty()) {
+      need_comma_.back() = true;
+    }
+  }
+
+  void Comma() {
+    if (!need_comma_.empty() && need_comma_.back()) {
+      out_ << ',';
+    }
+    if (depth_ > 0) {
+      out_ << '\n';
+    }
+    if (!need_comma_.empty()) {
+      need_comma_.back() = false;
+    }
+  }
+
+  void Indent() {
+    for (int i = 0; i < depth_; ++i) {
+      out_ << "  ";
+    }
+  }
+
+  std::ostringstream out_;
+  int depth_ = 0;
+  bool pending_value_ = false;
+  std::vector<bool> need_comma_;
+};
+
+// ---------------------------------------------------------------------------
+// Named scenarios.
+// ---------------------------------------------------------------------------
+struct ScenarioSpec {
+  const char* name;
+  const char* summary;
+  bool targeted;                  // single-symptom campaign vs full mix
+  IncidentSymptom symptom;        // targeted only
+  double default_days;
+};
+
+const std::vector<ScenarioSpec>& Specs() {
+  static const std::vector<ScenarioSpec> specs = {
+      {"quickstart", "16-machine 7B job with the full Table 1 fault mix", false,
+       IncidentSymptom::kCudaError, 0.5},
+      {"dense", "9,600-GPU dense 70+B production campaign (Sec. 8.1)", false,
+       IncidentSymptom::kCudaError, 7.0},
+      {"moe", "9,600-GPU MoE 200+B production campaign (Sec. 8.1)", false,
+       IncidentSymptom::kCudaError, 7.0},
+      {"fig2", "1,000-GPU job with heavy manual adjustment (Fig. 2)", false,
+       IncidentSymptom::kCudaError, 10.0},
+      {"gpu-fault", "targeted kGpuUnavailable injection campaign", true,
+       IncidentSymptom::kGpuUnavailable, 0.5},
+      {"nic-fault", "targeted kInfinibandError injection campaign", true,
+       IncidentSymptom::kInfinibandError, 0.5},
+      {"cuda-error", "targeted kCudaError injection campaign", true,
+       IncidentSymptom::kCudaError, 0.5},
+      {"job-hang", "targeted kJobHang injection campaign", true,
+       IncidentSymptom::kJobHang, 0.5},
+      {"nan-loss", "targeted kNanValue injection campaign", true,
+       IncidentSymptom::kNanValue, 0.5},
+  };
+  return specs;
+}
+
+const ScenarioSpec* FindSpec(const std::string& name) {
+  for (const ScenarioSpec& s : Specs()) {
+    if (name == s.name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+SystemConfig QuickstartSystem(std::uint64_t seed) {
+  SystemConfig config;
+  config.job.name = "quickstart-7B";
+  config.job.model_params_b = 7.0;
+  config.job.parallelism.tp = 2;
+  config.job.parallelism.pp = 4;
+  config.job.parallelism.dp = 4;
+  config.job.parallelism.gpus_per_machine = 2;
+  config.job.base_step_time = Seconds(10);
+  config.seed = seed;
+  config.spare_machines = 4;
+  return config;
+}
+
+ScenarioConfig MixedConfig(const std::string& name, double days, std::uint64_t seed) {
+  if (name == "dense") {
+    return DenseCampaignConfig(days, seed);
+  }
+  if (name == "moe") {
+    return MoeCampaignConfig(days, seed);
+  }
+  if (name == "fig2") {
+    ScenarioConfig cfg = Fig2CampaignConfig(seed);
+    cfg.duration = Days(days);
+    return cfg;
+  }
+  // quickstart: small cluster, accelerated fault clock so a half-day run
+  // still sees a handful of incidents.
+  ScenarioConfig cfg;
+  cfg.system = QuickstartSystem(seed);
+  cfg.duration = Days(days);
+  cfg.injector.reference_mtbf = Hours(1.0);
+  cfg.injector.reference_machines = 64;
+  cfg.planned_updates = 2;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// One campaign run -> metrics.
+// ---------------------------------------------------------------------------
+struct LatencyStats {
+  double mean_s = 0.0;
+  double max_s = 0.0;
+  int count = 0;
+};
+
+struct RunResult {
+  std::string scenario;
+  std::uint64_t seed = 0;
+  double days = 0.0;
+  int machines = 0;
+  int world_size = 0;
+  std::int64_t steps = 0;
+  int runs = 0;
+  int evictions = 0;
+  int incidents_injected = 0;
+  int incidents_resolved = 0;
+  int refails = 0;
+  int updates_submitted = 0;
+  double ettr_cumulative = 0.0;
+  double productive_s = 0.0;
+  double recompute_s = 0.0;
+  double final_mfu = 0.0;
+  LatencyStats detection;
+  LatencyStats localization;
+  LatencyStats failover;
+  LatencyStats resolution;  // total unproductive time per incident
+  double was_byterobust_s = 0.0;
+  double was_requeue_s = 0.0;
+  std::map<std::string, int> mechanisms;
+};
+
+LatencyStats Summarize(const std::vector<double>& xs) {
+  LatencyStats s;
+  s.count = static_cast<int>(xs.size());
+  for (double x : xs) {
+    s.mean_s += x;
+    s.max_s = std::max(s.max_s, x);
+  }
+  if (s.count > 0) {
+    s.mean_s /= s.count;
+  }
+  return s;
+}
+
+// Weighted-average scheduling time at this scale under the Sec. 6.2 binomial
+// failure model (the Fig. 12 methodology, src/recovery/was_model.h).
+void ComputeWas(int machines, RunResult* r) {
+  const WasEstimate est = EstimateWas(machines);
+  r->was_byterobust_s = est.byterobust_s;
+  r->was_requeue_s = est.requeue_s;
+}
+
+void CollectSystemMetrics(ByteRobustSystem& sys, RunResult* r) {
+  r->machines = sys.config().job.parallelism.num_machines();
+  r->world_size = sys.config().job.parallelism.world_size();
+  r->steps = sys.job().max_step_reached();
+  r->runs = sys.job().run_count();
+  r->evictions = sys.controller().evictions_total();
+  r->ettr_cumulative = sys.ettr().CumulativeEttr(sys.sim().Now());
+  r->productive_s = ToSeconds(sys.ettr().productive_time());
+  r->recompute_s = ToSeconds(sys.ettr().recompute_time());
+  r->final_mfu = sys.job().CurrentMfu();
+
+  std::vector<double> detect;
+  std::vector<double> localize;
+  std::vector<double> failover;
+  std::vector<double> total;
+  for (const IncidentResolution& res : sys.controller().log().entries()) {
+    detect.push_back(ToSeconds(res.DetectionTime()));
+    localize.push_back(ToSeconds(res.LocalizationTime()));
+    failover.push_back(ToSeconds(res.FailoverTime()));
+    total.push_back(ToSeconds(res.TotalUnproductive()));
+    if (res.resolved) {
+      ++r->incidents_resolved;
+    }
+    ++r->mechanisms[MechanismName(res.mechanism)];
+  }
+  r->detection = Summarize(detect);
+  r->localization = Summarize(localize);
+  r->failover = Summarize(failover);
+  r->resolution = Summarize(total);
+  ComputeWas(r->machines, r);
+}
+
+RunResult RunMixed(const ScenarioSpec& spec, double days, std::uint64_t seed) {
+  RunResult r;
+  r.scenario = spec.name;
+  r.seed = seed;
+  r.days = days;
+  Scenario scenario(MixedConfig(spec.name, days, seed));
+  scenario.Run();
+  r.incidents_injected = scenario.stats().incidents_injected;
+  r.refails = scenario.stats().refails;
+  r.updates_submitted = scenario.stats().updates_submitted;
+  CollectSystemMetrics(scenario.system(), &r);
+  return r;
+}
+
+// A targeted campaign: one symptom, injected at exponential intervals onto a
+// random serving machine, with the infrastructure root cause (the controller
+// must evict the machine to clear it).
+class TargetedCampaign {
+ public:
+  TargetedCampaign(const ScenarioSpec& spec, double days, std::uint64_t seed)
+      : spec_(spec),
+        sys_(QuickstartSystem(seed)),
+        rng_(seed ^ 0xF00DULL),
+        duration_(Days(days)),
+        mean_gap_(Minutes(40)) {}
+
+  int Run() {
+    sys_.Start();
+    ScheduleNext();
+    sys_.sim().RunUntil(duration_);
+    return injected_;
+  }
+
+  ByteRobustSystem& system() { return sys_; }
+
+ private:
+  void ScheduleNext() {
+    const SimDuration delay =
+        static_cast<SimDuration>(rng_.Exponential(static_cast<double>(mean_gap_)));
+    sys_.sim().Schedule(delay, [this] { Inject(); });
+  }
+
+  void Inject() {
+    if (sys_.job().state() != JobRunState::kRunning) {
+      sys_.sim().Schedule(Minutes(2), [this] { Inject(); });
+      return;
+    }
+    const std::vector<MachineId> serving = sys_.cluster().ServingMachines();
+    if (serving.empty()) {
+      return;
+    }
+    Incident inc;
+    inc.id = static_cast<std::uint64_t>(++injected_);
+    inc.symptom = spec_.symptom;
+    inc.root_cause = RootCause::kInfrastructure;
+    inc.faulty_machines = {serving[static_cast<std::size_t>(
+        rng_.UniformInt(0, static_cast<std::int64_t>(serving.size()) - 1))]};
+    inc.gpu_index = spec_.symptom == IncidentSymptom::kGpuUnavailable
+                        ? static_cast<int>(rng_.UniformInt(
+                              0, sys_.config().job.parallelism.gpus_per_machine - 1))
+                        : -1;
+    inc.inject_time = sys_.sim().Now();
+    FaultInjector::ApplyToCluster(inc, &sys_.cluster());
+    sys_.controller().NotifyIncidentInjected(inc);
+    switch (inc.symptom) {
+      case IncidentSymptom::kJobHang: {
+        const Topology& topo = sys_.job().topology();
+        const int slot = sys_.cluster().SlotOfMachine(inc.faulty_machines.front());
+        sys_.job().Hang(std::max(slot, 0) * topo.config().gpus_per_machine);
+        break;
+      }
+      case IncidentSymptom::kNanValue:
+        sys_.job().SetNanLoss(true);
+        break;
+      case IncidentSymptom::kMfuDecline:
+        break;  // monitor picks up the degraded clock on the next step
+      default:
+        sys_.job().Crash();
+        break;
+    }
+    ScheduleNext();
+  }
+
+  ScenarioSpec spec_;
+  ByteRobustSystem sys_;
+  Rng rng_;
+  SimDuration duration_;
+  SimDuration mean_gap_;
+  int injected_ = 0;
+};
+
+RunResult RunTargeted(const ScenarioSpec& spec, double days, std::uint64_t seed) {
+  RunResult r;
+  r.scenario = spec.name;
+  r.seed = seed;
+  r.days = days;
+  TargetedCampaign campaign(spec, days, seed);
+  r.incidents_injected = campaign.Run();
+  CollectSystemMetrics(campaign.system(), &r);
+  return r;
+}
+
+RunResult RunOne(const ScenarioSpec& spec, double days, std::uint64_t seed) {
+  return spec.targeted ? RunTargeted(spec, days, seed) : RunMixed(spec, days, seed);
+}
+
+// ---------------------------------------------------------------------------
+// JSON emission.
+// ---------------------------------------------------------------------------
+void WriteLatency(JsonWriter* w, const std::string& key, const LatencyStats& s) {
+  w->Key(key);
+  w->BeginObject();
+  w->Field("mean_s", s.mean_s);
+  w->Field("max_s", s.max_s);
+  w->Field("count", s.count);
+  w->EndObject();
+}
+
+void WriteRun(JsonWriter* w, const RunResult& r) {
+  w->BeginObject();
+  w->Field("scenario", r.scenario);
+  w->Field("seed", r.seed);
+  w->Field("days", r.days);
+  w->Field("machines", r.machines);
+  w->Field("world_size", r.world_size);
+  w->Field("steps", r.steps);
+  w->Field("runs", r.runs);
+  w->Field("evictions", r.evictions);
+  w->Key("incidents");
+  w->BeginObject();
+  w->Field("injected", r.incidents_injected);
+  w->Field("resolved", r.incidents_resolved);
+  w->Field("refails", r.refails);
+  w->Field("updates_submitted", r.updates_submitted);
+  w->EndObject();
+  w->Key("ettr");
+  w->BeginObject();
+  w->Field("cumulative", r.ettr_cumulative);
+  w->Field("productive_s", r.productive_s);
+  w->Field("recompute_s", r.recompute_s);
+  w->EndObject();
+  WriteLatency(w, "detection_s", r.detection);
+  WriteLatency(w, "localization_s", r.localization);
+  WriteLatency(w, "failover_s", r.failover);
+  WriteLatency(w, "resolution_s", r.resolution);
+  w->Key("was_s");
+  w->BeginObject();
+  w->Field("byterobust", r.was_byterobust_s);
+  w->Field("requeue", r.was_requeue_s);
+  w->EndObject();
+  w->Field("final_mfu", r.final_mfu);
+  w->Key("mechanisms");
+  w->BeginObject();
+  for (const auto& [name, count] : r.mechanisms) {
+    w->Field(name, count);
+  }
+  w->EndObject();
+  w->EndObject();
+}
+
+struct Aggregate {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Aggregate Aggregated(const std::vector<RunResult>& runs, double (*get)(const RunResult&)) {
+  Aggregate a;
+  if (runs.empty()) {
+    return a;
+  }
+  a.min = a.max = get(runs.front());
+  for (const RunResult& r : runs) {
+    const double v = get(r);
+    a.mean += v;
+    a.min = std::min(a.min, v);
+    a.max = std::max(a.max, v);
+  }
+  a.mean /= static_cast<double>(runs.size());
+  return a;
+}
+
+void WriteAggregate(JsonWriter* w, const std::string& key, const Aggregate& a) {
+  w->Key(key);
+  w->BeginObject();
+  w->Field("mean", a.mean);
+  w->Field("min", a.min);
+  w->Field("max", a.max);
+  w->EndObject();
+}
+
+int Emit(JsonWriter* w, const std::string& out_path) {
+  std::string text = w->Take();
+  text += '\n';
+  std::fputs(text.c_str(), stdout);
+  if (!out_path.empty() && !WriteFile(out_path, text)) {
+    std::fprintf(stderr, "error: could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Subcommands.
+// ---------------------------------------------------------------------------
+struct Options {
+  std::string scenario;
+  std::uint64_t seed = 42;
+  int seeds = 4;
+  double days = -1.0;  // < 0: use the scenario default
+  std::string out_path;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: byterobust <run|campaign|bench-report|list> [options]\n"
+               "\n"
+               "  run          --preset NAME   [--seed S] [--days D] [--out FILE]\n"
+               "  campaign     --scenario NAME [--seeds N] [--base-seed S] [--days D]\n"
+               "               [--out FILE]\n"
+               "  bench-report [--out FILE]\n"
+               "  list\n"
+               "\nscenarios:\n");
+  for (const ScenarioSpec& s : Specs()) {
+    std::fprintf(stderr, "  %-12s %s\n", s.name, s.summary);
+  }
+  return 2;
+}
+
+bool ParseNumber(const char* flag, const char* text, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(text, &end);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "error: %s expects a number, got '%s'\n", flag, text);
+    return false;
+  }
+  return true;
+}
+
+// Which flags each subcommand accepts; anything else is rejected so a typo'd
+// or misplaced flag (e.g. `run --seeds 8`) fails loudly instead of being
+// silently ignored.
+bool FlagAllowed(const std::string& command, const std::string& flag) {
+  if (flag == "--out") {
+    return true;
+  }
+  if (command == "run") {
+    return flag == "--preset" || flag == "--scenario" || flag == "--seed" ||
+           flag == "--days";
+  }
+  if (command == "campaign") {
+    return flag == "--preset" || flag == "--scenario" || flag == "--seed" ||
+           flag == "--base-seed" || flag == "--seeds" || flag == "--days";
+  }
+  return false;  // bench-report / list take only --out
+}
+
+bool ParseOptions(const std::string& command, int argc, char** argv, Options* opts) {
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    double value = 0.0;
+    if (arg.rfind("--", 0) == 0 && !FlagAllowed(command, arg)) {
+      std::fprintf(stderr, "error: option '%s' is not valid for '%s'\n", arg.c_str(),
+                   command.c_str());
+      return false;
+    }
+    if ((arg == "--preset" || arg == "--scenario") && has_value) {
+      opts->scenario = argv[++i];
+    } else if ((arg == "--seed" || arg == "--base-seed") && has_value) {
+      if (!ParseNumber(arg.c_str(), argv[++i], &value)) {
+        return false;
+      }
+      if (value < 0.0 || value > 9.0e15) {
+        std::fprintf(stderr, "error: %s must be in [0, 9e15]\n", arg.c_str());
+        return false;
+      }
+      opts->seed = static_cast<std::uint64_t>(value);
+    } else if (arg == "--seeds" && has_value) {
+      if (!ParseNumber(arg.c_str(), argv[++i], &value)) {
+        return false;
+      }
+      if (value < 1.0 || value > 100000.0) {
+        std::fprintf(stderr, "error: --seeds must be in [1, 100000]\n");
+        return false;
+      }
+      opts->seeds = static_cast<int>(value);
+    } else if (arg == "--days" && has_value) {
+      if (!ParseNumber(arg.c_str(), argv[++i], &value)) {
+        return false;
+      }
+      if (value <= 0.0) {
+        std::fprintf(stderr, "error: --days must be > 0\n");
+        return false;
+      }
+      opts->days = value;
+    } else if (arg == "--out" && has_value) {
+      opts->out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "error: unknown or incomplete option '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int CmdRun(const Options& opts) {
+  const ScenarioSpec* spec = FindSpec(opts.scenario);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "error: unknown scenario '%s' (try: byterobust list)\n",
+                 opts.scenario.c_str());
+    return 2;
+  }
+  const double days = opts.days > 0.0 ? opts.days : spec->default_days;
+  const RunResult r = RunOne(*spec, days, opts.seed);
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("tool", "byterobust");
+  w.Field("command", "run");
+  w.Key("result");
+  WriteRun(&w, r);
+  w.EndObject();
+  return Emit(&w, opts.out_path);
+}
+
+int CmdCampaign(const Options& opts) {
+  const ScenarioSpec* spec = FindSpec(opts.scenario);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "error: unknown scenario '%s' (try: byterobust list)\n",
+                 opts.scenario.c_str());
+    return 2;
+  }
+  if (opts.seeds < 1) {
+    std::fprintf(stderr, "error: --seeds must be >= 1\n");
+    return 2;
+  }
+  const double days = opts.days > 0.0 ? opts.days : spec->default_days;
+  std::vector<RunResult> runs;
+  runs.reserve(static_cast<std::size_t>(opts.seeds));
+  for (int i = 0; i < opts.seeds; ++i) {
+    runs.push_back(RunOne(*spec, days, opts.seed + static_cast<std::uint64_t>(i)));
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("tool", "byterobust");
+  w.Field("command", "campaign");
+  w.Field("scenario", spec->name);
+  w.Field("seeds", opts.seeds);
+  w.Field("base_seed", opts.seed);
+  w.Field("days", days);
+  w.Key("aggregate");
+  w.BeginObject();
+  WriteAggregate(&w, "ettr_cumulative",
+                 Aggregated(runs, [](const RunResult& r) { return r.ettr_cumulative; }));
+  WriteAggregate(&w, "detection_mean_s",
+                 Aggregated(runs, [](const RunResult& r) { return r.detection.mean_s; }));
+  WriteAggregate(&w, "resolution_mean_s",
+                 Aggregated(runs, [](const RunResult& r) { return r.resolution.mean_s; }));
+  WriteAggregate(&w, "failover_mean_s",
+                 Aggregated(runs, [](const RunResult& r) { return r.failover.mean_s; }));
+  WriteAggregate(&w, "incidents_injected", Aggregated(runs, [](const RunResult& r) {
+                   return static_cast<double>(r.incidents_injected);
+                 }));
+  WriteAggregate(&w, "evictions", Aggregated(runs, [](const RunResult& r) {
+                   return static_cast<double>(r.evictions);
+                 }));
+  w.EndObject();
+  w.Key("runs");
+  w.BeginArray();
+  for (const RunResult& r : runs) {
+    WriteRun(&w, r);
+  }
+  w.EndArray();
+  w.EndObject();
+  return Emit(&w, opts.out_path);
+}
+
+int CmdBenchReport(const Options& opts) {
+  const RestartCostModel model;
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("tool", "byterobust");
+  w.Field("command", "bench-report");
+  w.Key("restart_cost_model");
+  w.BeginArray();
+  for (int machines : {128, 256, 512, 1024}) {
+    const WasEstimate est = EstimateWas(machines);
+    w.BeginObject();
+    w.Field("machines", machines);
+    w.Field("requeue_s", ToSeconds(model.RequeueTime(machines)));
+    w.Field("reschedule_1_s", ToSeconds(model.RescheduleTime(machines, 1)));
+    w.Field("standby_wake_1_s", ToSeconds(model.StandbyWakeTime(1)));
+    w.Field("hot_update_s", ToSeconds(model.HotUpdateTime(machines)));
+    w.Field("p99_evictions", est.p99_evictions);
+    w.Field("was_byterobust_s", est.byterobust_s);
+    w.Field("was_requeue_s", est.requeue_s);
+    w.Field("was_reschedule_s", est.reschedule_s);
+    w.Field("was_oracle_s", est.oracle_s);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return Emit(&w, opts.out_path);
+}
+
+int CmdList(const Options& opts) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("tool", "byterobust");
+  w.Field("command", "list");
+  w.Key("scenarios");
+  w.BeginArray();
+  for (const ScenarioSpec& s : Specs()) {
+    w.BeginObject();
+    w.Field("name", s.name);
+    w.Field("summary", s.summary);
+    w.Field("targeted", s.targeted);
+    w.Field("default_days", s.default_days);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return Emit(&w, opts.out_path);
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  Options opts;
+  if (!ParseOptions(command, argc - 2, argv + 2, &opts)) {
+    return Usage();
+  }
+  if (command == "run") {
+    return CmdRun(opts);
+  }
+  if (command == "campaign") {
+    return CmdCampaign(opts);
+  }
+  if (command == "bench-report") {
+    return CmdBenchReport(opts);
+  }
+  if (command == "list") {
+    return CmdList(opts);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace byterobust
+
+int main(int argc, char** argv) { return byterobust::Main(argc, argv); }
