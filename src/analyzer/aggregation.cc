@@ -1,9 +1,32 @@
 #include "src/analyzer/aggregation.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <set>
+#include <unordered_map>
 
 namespace byterobust {
+
+namespace {
+
+// FNV-1a over the structural identity of a process stack. Hashing the frames
+// in place avoids materialising a per-stack key string on the hot path.
+std::size_t HashStack(ProcessKind kind, const StackTrace& stack) {
+  std::size_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::size_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::size_t>(kind));
+  for (const StackFrame& f : stack.frames) {
+    mix(std::hash<std::string>{}(f.function));
+    mix(std::hash<std::string>{}(f.file));
+    mix(static_cast<std::size_t>(f.line));
+  }
+  return h;
+}
+
+}  // namespace
 
 AggregationResult AggregationAnalyzer::Analyze(const std::vector<ProcessStack>& stacks,
                                                const Topology& topology) const {
@@ -12,25 +35,41 @@ AggregationResult AggregationAnalyzer::Analyze(const std::vector<ProcessStack>& 
     return result;
   }
 
-  // Step 2: group stacks by exact key. Subprocess stacks participate too; a
-  // wedged dataloader on one machine forms its own singleton group.
-  std::map<std::string, StackGroup> by_key;
+  // Step 2: group stacks by exact (kind, frames) identity. Subprocess stacks
+  // participate too; a wedged dataloader on one machine forms its own
+  // singleton group. Hash buckets hold indices into `result.groups`;
+  // collisions fall back to structural comparison against the
+  // representative.
+  std::unordered_map<std::size_t, std::vector<std::size_t>> buckets;
+  buckets.reserve(stacks.size() * 2);
+  std::vector<ProcessKind> group_kinds;
   for (const ProcessStack& ps : stacks) {
-    const std::string key = std::string(ProcessKindName(ps.kind)) + "|" + ps.stack.Key();
-    StackGroup& g = by_key[key];
-    if (g.ranks.empty()) {
-      g.key = key;
-      g.representative = ps.stack;
+    const std::size_t h = HashStack(ps.kind, ps.stack);
+    std::vector<std::size_t>& bucket = buckets[h];
+    StackGroup* group = nullptr;
+    for (std::size_t idx : bucket) {
+      if (group_kinds[idx] == ps.kind && result.groups[idx].representative == ps.stack) {
+        group = &result.groups[idx];
+        break;
+      }
     }
-    g.ranks.push_back(ps.rank);
-    g.machines.push_back(ps.machine);
+    if (group == nullptr) {
+      bucket.push_back(result.groups.size());
+      group_kinds.push_back(ps.kind);
+      result.groups.emplace_back();
+      group = &result.groups.back();
+      group->representative = ps.stack;
+    }
+    group->ranks.push_back(ps.rank);
+    group->machines.push_back(ps.machine);
   }
 
-  for (auto& [key, group] : by_key) {
+  for (std::size_t i = 0; i < result.groups.size(); ++i) {
+    StackGroup& group = result.groups[i];
+    group.key = std::string(ProcessKindName(group_kinds[i])) + "|" + group.representative.Key();
     std::sort(group.machines.begin(), group.machines.end());
     group.machines.erase(std::unique(group.machines.begin(), group.machines.end()),
                          group.machines.end());
-    result.groups.push_back(std::move(group));
   }
   std::sort(result.groups.begin(), result.groups.end(),
             [](const StackGroup& a, const StackGroup& b) {

@@ -6,6 +6,10 @@
 // are aggregated into groups by exact string matching — dominant groups are
 // healthy, the rest are outliers; (3) the shared parallel group covering the
 // outlier machines is isolated and over-evicted.
+//
+// Grouping hashes (process kind, stack frames) directly instead of
+// concatenating a key string per stack; the canonical key string is built
+// once per distinct group, purely for reporting and deterministic ordering.
 
 #ifndef SRC_ANALYZER_AGGREGATION_H_
 #define SRC_ANALYZER_AGGREGATION_H_

@@ -22,6 +22,8 @@ BackupPlan::BackupPlan(const Topology& topology) {
   const ParallelismConfig& cfg = topology.config();
   cross_group_ = cfg.pp >= 2 && cfg.dp >= 2;
   assignments_.reserve(static_cast<std::size_t>(topology.world_size()));
+  // Reused across ranks; vector assignment recycles its capacity.
+  MachineSet all_machines(topology.num_machines());
   for (Rank r = 0; r < topology.world_size(); ++r) {
     BackupAssignment a;
     a.owner = r;
@@ -34,28 +36,30 @@ BackupPlan::BackupPlan(const Topology& topology) {
       // partner would die with the owner. Tier 1 avoids the machines of all
       // three of the owner's groups; tier 2 relaxes to the PP group only
       // (the kind the analyzer actually over-evicts) for topologies where a
-      // DP group spans every machine.
+      // DP group spans every machine. The per-group machine footprints come
+      // from the topology's precomputed bitmasks, so each rank costs three
+      // word-level unions instead of three tree-set builds.
       const RankCoord c = topology.CoordOf(r);
-      std::set<MachineId> pp_machines;
-      for (Rank peer : topology.PipelineGroupOf(r)) {
-        pp_machines.insert(topology.MachineOfRank(peer));
-      }
-      std::set<MachineId> all_machines = pp_machines;
-      for (Rank peer : topology.DataGroupOf(r)) {
-        all_machines.insert(topology.MachineOfRank(peer));
-      }
-      for (Rank peer : topology.TensorGroupOf(r)) {
-        all_machines.insert(topology.MachineOfRank(peer));
-      }
+      const MachineSet& pp_machines =
+          topology.GroupMachineSet(GroupKind::kPipeline, topology.GroupIndexOf(r, GroupKind::kPipeline));
+      all_machines = pp_machines;
+      all_machines.UnionWith(
+          topology.GroupMachineSet(GroupKind::kData, topology.GroupIndexOf(r, GroupKind::kData)));
+      all_machines.UnionWith(
+          topology.GroupMachineSet(GroupKind::kTensor, topology.GroupIndexOf(r, GroupKind::kTensor)));
       Rank chosen = -1;
-      for (const std::set<MachineId>* forbidden : {&all_machines, &pp_machines}) {
+      const MachineSet* const tiers[] = {&all_machines, &pp_machines};
+      for (const MachineSet* forbidden : tiers) {
+        if (forbidden->Count() == topology.num_machines()) {
+          continue;  // every candidate is forbidden; no point scanning pp x dp
+        }
         for (int j = 1; j < cfg.pp && chosen < 0; ++j) {
           for (int k = 1; k < cfg.dp && chosen < 0; ++k) {
             RankCoord pc = c;
             pc.pp = (c.pp + j) % cfg.pp;
             pc.dp = (c.dp + k) % cfg.dp;
             const Rank candidate = topology.RankOf(pc);
-            if (forbidden->count(topology.MachineOfRank(candidate)) == 0) {
+            if (!forbidden->Contains(topology.MachineOfRank(candidate))) {
               chosen = candidate;
             }
           }

@@ -1,13 +1,17 @@
 #include "src/common/log.h"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 
 namespace byterobust {
 namespace {
 
-LogLevel g_level = LogLevel::kWarning;
-const SimTime* g_clock = nullptr;
+// The severity threshold is process-wide (campaign workers share it); the
+// clock binding is per-thread so each worker's simulator stamps its own
+// log lines.
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+thread_local const SimTime* t_clock = nullptr;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -27,14 +31,20 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
-LogLevel GetLogLevel() { return g_level; }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
-void SetLogClock(const SimTime* now) { g_clock = now; }
+void SetLogClock(const SimTime* now) { t_clock = now; }
+
+void ClearLogClock(const SimTime* now) {
+  if (t_clock == now) {
+    t_clock = nullptr;
+  }
+}
 
 void LogMessage(LogLevel level, const char* module, const char* format, ...) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) {
+  if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) {
     return;
   }
   char body[1024];
@@ -43,9 +53,9 @@ void LogMessage(LogLevel level, const char* module, const char* format, ...) {
   std::vsnprintf(body, sizeof(body), format, args);
   va_end(args);
 
-  if (g_clock != nullptr) {
+  if (t_clock != nullptr) {
     std::fprintf(stderr, "[%s][t=%s][%s] %s\n", LevelName(level),
-                 FormatDuration(*g_clock).c_str(), module, body);
+                 FormatDuration(*t_clock).c_str(), module, body);
   } else {
     std::fprintf(stderr, "[%s][%s] %s\n", LevelName(level), module, body);
   }

@@ -29,7 +29,14 @@ LogLevel GetLogLevel();
 
 // Installs a simulated clock source so log lines carry sim timestamps.
 // Pass nullptr to revert to untimed output. The pointer must outlive its use.
+// The binding is thread-local: each thread (e.g. each parallel campaign
+// worker) binds its own simulator clock without racing the others.
 void SetLogClock(const SimTime* now);
+
+// Reverts to untimed output, but only if `now` is still the thread's bound
+// clock. Lets a Simulator destructor release its own binding without
+// clobbering a newer simulator's clock on the same thread.
+void ClearLogClock(const SimTime* now);
 
 // Core logging call; prefer the LOG_* macros below.
 void LogMessage(LogLevel level, const char* module, const char* format, ...)

@@ -1,5 +1,6 @@
 #include "src/sim/simulator.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -7,9 +8,22 @@
 
 namespace byterobust {
 
+namespace {
+
+// splitmix64: cheap, well-mixed hash for timestamps (which are often highly
+// regular — step boundaries, scrape cadences).
+std::uint64_t HashTime(SimTime t) {
+  std::uint64_t x = static_cast<std::uint64_t>(t) + 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 Simulator::Simulator() { SetLogClock(&now_); }
 
-Simulator::~Simulator() { SetLogClock(nullptr); }
+Simulator::~Simulator() { ClearLogClock(&now_); }
 
 EventId Simulator::Schedule(SimDuration delay, std::function<void()> fn) {
   if (delay < 0) {
@@ -22,32 +36,234 @@ EventId Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
   if (when < now_) {
     throw std::invalid_argument("ScheduleAt in the past");
   }
-  const EventId id = next_id_++;
-  queue_.push(Event{when, id, std::move(fn)});
-  return id;
+  const std::uint32_t bucket_index = MapFindOrInsert(when);
+  const std::uint32_t slot = AllocateNode();
+  EventNode& node = NodeAt(slot);
+  node.fn = std::move(fn);
+  node.active = true;
+  node.cancelled = false;
+  node.next = kNullIndex;
+  Bucket& bucket = buckets_[bucket_index];
+  if (bucket.tail == kNullIndex) {
+    bucket.head = slot;
+  } else {
+    NodeAt(bucket.tail).next = slot;
+  }
+  bucket.tail = slot;
+  ++queued_;
+  ++live_;
+  return MakeId(slot, node.gen);
 }
 
 bool Simulator::Cancel(EventId id) {
-  if (id == kInvalidEventId || id >= next_id_) {
+  if (id == kInvalidEventId) {
     return false;
   }
-  // Lazy cancellation: the event stays in the heap and is skipped when popped.
-  return cancelled_.insert(id).second;
+  const std::uint32_t slot = SlotOf(id);
+  if (slot >= node_count_) {
+    return false;
+  }
+  EventNode& node = NodeAt(slot);
+  if (!node.active || node.cancelled || node.gen != GenOf(id)) {
+    return false;
+  }
+  node.cancelled = true;
+  node.fn = nullptr;  // release the closure eagerly
+  --live_;
+  return true;
+}
+
+std::uint32_t Simulator::AllocateNode() {
+  if (free_node_ != kNullIndex) {
+    const std::uint32_t slot = free_node_;
+    free_node_ = NodeAt(slot).next;
+    return slot;
+  }
+  if (node_count_ >= static_cast<std::size_t>(kNullIndex) - 1) {
+    throw std::length_error("Simulator event slab exhausted");
+  }
+  if (node_count_ == chunks_.size() * kChunkSize) {
+    chunks_.push_back(std::make_unique<EventNode[]>(kChunkSize));
+  }
+  return static_cast<std::uint32_t>(node_count_++);
+}
+
+void Simulator::FreeNode(std::uint32_t slot) {
+  EventNode& node = NodeAt(slot);
+  node.active = false;
+  node.cancelled = false;
+  ++node.gen;  // invalidate outstanding EventIds for this slot
+  node.next = free_node_;
+  free_node_ = slot;
+}
+
+std::uint32_t Simulator::AllocateBucket(SimTime time) {
+  std::uint32_t index;
+  if (free_bucket_ != kNullIndex) {
+    index = free_bucket_;
+    free_bucket_ = buckets_[index].next_free;
+  } else {
+    buckets_.emplace_back();
+    index = static_cast<std::uint32_t>(buckets_.size() - 1);
+  }
+  Bucket& bucket = buckets_[index];
+  bucket.time = time;
+  bucket.head = kNullIndex;
+  bucket.tail = kNullIndex;
+  return index;
+}
+
+void Simulator::FreeBucket(std::uint32_t index) {
+  buckets_[index].next_free = free_bucket_;
+  free_bucket_ = index;
+}
+
+void Simulator::HeapPush(HeapEntry entry) {
+  heap_.push_back(entry);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (heap_[parent].time <= entry.time) {
+      break;
+    }
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+void Simulator::HeapPopRoot() {
+  const HeapEntry moved = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) {
+    return;
+  }
+  std::size_t i = 0;
+  while (true) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) {
+      break;
+    }
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (heap_[c].time < heap_[best].time) {
+        best = c;
+      }
+    }
+    if (heap_[best].time >= moved.time) {
+      break;
+    }
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = moved;
+}
+
+void Simulator::MapGrow() {
+  const std::size_t new_size = map_.empty() ? 64 : map_.size() * 2;
+  std::vector<MapSlot> old = std::move(map_);
+  map_.assign(new_size, MapSlot{});
+  map_used_ = 0;
+  const std::size_t mask = new_size - 1;
+  for (const MapSlot& slot : old) {
+    if (slot.bucket == kNullIndex) {
+      continue;
+    }
+    std::size_t i = HashTime(slot.time) & mask;
+    while (map_[i].bucket != kNullIndex) {
+      i = (i + 1) & mask;
+    }
+    map_[i] = slot;
+    ++map_used_;
+  }
+}
+
+std::uint32_t Simulator::MapFindOrInsert(SimTime time) {
+  if ((map_used_ + 1) * 2 > map_.size()) {
+    MapGrow();  // keep load factor <= 1/2 so probes stay short
+  }
+  const std::size_t mask = map_.size() - 1;
+  std::size_t i = HashTime(time) & mask;
+  while (map_[i].bucket != kNullIndex) {
+    if (map_[i].time == time) {
+      return map_[i].bucket;
+    }
+    i = (i + 1) & mask;
+  }
+  const std::uint32_t bucket = AllocateBucket(time);
+  map_[i] = MapSlot{time, bucket};
+  ++map_used_;
+  HeapPush(HeapEntry{time, bucket});
+  return bucket;
+}
+
+void Simulator::MapErase(SimTime time) {
+  const std::size_t mask = map_.size() - 1;
+  std::size_t i = HashTime(time) & mask;
+  while (map_[i].bucket == kNullIndex || map_[i].time != time) {
+    i = (i + 1) & mask;
+  }
+  // Backward-shift deletion keeps probe chains intact without tombstones.
+  std::size_t j = i;
+  while (true) {
+    j = (j + 1) & mask;
+    if (map_[j].bucket == kNullIndex) {
+      break;
+    }
+    const std::size_t home = HashTime(map_[j].time) & mask;
+    if (((j - home) & mask) >= ((j - i) & mask)) {
+      map_[i] = map_[j];
+      i = j;
+    }
+  }
+  map_[i] = MapSlot{};
+  --map_used_;
+}
+
+std::uint32_t Simulator::LiveHeadBucket() {
+  while (!heap_.empty()) {
+    const std::uint32_t bucket_index = heap_.front().bucket;
+    Bucket& bucket = buckets_[bucket_index];
+    while (bucket.head != kNullIndex && NodeAt(bucket.head).cancelled) {
+      const std::uint32_t slot = bucket.head;
+      bucket.head = NodeAt(slot).next;
+      FreeNode(slot);
+      --queued_;
+    }
+    if (bucket.head != kNullIndex) {
+      return bucket_index;
+    }
+    bucket.tail = kNullIndex;
+    MapErase(bucket.time);
+    FreeBucket(bucket_index);
+    HeapPopRoot();
+  }
+  return kNullIndex;
 }
 
 bool Simulator::DispatchNext() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (cancelled_.erase(ev.id) > 0) {
-      continue;  // skip cancelled event
-    }
-    now_ = ev.time;
-    ++dispatched_;
-    ev.fn();
-    return true;
+  const std::uint32_t bucket_index = LiveHeadBucket();
+  if (bucket_index == kNullIndex) {
+    return false;
   }
-  return false;
+  Bucket& bucket = buckets_[bucket_index];
+  now_ = bucket.time;
+  const std::uint32_t slot = bucket.head;
+  bucket.head = NodeAt(slot).next;
+  if (bucket.head == kNullIndex) {
+    bucket.tail = kNullIndex;
+  }
+  std::function<void()> fn = std::move(NodeAt(slot).fn);
+  FreeNode(slot);
+  --queued_;
+  --live_;
+  ++dispatched_;
+  // No slab/bucket references may be held across the callback: it is free to
+  // schedule (and thus reallocate) arbitrarily.
+  fn();
+  return true;
 }
 
 void Simulator::Run() {
@@ -59,12 +275,8 @@ void Simulator::Run() {
 void Simulator::RunUntil(SimTime deadline) {
   stopped_ = false;
   while (!stopped_) {
-    // Peek past cancelled events to find the next live one.
-    while (!queue_.empty() && cancelled_.count(queue_.top().id) > 0) {
-      cancelled_.erase(queue_.top().id);
-      queue_.pop();
-    }
-    if (queue_.empty() || queue_.top().time > deadline) {
+    const std::uint32_t bucket_index = LiveHeadBucket();
+    if (bucket_index == kNullIndex || buckets_[bucket_index].time > deadline) {
       break;
     }
     DispatchNext();
@@ -75,7 +287,5 @@ void Simulator::RunUntil(SimTime deadline) {
 }
 
 bool Simulator::Step() { return DispatchNext(); }
-
-std::size_t Simulator::pending_events() const { return queue_.size(); }
 
 }  // namespace byterobust

@@ -2,16 +2,35 @@
 //
 // The simulator is the substrate that replaces wall-clock time and the
 // physical cluster in this reproduction. Events are ordered by (time,
-// sequence number) so that two events at the same timestamp always fire in
+// schedule order) so that two events at the same timestamp always fire in
 // scheduling order, making every run bit-reproducible for a fixed seed.
+//
+// Performance architecture (a simplified calendar queue):
+//   - Event payloads (std::function closures) live in a slab of reusable
+//     nodes; dispatch moves — never copies — the payload out of the slab.
+//   - Events sharing a timestamp form an intrusive FIFO chain ("bucket")
+//     through the slab, so same-time scheduling order is positional and
+//     needs no comparisons at all.
+//   - The priority queue is an owned 4-ary min-heap over *distinct pending
+//     timestamps* only (one small closure-free entry per bucket), which for
+//     the periodic workloads of training campaigns is far smaller than the
+//     event count.
+//   - An open-addressing hash table maps timestamp -> bucket in O(1), so
+//     Schedule touches the heap only when a brand-new timestamp appears.
+//   - Cancellation is O(1): EventIds carry the slab slot plus a generation
+//     tag, and Cancel marks the node as a tombstone that is reclaimed (slot
+//     recycled, closure released) when it reaches the head of its bucket.
+//     Stale ids — already-dispatched, already-cancelled, or from a recycled
+//     slot — fail the generation check and leave no state behind, so
+//     cancellation storage is bounded by the number of genuinely pending
+//     events.
 
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
 #include "src/common/sim_time.h"
@@ -19,6 +38,7 @@
 namespace byterobust {
 
 // Handle for a scheduled event; can be used to cancel it before it fires.
+// Encodes (slab slot, generation) so stale handles are rejected in O(1).
 using EventId = std::uint64_t;
 
 inline constexpr EventId kInvalidEventId = 0;
@@ -42,7 +62,8 @@ class Simulator {
   EventId ScheduleAt(SimTime when, std::function<void()> fn);
 
   // Cancels a pending event. Returns true if the event existed and had not
-  // fired yet. Cancelling an already-fired or invalid id is a no-op.
+  // fired yet. Cancelling an already-fired, already-cancelled or invalid id
+  // is a no-op that returns false and stores nothing.
   bool Cancel(EventId id);
 
   // Runs until the event queue is empty or Stop() is called.
@@ -63,31 +84,98 @@ class Simulator {
   std::uint64_t events_dispatched() const { return dispatched_; }
 
   // Number of events still pending (including cancelled-but-unpopped ones).
-  std::size_t pending_events() const;
+  std::size_t pending_events() const { return queued_; }
+
+  // Number of cancelled events whose queue entry has not been reclaimed yet.
+  std::size_t cancelled_pending() const { return queued_ - live_; }
+
+  // Total slab nodes ever allocated. Stays bounded by the peak number of
+  // simultaneously pending events regardless of how many events are
+  // scheduled, dispatched or cancelled over the simulator's lifetime.
+  std::size_t slab_slots() const { return node_count_; }
 
  private:
-  struct Event {
-    SimTime time;
-    EventId id;
+  static constexpr std::uint32_t kNullIndex = 0xffffffffu;
+  // The slab grows in fixed chunks so expansion never moves existing nodes
+  // (a flat vector would re-move every pending closure on reallocation).
+  static constexpr std::uint32_t kChunkShift = 10;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+
+  struct EventNode {
     std::function<void()> fn;
+    std::uint32_t gen = 1;
+    std::uint32_t next = kNullIndex;  // FIFO chain in its bucket / free list
+    bool active = false;              // scheduled and not yet popped
+    bool cancelled = false;           // tombstone: skip + reclaim when popped
   };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) {
-        return a.time > b.time;  // min-heap on time
-      }
-      return a.id > b.id;  // FIFO among equal timestamps
-    }
+
+  // FIFO chain of all pending events at one timestamp.
+  struct Bucket {
+    SimTime time = 0;
+    std::uint32_t head = kNullIndex;
+    std::uint32_t tail = kNullIndex;
+    std::uint32_t next_free = kNullIndex;
   };
+
+  // One heap entry per distinct pending timestamp; small and closure-free so
+  // sift moves stay cheap.
+  struct HeapEntry {
+    SimTime time;
+    std::uint32_t bucket;
+  };
+
+  // Open-addressing timestamp -> bucket slot (linear probing).
+  struct MapSlot {
+    SimTime time = 0;
+    std::uint32_t bucket = kNullIndex;  // kNullIndex marks an empty slot
+  };
+
+  static EventId MakeId(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) | (slot + 1);
+  }
+  static std::uint32_t SlotOf(EventId id) {
+    return static_cast<std::uint32_t>(id & 0xffffffffu) - 1;
+  }
+  static std::uint32_t GenOf(EventId id) { return static_cast<std::uint32_t>(id >> 32); }
+
+  EventNode& NodeAt(std::uint32_t slot) {
+    return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
+  }
+
+  std::uint32_t AllocateNode();
+  void FreeNode(std::uint32_t slot);
+  std::uint32_t AllocateBucket(SimTime time);
+  void FreeBucket(std::uint32_t index);
+
+  void HeapPush(HeapEntry entry);
+  void HeapPopRoot();
+
+  std::uint32_t MapFindOrInsert(SimTime time);  // allocates bucket + heap entry on miss
+  void MapErase(SimTime time);
+  void MapGrow();
+
+  // Reclaims cancelled events at the front of the earliest bucket and drops
+  // drained buckets; returns the bucket holding the next live event, or
+  // kNullIndex when the queue is empty. The single place both DispatchNext
+  // and RunUntil skip tombstones, so the two paths cannot drift.
+  std::uint32_t LiveHeadBucket();
 
   bool DispatchNext();
 
   SimTime now_ = 0;
-  EventId next_id_ = 1;
   std::uint64_t dispatched_ = 0;
+  std::size_t queued_ = 0;  // pending events, including cancelled ones
+  std::size_t live_ = 0;    // pending events that are not cancelled
   bool stopped_ = false;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
-  std::unordered_set<EventId> cancelled_;
+
+  std::vector<std::unique_ptr<EventNode[]>> chunks_;
+  std::size_t node_count_ = 0;
+  std::uint32_t free_node_ = kNullIndex;
+  std::vector<Bucket> buckets_;
+  std::uint32_t free_bucket_ = kNullIndex;
+  std::vector<HeapEntry> heap_;
+  std::vector<MapSlot> map_;  // power-of-two size; empty until first use
+  std::size_t map_used_ = 0;
 };
 
 }  // namespace byterobust

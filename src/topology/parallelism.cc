@@ -1,8 +1,8 @@
 #include "src/topology/parallelism.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
-#include <set>
 #include <stdexcept>
 
 namespace byterobust {
@@ -33,21 +33,67 @@ const char* GroupKindName(GroupKind kind) {
   return "??";
 }
 
+int MachineSet::Count() const {
+  int count = 0;
+  for (std::uint64_t w : words_) {
+    count += std::popcount(w);
+  }
+  return count;
+}
+
 Topology::Topology(const ParallelismConfig& config) : config_(config) {
   if (!config.Valid()) {
     throw std::invalid_argument("invalid parallelism config: " + config.ToString());
   }
+  const int world = world_size();
+  coords_.resize(static_cast<std::size_t>(world));
+  machine_of_.resize(static_cast<std::size_t>(world));
+  for (Rank r = 0; r < world; ++r) {
+    RankCoord c;
+    c.tp = r % config_.tp;
+    c.pp = (r / config_.tp) % config_.pp;
+    c.dp = r / (config_.tp * config_.pp);
+    coords_[static_cast<std::size_t>(r)] = c;
+    machine_of_[static_cast<std::size_t>(r)] = r / config_.gpus_per_machine;
+  }
+
+  for (GroupKind kind : {GroupKind::kTensor, GroupKind::kPipeline, GroupKind::kData}) {
+    const std::size_t k = KindIndex(kind);
+    const int n = NumGroups(kind);
+    groups_[k].resize(static_cast<std::size_t>(n));
+    group_machines_[k].resize(static_cast<std::size_t>(n));
+    group_machine_sets_[k].assign(static_cast<std::size_t>(n), MachineSet(num_machines()));
+    for (Rank r = 0; r < world; ++r) {
+      const std::size_t idx = static_cast<std::size_t>(GroupIndexOf(r, kind));
+      ParallelGroup& g = groups_[k][idx];
+      if (g.ranks.empty()) {
+        g.kind = kind;
+        g.index = static_cast<int>(idx);
+      }
+      // Rank iteration order is increasing coordinate order within a group.
+      g.ranks.push_back(r);
+      group_machine_sets_[k][idx].Insert(machine_of_[static_cast<std::size_t>(r)]);
+    }
+    for (int i = 0; i < n; ++i) {
+      std::vector<MachineId>& machines = group_machines_[k][static_cast<std::size_t>(i)];
+      for (Rank r : groups_[k][static_cast<std::size_t>(i)].ranks) {
+        machines.push_back(machine_of_[static_cast<std::size_t>(r)]);
+      }
+      std::sort(machines.begin(), machines.end());
+      machines.erase(std::unique(machines.begin(), machines.end()), machines.end());
+    }
+  }
 }
 
-RankCoord Topology::CoordOf(Rank rank) const {
+void Topology::CheckRank(Rank rank) const {
   if (rank < 0 || rank >= world_size()) {
     throw std::out_of_range("rank out of range");
   }
-  RankCoord c;
-  c.tp = rank % config_.tp;
-  c.pp = (rank / config_.tp) % config_.pp;
-  c.dp = rank / (config_.tp * config_.pp);
-  return c;
+}
+
+RankCoord Topology::CoordOf(Rank rank) const {
+  CheckRank(rank);
+  return coords_[static_cast<std::size_t>(rank)];
 }
 
 Rank Topology::RankOf(const RankCoord& coord) const {
@@ -55,10 +101,8 @@ Rank Topology::RankOf(const RankCoord& coord) const {
 }
 
 MachineId Topology::MachineOfRank(Rank rank) const {
-  if (rank < 0 || rank >= world_size()) {
-    throw std::out_of_range("rank out of range");
-  }
-  return rank / config_.gpus_per_machine;
+  CheckRank(rank);
+  return machine_of_[static_cast<std::size_t>(rank)];
 }
 
 std::vector<Rank> Topology::RanksOnMachine(MachineId machine) const {
@@ -73,29 +117,9 @@ std::vector<Rank> Topology::RanksOnMachine(MachineId machine) const {
 }
 
 std::vector<Rank> Topology::GroupOf(Rank rank, GroupKind kind) const {
-  RankCoord c = CoordOf(rank);
-  std::vector<Rank> out;
-  switch (kind) {
-    case GroupKind::kTensor:
-      out.reserve(static_cast<std::size_t>(config_.tp));
-      for (int t = 0; t < config_.tp; ++t) {
-        out.push_back(RankOf({t, c.pp, c.dp}));
-      }
-      break;
-    case GroupKind::kPipeline:
-      out.reserve(static_cast<std::size_t>(config_.pp));
-      for (int p = 0; p < config_.pp; ++p) {
-        out.push_back(RankOf({c.tp, p, c.dp}));
-      }
-      break;
-    case GroupKind::kData:
-      out.reserve(static_cast<std::size_t>(config_.dp));
-      for (int d = 0; d < config_.dp; ++d) {
-        out.push_back(RankOf({c.tp, c.pp, d}));
-      }
-      break;
-  }
-  return out;
+  CheckRank(rank);
+  const std::size_t idx = static_cast<std::size_t>(GroupIndexOf(rank, kind));
+  return groups_[KindIndex(kind)][idx].ranks;
 }
 
 std::vector<Rank> Topology::TensorGroupOf(Rank rank) const {
@@ -107,7 +131,8 @@ std::vector<Rank> Topology::PipelineGroupOf(Rank rank) const {
 std::vector<Rank> Topology::DataGroupOf(Rank rank) const { return GroupOf(rank, GroupKind::kData); }
 
 int Topology::GroupIndexOf(Rank rank, GroupKind kind) const {
-  RankCoord c = CoordOf(rank);
+  CheckRank(rank);
+  const RankCoord& c = coords_[static_cast<std::size_t>(rank)];
   switch (kind) {
     case GroupKind::kTensor:
       return c.pp + config_.pp * c.dp;
@@ -132,28 +157,38 @@ int Topology::NumGroups(GroupKind kind) const {
 }
 
 std::vector<ParallelGroup> Topology::Groups(GroupKind kind) const {
-  const int n = NumGroups(kind);
-  std::vector<ParallelGroup> groups(static_cast<std::size_t>(n));
-  std::vector<bool> seen(static_cast<std::size_t>(n), false);
-  for (Rank r = 0; r < world_size(); ++r) {
-    const int idx = GroupIndexOf(r, kind);
-    auto& g = groups[static_cast<std::size_t>(idx)];
-    if (!seen[static_cast<std::size_t>(idx)]) {
-      seen[static_cast<std::size_t>(idx)] = true;
-      g.kind = kind;
-      g.index = idx;
-      g.ranks = GroupOf(r, kind);
-    }
-  }
-  return groups;
+  return groups_[KindIndex(kind)];
+}
+
+const std::vector<ParallelGroup>& Topology::AllGroups(GroupKind kind) const {
+  return groups_[KindIndex(kind)];
 }
 
 std::vector<MachineId> Topology::MachinesOfGroup(const ParallelGroup& group) const {
-  std::set<MachineId> machines;
-  for (Rank r : group.ranks) {
-    machines.insert(MachineOfRank(r));
+  // Groups handed out by this topology resolve to their precomputed machine
+  // list; hand-built groups (foreign index or edited ranks) fall back to a
+  // direct computation so the answer is always correct.
+  const std::size_t k = KindIndex(group.kind);
+  if (group.index >= 0 && static_cast<std::size_t>(group.index) < groups_[k].size() &&
+      groups_[k][static_cast<std::size_t>(group.index)].ranks == group.ranks) {
+    return group_machines_[k][static_cast<std::size_t>(group.index)];
   }
-  return {machines.begin(), machines.end()};
+  std::vector<MachineId> machines;
+  machines.reserve(group.ranks.size());
+  for (Rank r : group.ranks) {
+    machines.push_back(MachineOfRank(r));
+  }
+  std::sort(machines.begin(), machines.end());
+  machines.erase(std::unique(machines.begin(), machines.end()), machines.end());
+  return machines;
+}
+
+const std::vector<MachineId>& Topology::GroupMachines(GroupKind kind, int index) const {
+  return group_machines_[KindIndex(kind)].at(static_cast<std::size_t>(index));
+}
+
+const MachineSet& Topology::GroupMachineSet(GroupKind kind, int index) const {
+  return group_machine_sets_[KindIndex(kind)].at(static_cast<std::size_t>(index));
 }
 
 Rank Topology::BackupPartnerOf(Rank rank) const {
@@ -165,8 +200,10 @@ Rank Topology::BackupPartnerOf(Rank rank) const {
 }
 
 bool Topology::SharesAnyGroup(Rank a, Rank b) const {
-  const RankCoord ca = CoordOf(a);
-  const RankCoord cb = CoordOf(b);
+  CheckRank(a);
+  CheckRank(b);
+  const RankCoord& ca = coords_[static_cast<std::size_t>(a)];
+  const RankCoord& cb = coords_[static_cast<std::size_t>(b)];
   const bool same_tp_group = ca.pp == cb.pp && ca.dp == cb.dp;
   const bool same_pp_group = ca.tp == cb.tp && ca.dp == cb.dp;
   const bool same_dp_group = ca.tp == cb.tp && ca.pp == cb.pp;
@@ -178,38 +215,38 @@ bool Topology::FindCoveringGroup(const std::vector<MachineId>& machines,
   if (machines.empty()) {
     return false;
   }
-  const std::set<MachineId> targets(machines.begin(), machines.end());
+  MachineSet targets(num_machines());
+  for (MachineId m : machines) {
+    if (m < 0 || m >= num_machines()) {
+      return false;  // a foreign machine can never be covered
+    }
+    targets.Insert(m);
+  }
 
   // Prefer pipeline groups: the paper over-evicts whole PP groups (Sec. 9),
   // then fall back to DP / TP groups if a smaller kind covers.
   const GroupKind order[] = {GroupKind::kPipeline, GroupKind::kData, GroupKind::kTensor};
-  const ParallelGroup* best = nullptr;
-  std::vector<std::vector<ParallelGroup>> all;
-  all.reserve(3);
   for (GroupKind kind : order) {
-    all.push_back(Groups(kind));
-  }
-  std::size_t best_machines = 0;
-  for (const auto& groups : all) {
-    for (const auto& g : groups) {
-      std::vector<MachineId> group_machines = MachinesOfGroup(g);
-      const std::set<MachineId> gm(group_machines.begin(), group_machines.end());
-      const bool covers = std::all_of(targets.begin(), targets.end(),
-                                      [&gm](MachineId m) { return gm.count(m) > 0; });
-      if (covers && (best == nullptr || gm.size() < best_machines)) {
-        best = &g;
-        best_machines = gm.size();
+    const std::size_t k = KindIndex(kind);
+    const ParallelGroup* best = nullptr;
+    int best_machines = 0;
+    for (std::size_t i = 0; i < groups_[k].size(); ++i) {
+      const MachineSet& gm = group_machine_sets_[k][i];
+      if (!gm.IsSupersetOf(targets)) {
+        continue;
+      }
+      const int count = static_cast<int>(group_machines_[k][i].size());
+      if (best == nullptr || count < best_machines) {
+        best = &groups_[k][i];
+        best_machines = count;
       }
     }
     if (best != nullptr) {
-      break;  // groups of the preferred kind cover; do not widen further
+      *out = *best;  // groups of the preferred kind cover; do not widen further
+      return true;
     }
   }
-  if (best == nullptr) {
-    return false;
-  }
-  *out = *best;
-  return true;
+  return false;
 }
 
 }  // namespace byterobust

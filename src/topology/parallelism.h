@@ -6,10 +6,19 @@
 // 2 GPUs/machine, the PP group at dp=3 spans machines {12, 13, 14, 15}
 // (Fig. 7), and with TP=2, PP=4, DP=2 the cross-group backup partner of ranks
 // {8, 9} is {2, 3} (Fig. 9).
+//
+// All rank->coord, rank->machine and group-membership queries are answered
+// from tables precomputed at construction (the topology is immutable), and
+// every group's machine footprint is additionally kept as a MachineSet
+// bitmask so covering-group search and backup planning run on word-parallel
+// set operations instead of per-call std::set building.
 
 #ifndef SRC_TOPOLOGY_PARALLELISM_H_
 #define SRC_TOPOLOGY_PARALLELISM_H_
 
+#include <array>
+#include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -61,6 +70,51 @@ struct ParallelGroup {
   std::vector<Rank> ranks;
 };
 
+// Fixed-universe bitmask over machine ids [0, num_machines). Used for group
+// machine footprints so coverage and backup-forbidden-set queries are a few
+// word operations instead of tree-set lookups.
+class MachineSet {
+ public:
+  MachineSet() = default;
+  explicit MachineSet(int num_machines)
+      : words_(static_cast<std::size_t>((num_machines + 63) / 64), 0) {}
+
+  void Insert(MachineId m) {
+    const std::size_t w = static_cast<std::size_t>(m) >> 6;
+    if (m < 0 || w >= words_.size()) {
+      throw std::out_of_range("machine id outside MachineSet universe");
+    }
+    words_[w] |= std::uint64_t{1} << (m & 63);
+  }
+
+  bool Contains(MachineId m) const {
+    const std::size_t w = static_cast<std::size_t>(m) >> 6;
+    return w < words_.size() && (words_[w] >> (m & 63)) & 1;
+  }
+
+  // Adds every machine in `other`; the sets must share a universe size.
+  void UnionWith(const MachineSet& other) {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      words_[i] |= other.words_[i];
+    }
+  }
+
+  // True when every machine in `other` is also in this set.
+  bool IsSupersetOf(const MachineSet& other) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if ((other.words_[i] & ~words_[i]) != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  int Count() const;
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
 class Topology {
  public:
   explicit Topology(const ParallelismConfig& config);
@@ -89,8 +143,16 @@ class Topology {
   // All groups of a given kind.
   std::vector<ParallelGroup> Groups(GroupKind kind) const;
 
+  // Zero-copy variant of Groups(): the precomputed table itself.
+  const std::vector<ParallelGroup>& AllGroups(GroupKind kind) const;
+
   // Machines hosting at least one rank of the given group.
   std::vector<MachineId> MachinesOfGroup(const ParallelGroup& group) const;
+
+  // Precomputed machine footprint of the group with this kind and dense
+  // index, as a sorted id list and as a bitmask.
+  const std::vector<MachineId>& GroupMachines(GroupKind kind, int index) const;
+  const MachineSet& GroupMachineSet(GroupKind kind, int index) const;
 
   // Cross-parallel-group backup partner (paper Sec. 6.3): the rank at
   // pp' = (pp+1) mod PP, dp' = (dp+1) mod DP, same tp. Whenever PP >= 2 and
@@ -109,7 +171,16 @@ class Topology {
   bool FindCoveringGroup(const std::vector<MachineId>& machines, ParallelGroup* out) const;
 
  private:
+  static std::size_t KindIndex(GroupKind kind) { return static_cast<std::size_t>(kind); }
+
+  void CheckRank(Rank rank) const;
+
   ParallelismConfig config_;
+  std::vector<RankCoord> coords_;          // rank -> coordinate
+  std::vector<MachineId> machine_of_;      // rank -> machine
+  std::array<std::vector<ParallelGroup>, 3> groups_;            // kind -> groups
+  std::array<std::vector<std::vector<MachineId>>, 3> group_machines_;
+  std::array<std::vector<MachineSet>, 3> group_machine_sets_;
 };
 
 }  // namespace byterobust

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "src/ckpt/backup_strategy.h"
 #include "src/ckpt/ckpt_manager.h"
 #include "src/ckpt/cost_model.h"
@@ -159,6 +161,59 @@ INSTANTIATE_TEST_SUITE_P(Configs, BackupPlanProperty,
                                            PlanCase{8, 8, 4, 16}, PlanCase{4, 2, 2, 4},
                                            PlanCase{1, 4, 4, 2}, PlanCase{2, 2, 8, 8},
                                            PlanCase{1, 1, 8, 2}, PlanCase{8, 16, 4, 16}));
+
+// The pre-bitmask algorithm, kept as a reference: build the owner's forbidden
+// machine sets with std::set and walk the same (tier, j, k) candidate order.
+// The optimized constructor must pick byte-for-byte identical targets.
+Rank ReferenceCrossGroupTarget(const Topology& topo, Rank r) {
+  const ParallelismConfig& cfg = topo.config();
+  const RankCoord c = topo.CoordOf(r);
+  std::set<MachineId> pp_machines;
+  for (Rank peer : topo.PipelineGroupOf(r)) {
+    pp_machines.insert(topo.MachineOfRank(peer));
+  }
+  std::set<MachineId> all_machines = pp_machines;
+  for (Rank peer : topo.DataGroupOf(r)) {
+    all_machines.insert(topo.MachineOfRank(peer));
+  }
+  for (Rank peer : topo.TensorGroupOf(r)) {
+    all_machines.insert(topo.MachineOfRank(peer));
+  }
+  for (const std::set<MachineId>* forbidden : {&all_machines, &pp_machines}) {
+    for (int j = 1; j < cfg.pp; ++j) {
+      for (int k = 1; k < cfg.dp; ++k) {
+        RankCoord pc = c;
+        pc.pp = (c.pp + j) % cfg.pp;
+        pc.dp = (c.dp + k) % cfg.dp;
+        const Rank candidate = topo.RankOf(pc);
+        if (forbidden->count(topo.MachineOfRank(candidate)) == 0) {
+          return candidate;
+        }
+      }
+    }
+  }
+  return -1;  // caller falls back to the neighbor rule
+}
+
+TEST_P(BackupPlanProperty, MatchesSetBasedReferenceImplementation) {
+  const auto& c = GetParam();
+  ParallelismConfig cfg;
+  cfg.tp = c.tp;
+  cfg.pp = c.pp;
+  cfg.dp = c.dp;
+  cfg.gpus_per_machine = c.gpm;
+  const Topology topo(cfg);
+  if (cfg.pp < 2 || cfg.dp < 2) {
+    GTEST_SKIP() << "degenerate config: both implementations use the neighbor rule";
+  }
+  BackupPlan plan(topo);
+  for (Rank r = 0; r < topo.world_size(); ++r) {
+    const Rank want = ReferenceCrossGroupTarget(topo, r);
+    if (want >= 0) {
+      EXPECT_EQ(plan.TargetOf(r), want) << "rank " << r;
+    }
+  }
+}
 
 // ---- Runtime manager -------------------------------------------------------
 

@@ -140,5 +140,121 @@ TEST(SimulatorTest, RunUntilSkipsCancelledHead) {
   EXPECT_EQ(sim.events_dispatched(), 1u);
 }
 
+TEST(SimulatorTest, CancelOfDispatchedIdIsRejectedAndStoresNothing) {
+  Simulator sim;
+  const EventId id = sim.Schedule(Seconds(1), [] {});
+  sim.Run();
+  EXPECT_FALSE(sim.Cancel(id));
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.cancelled_pending(), 0u);
+}
+
+// Regression for the old unordered_set design, where cancelling an
+// already-dispatched id inserted a permanent entry: repeated schedule /
+// dispatch / cancel cycles must leave no pending state and must keep
+// recycling the same slab slot instead of growing memory.
+TEST(SimulatorTest, CancellingDispatchedIdsInALoopStaysBounded) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const EventId id = sim.Schedule(Seconds(1), [&] { ++fired; });
+    sim.Run();
+    EXPECT_FALSE(sim.Cancel(id));
+  }
+  EXPECT_EQ(fired, 10000);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.cancelled_pending(), 0u);
+  EXPECT_EQ(sim.slab_slots(), 1u) << "dispatch must recycle slab slots";
+}
+
+TEST(SimulatorTest, CancelledEventsAreReclaimedWhenTheirTimeArrives) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(sim.Schedule(Seconds(i), [] {}));
+  }
+  for (EventId id : ids) {
+    EXPECT_TRUE(sim.Cancel(id));
+  }
+  EXPECT_EQ(sim.pending_events(), 100u);
+  EXPECT_EQ(sim.cancelled_pending(), 100u);
+  sim.Run();
+  EXPECT_EQ(sim.events_dispatched(), 0u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.cancelled_pending(), 0u);
+}
+
+// Schedule/cancel churn with live traffic must reuse slots rather than grow
+// the slab proportionally to the number of cancellations.
+TEST(SimulatorTest, ScheduleCancelChurnReusesSlabSlots) {
+  Simulator sim;
+  for (int i = 0; i < 10000; ++i) {
+    const EventId id = sim.Schedule(Seconds(1), [] {});
+    EXPECT_TRUE(sim.Cancel(id));
+    sim.RunUntil(sim.Now() + Seconds(2));  // reclaims the tombstone
+  }
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_LE(sim.slab_slots(), 2u);
+}
+
+TEST(SimulatorTest, StaleIdOfReusedSlotDoesNotCancelNewEvent) {
+  Simulator sim;
+  const EventId stale = sim.Schedule(Seconds(1), [] {});
+  sim.Run();
+  bool fired = false;
+  const EventId fresh = sim.Schedule(Seconds(1), [&] { fired = true; });
+  EXPECT_NE(stale, fresh);  // same slot, different generation
+  EXPECT_FALSE(sim.Cancel(stale));
+  sim.Run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, SameTimestampOrderSurvivesInterleavedCancels) {
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(sim.Schedule(Seconds(5), [&order, i] { order.push_back(i); }));
+  }
+  // Cancel the odd events; the even ones must still fire in schedule order.
+  for (int i = 1; i < 10; i += 2) {
+    EXPECT_TRUE(sim.Cancel(ids[static_cast<std::size_t>(i)]));
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 4, 6, 8}));
+}
+
+TEST(SimulatorTest, EventScheduledAtNowDuringDispatchFiresAfterQueuedPeers) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(Seconds(5), [&] {
+    order.push_back(0);
+    // Same timestamp as the two already-queued events below: it was
+    // scheduled later, so it must fire after them.
+    sim.Schedule(0, [&] { order.push_back(3); });
+  });
+  sim.Schedule(Seconds(5), [&] { order.push_back(1); });
+  sim.Schedule(Seconds(5), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(SimulatorTest, ManyDistinctTimestampsDispatchInTimeOrder) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  // A deterministic shuffle of distinct timestamps exercises the bucket
+  // heap + hash table (every event creates and drains its own bucket).
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime t = Seconds((i * 613) % 1000);
+    sim.ScheduleAt(t, [&times, &sim] { times.push_back(sim.Now()); });
+  }
+  sim.Run();
+  ASSERT_EQ(times.size(), 1000u);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_LT(times[i - 1], times[i]);
+  }
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
 }  // namespace
 }  // namespace byterobust

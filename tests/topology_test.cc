@@ -207,7 +207,72 @@ INSTANTIATE_TEST_SUITE_P(
     Configs, TopologyProperty,
     ::testing::Values(TopoCase{2, 4, 4, 2}, TopoCase{2, 4, 2, 2}, TopoCase{8, 8, 4, 16},
                       TopoCase{4, 2, 8, 8}, TopoCase{1, 4, 4, 4}, TopoCase{2, 1, 8, 4},
-                      TopoCase{8, 1, 1, 8}, TopoCase{1, 1, 16, 8}, TopoCase{8, 16, 4, 16}));
+                      TopoCase{8, 1, 1, 8}, TopoCase{1, 1, 16, 8}, TopoCase{8, 16, 4, 16},
+                      // The Sec. 8.1 production shapes: 9,600-GPU dense and MoE.
+                      TopoCase{8, 8, 150, 8}, TopoCase{8, 10, 120, 8}));
+
+// The constructor-time lookup tables must answer exactly what the closed-form
+// expressions answered before the precomputation refactor.
+TEST_P(TopologyProperty, TableLookupsMatchFormulas) {
+  Topology topo = MakeTopo();
+  const auto& cfg = topo.config();
+  for (Rank r = 0; r < topo.world_size(); ++r) {
+    const RankCoord c = topo.CoordOf(r);
+    EXPECT_EQ(c.tp, r % cfg.tp);
+    EXPECT_EQ(c.pp, (r / cfg.tp) % cfg.pp);
+    EXPECT_EQ(c.dp, r / (cfg.tp * cfg.pp));
+    EXPECT_EQ(topo.MachineOfRank(r), r / cfg.gpus_per_machine);
+
+    std::vector<Rank> want_pp;
+    for (int p = 0; p < cfg.pp; ++p) {
+      want_pp.push_back(topo.RankOf({c.tp, p, c.dp}));
+    }
+    EXPECT_EQ(topo.PipelineGroupOf(r), want_pp);
+    std::vector<Rank> want_dp;
+    for (int d = 0; d < cfg.dp; ++d) {
+      want_dp.push_back(topo.RankOf({c.tp, c.pp, d}));
+    }
+    EXPECT_EQ(topo.DataGroupOf(r), want_dp);
+    std::vector<Rank> want_tp;
+    for (int t = 0; t < cfg.tp; ++t) {
+      want_tp.push_back(topo.RankOf({t, c.pp, c.dp}));
+    }
+    EXPECT_EQ(topo.TensorGroupOf(r), want_tp);
+  }
+}
+
+// The precomputed machine lists and bitmasks must agree with a direct
+// recomputation from group membership.
+TEST_P(TopologyProperty, GroupMachineTablesMatchDirectComputation) {
+  Topology topo = MakeTopo();
+  for (GroupKind kind : {GroupKind::kTensor, GroupKind::kPipeline, GroupKind::kData}) {
+    for (const ParallelGroup& g : topo.AllGroups(kind)) {
+      std::set<MachineId> want;
+      for (Rank r : g.ranks) {
+        want.insert(topo.MachineOfRank(r));
+      }
+      const std::vector<MachineId> expect(want.begin(), want.end());
+      EXPECT_EQ(topo.MachinesOfGroup(g), expect);
+      EXPECT_EQ(topo.GroupMachines(kind, g.index), expect);
+      const MachineSet& mask = topo.GroupMachineSet(kind, g.index);
+      EXPECT_EQ(mask.Count(), static_cast<int>(want.size()));
+      for (MachineId m = 0; m < topo.num_machines(); ++m) {
+        EXPECT_EQ(mask.Contains(m), want.count(m) > 0);
+      }
+    }
+  }
+}
+
+TEST(TopologyTest, MachinesOfGroupHandlesForeignGroups) {
+  Topology topo(Fig7Config());
+  // A hand-built group (index does not correspond to its ranks) still gets a
+  // correct, deduplicated, sorted machine list via the fallback path.
+  ParallelGroup custom;
+  custom.kind = GroupKind::kPipeline;
+  custom.index = 0;
+  custom.ranks = {31, 0, 1, 30};
+  EXPECT_EQ(topo.MachinesOfGroup(custom), (std::vector<MachineId>{0, 15}));
+}
 
 }  // namespace
 }  // namespace byterobust

@@ -15,14 +15,18 @@
 // at exponential intervals to isolate one detection/resolution pipeline.
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -427,6 +431,52 @@ RunResult RunOne(const ScenarioSpec& spec, double days, std::uint64_t seed) {
   return spec.targeted ? RunTargeted(spec, days, seed) : RunMixed(spec, days, seed);
 }
 
+// Runs `seeds` campaign runs on up to `jobs` worker threads. Seed i always
+// maps to results[i], so the merged output is byte-identical for any jobs
+// value; each worker's simulator binds its own thread-local log clock, so
+// concurrent runs never share mutable state.
+std::vector<RunResult> RunCampaignRuns(const ScenarioSpec& spec, double days,
+                                       std::uint64_t base_seed, int seeds, int jobs) {
+  std::vector<RunResult> runs(static_cast<std::size_t>(seeds));
+  std::atomic<int> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  const auto worker = [&] {
+    for (int i = next.fetch_add(1); i < seeds && !failed.load(); i = next.fetch_add(1)) {
+      try {
+        runs[static_cast<std::size_t>(i)] =
+            RunOne(spec, days, base_seed + static_cast<std::uint64_t>(i));
+      } catch (...) {
+        failed.store(true);  // stop the other workers claiming further seeds
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+        return;
+      }
+    }
+  };
+  const int workers = std::min(jobs, seeds);
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers) - 1);
+    for (int t = 1; t < workers; ++t) {
+      pool.emplace_back(worker);
+    }
+    worker();
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+  return runs;
+}
+
 // ---------------------------------------------------------------------------
 // JSON emission.
 // ---------------------------------------------------------------------------
@@ -530,6 +580,7 @@ struct Options {
   std::string scenario;
   std::uint64_t seed = 42;
   int seeds = 4;
+  int jobs = 1;
   double days = -1.0;  // < 0: use the scenario default
   std::string out_path;
 };
@@ -540,7 +591,7 @@ int Usage() {
                "\n"
                "  run          --preset NAME   [--seed S] [--days D] [--out FILE]\n"
                "  campaign     --scenario NAME [--seeds N] [--base-seed S] [--days D]\n"
-               "               [--out FILE]\n"
+               "               [--jobs N] [--out FILE]\n"
                "  bench-report [--out FILE]\n"
                "  list\n"
                "\nscenarios:\n");
@@ -573,7 +624,7 @@ bool FlagAllowed(const std::string& command, const std::string& flag) {
   }
   if (command == "campaign") {
     return flag == "--preset" || flag == "--scenario" || flag == "--seed" ||
-           flag == "--base-seed" || flag == "--seeds" || flag == "--days";
+           flag == "--base-seed" || flag == "--seeds" || flag == "--days" || flag == "--jobs";
   }
   return false;  // bench-report / list take only --out
 }
@@ -608,6 +659,15 @@ bool ParseOptions(const std::string& command, int argc, char** argv, Options* op
         return false;
       }
       opts->seeds = static_cast<int>(value);
+    } else if (arg == "--jobs" && has_value) {
+      if (!ParseNumber(arg.c_str(), argv[++i], &value)) {
+        return false;
+      }
+      if (value < 1.0 || value > 256.0) {
+        std::fprintf(stderr, "error: --jobs must be in [1, 256]\n");
+        return false;
+      }
+      opts->jobs = static_cast<int>(value);
     } else if (arg == "--days" && has_value) {
       if (!ParseNumber(arg.c_str(), argv[++i], &value)) {
         return false;
@@ -658,11 +718,8 @@ int CmdCampaign(const Options& opts) {
     return 2;
   }
   const double days = opts.days > 0.0 ? opts.days : spec->default_days;
-  std::vector<RunResult> runs;
-  runs.reserve(static_cast<std::size_t>(opts.seeds));
-  for (int i = 0; i < opts.seeds; ++i) {
-    runs.push_back(RunOne(*spec, days, opts.seed + static_cast<std::uint64_t>(i)));
-  }
+  const std::vector<RunResult> runs =
+      RunCampaignRuns(*spec, days, opts.seed, opts.seeds, opts.jobs);
 
   JsonWriter w;
   w.BeginObject();

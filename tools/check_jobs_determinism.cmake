@@ -1,0 +1,31 @@
+# ctest helper: `campaign --jobs 1` and `--jobs 8` must emit byte-identical
+# JSON for the same scenario and base seed.
+#
+#   cmake -DCLI=<byterobust binary> -DWORK_DIR=<scratch dir> -P check_jobs_determinism.cmake
+
+foreach(var CLI WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "${var} is required")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+foreach(jobs 1 8)
+  execute_process(
+      COMMAND ${CLI} campaign --scenario gpu-fault --seeds 4 --days 0.2
+              --jobs ${jobs} --out ${WORK_DIR}/campaign_jobs${jobs}.json
+      OUTPUT_QUIET
+      RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "campaign --jobs ${jobs} failed with ${rc}")
+  endif()
+endforeach()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+        ${WORK_DIR}/campaign_jobs1.json ${WORK_DIR}/campaign_jobs8.json
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "campaign JSON differs between --jobs 1 and --jobs 8")
+endif()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: fail when hot-path microbenchmarks regress.
+
+Compares a fresh google-benchmark JSON report against the checked-in
+baseline (bench/perf_baseline.json) and fails when any selected benchmark's
+real_time exceeds the baseline by more than --max-ratio. Absolute numbers
+vary across machines, so the gate is a coarse regression tripwire (default
+2x), not a precise budget.
+
+    perf_smoke.py current.json baseline.json [--max-ratio 2.0] [name ...]
+
+With no names, every benchmark present in both files is checked.
+"""
+
+import argparse
+import json
+import sys
+
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_times(path):
+    with open(path) as f:
+        data = json.load(f)
+    times = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue  # skip aggregate rows (mean/median/stddev)
+        unit = _UNIT_NS.get(bench.get("time_unit", "ns"))
+        if unit is None:
+            raise SystemExit(f"{path}: unknown time_unit in {bench['name']}")
+        times[bench["name"]] = bench["real_time"] * unit
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("names", nargs="*")
+    parser.add_argument("--max-ratio", type=float, default=2.0)
+    args = parser.parse_intermixed_args()
+
+    current = load_times(args.current)
+    baseline = load_times(args.baseline)
+    names = args.names or sorted(current.keys() & baseline.keys())
+
+    failures = []
+    for name in names:
+        if name not in baseline:
+            raise SystemExit(f"error: {name} missing from baseline {args.baseline}")
+        if name not in current:
+            raise SystemExit(f"error: {name} missing from current run {args.current}")
+        ratio = current[name] / baseline[name]
+        verdict = "OK" if ratio <= args.max_ratio else "REGRESSION"
+        print(f"{name}: baseline {baseline[name] / 1e6:.3f} ms, "
+              f"current {current[name] / 1e6:.3f} ms, ratio {ratio:.2f}x [{verdict}]")
+        if ratio > args.max_ratio:
+            failures.append(name)
+
+    if failures:
+        print(f"perf smoke FAILED: {', '.join(failures)} regressed more than "
+              f"{args.max_ratio:.1f}x", file=sys.stderr)
+        return 1
+    print(f"perf smoke passed ({len(names)} benchmarks within {args.max_ratio:.1f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
