@@ -1,14 +1,20 @@
 // Micro-benchmarks (google-benchmark) for the hot paths of the reproduction:
-// event dispatch, stack aggregation, topology queries, backup planning and
-// dual-phase replay. These bound the simulation cost of campaign benches.
+// event dispatch, the training step loop, stack aggregation, topology
+// queries, backup planning, dual-phase replay, and one end-to-end campaign
+// seed. These bound the simulation cost of campaign benches.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+
 #include "src/analyzer/aggregation.h"
 #include "src/ckpt/backup_strategy.h"
+#include "src/core/production_presets.h"
+#include "src/core/scenario.h"
 #include "src/replay/dual_phase_replay.h"
 #include "src/sim/simulator.h"
 #include "src/tracer/stack_synth.h"
+#include "src/training/train_job.h"
 
 namespace byterobust {
 namespace {
@@ -27,6 +33,47 @@ void BM_SimulatorScheduleDispatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * events);
 }
 BENCHMARK(BM_SimulatorScheduleDispatch)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// The simulated training-step hot path: epoch-cached perf-model queries plus
+// batched inline step execution (no interfering events, so every step after
+// the first runs without a heap round-trip).
+void BM_TrainJobStepLoop(benchmark::State& state) {
+  const std::int64_t steps = state.range(0);
+  JobConfig cfg;
+  cfg.name = "bench-step-loop";
+  cfg.parallelism.tp = 2;
+  cfg.parallelism.pp = 4;
+  cfg.parallelism.dp = 16;
+  cfg.parallelism.gpus_per_machine = 8;  // 128 ranks on 16 machines
+  cfg.base_step_time = Seconds(10);
+  for (auto _ : state) {
+    Simulator sim;
+    Cluster cluster(cfg.parallelism.num_machines(), cfg.parallelism.gpus_per_machine);
+    TrainJob job(cfg, &sim, &cluster, 7);
+    std::int64_t sink = 0;
+    job.AddStepObserver([&sink](const StepRecord& rec) { sink += rec.step; });
+    job.Start();
+    sim.RunUntil(cfg.base_step_time * steps);
+    benchmark::DoNotOptimize(sink);
+    if (job.steps_completed() != steps) {
+      state.SkipWithError("unexpected step count");
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * steps);
+}
+BENCHMARK(BM_TrainJobStepLoop)->Arg(10000)->Arg(100000);
+
+// One full dense-campaign seed (Sec. 8.1 production scenario, 9,600 GPUs) at
+// one simulated day: fault injection, monitoring, diagnosis, recovery and the
+// step loop together — the end-to-end cost the campaign CLI pays per seed.
+void BM_DenseCampaignSeed(benchmark::State& state) {
+  for (auto _ : state) {
+    Scenario scenario(DenseCampaignConfig(/*days=*/1.0, /*seed=*/2024));
+    scenario.Run();
+    benchmark::DoNotOptimize(scenario.stats().incidents_injected);
+  }
+}
+BENCHMARK(BM_DenseCampaignSeed)->Unit(benchmark::kMillisecond);
 
 Topology MakeTopo(int dp) {
   ParallelismConfig cfg;

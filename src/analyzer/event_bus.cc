@@ -1,5 +1,7 @@
 #include "src/analyzer/event_bus.h"
 
+#include <utility>
+
 namespace byterobust {
 
 const char* UnifiedEventKindName(UnifiedEventKind kind) {
@@ -21,22 +23,29 @@ const char* UnifiedEventKindName(UnifiedEventKind kind) {
 }
 
 void EventBus::Subscribe(UnifiedEventKind kind, Handler handler) {
-  handlers_[static_cast<int>(kind)].push_back(std::move(handler));
+  handlers_[static_cast<std::size_t>(kind)].push_back(std::move(handler));
 }
 
 void EventBus::SubscribeAll(Handler handler) { all_handlers_.push_back(std::move(handler)); }
 
 void EventBus::Publish(UnifiedEvent event) {
   ++published_;
-  history_.push_back(event);
-  while (history_.size() > history_capacity_) {
-    history_.pop_front();
+  if (size_ < capacity_) {
+    // Grow on demand up to the fixed capacity (short runs publish far fewer
+    // events than the ring could hold), then wrap in place forever after.
+    // size_ never decreases, so in this phase start_ is 0 and size_ ==
+    // ring_.size(): new events always land at the vector's end.
+    ring_.push_back(event);
+    ++size_;
+  } else {
+    // Full: overwrite the oldest slot in place and advance the window.
+    ring_[start_] = event;
+    start_ = (start_ + 1) % capacity_;
   }
-  auto it = handlers_.find(static_cast<int>(event.kind));
-  if (it != handlers_.end()) {
-    for (const Handler& handler : it->second) {
-      handler(event);
-    }
+  // Dispatch the local copy: a handler that publishes recursively may rotate
+  // the ring out from under a slot reference.
+  for (const Handler& handler : handlers_[static_cast<std::size_t>(event.kind)]) {
+    handler(event);
   }
   for (const Handler& handler : all_handlers_) {
     handler(event);
@@ -46,12 +55,13 @@ void EventBus::Publish(UnifiedEvent event) {
 std::vector<UnifiedEvent> EventBus::Correlate(MachineId machine, SimTime now,
                                               SimDuration window) const {
   std::vector<UnifiedEvent> out;
-  for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
-    if (it->time < now - window) {
+  for (std::size_t i = size_; i > 0; --i) {
+    const UnifiedEvent& e = HistoryAt(i - 1);
+    if (e.time < now - window) {
       break;  // history is time-ordered; nothing older qualifies
     }
-    if (it->machine == machine && it->time <= now) {
-      out.push_back(*it);
+    if (e.machine == machine && e.time <= now) {
+      out.push_back(e);
     }
   }
   return out;

@@ -5,13 +5,17 @@
 // events, publish/subscribe dispatch, a bounded history ring, and the
 // correlation query the gray-failure verification uses (e.g. pairing a
 // GPU-overheating host anomaly with an MFU-decline metric event).
+//
+// Dispatch is O(subscribers of that kind): handlers live in a flat array
+// indexed by UnifiedEventKind (no map lookup), and history is a fixed-capacity
+// ring that overwrites in place (no deque node churn per publish).
 
 #ifndef SRC_ANALYZER_EVENT_BUS_H_
 #define SRC_ANALYZER_EVENT_BUS_H_
 
-#include <deque>
+#include <array>
+#include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -30,6 +34,10 @@ enum class UnifiedEventKind {
   kMetric,        // training-metric event (loss, MFU, grad norm)
 };
 
+inline constexpr int kNumUnifiedEventKinds = 6;
+static_assert(static_cast<int>(UnifiedEventKind::kMetric) + 1 == kNumUnifiedEventKinds,
+              "update kNumUnifiedEventKinds when extending UnifiedEventKind");
+
 const char* UnifiedEventKindName(UnifiedEventKind kind);
 
 struct UnifiedEvent {
@@ -43,7 +51,7 @@ struct UnifiedEvent {
 class EventBus {
  public:
   explicit EventBus(std::size_t history_capacity = 4096)
-      : history_capacity_(history_capacity) {}
+      : capacity_(history_capacity == 0 ? 1 : history_capacity) {}
 
   using Handler = std::function<void(const UnifiedEvent&)>;
 
@@ -54,7 +62,23 @@ class EventBus {
   // Dispatches to subscribers and appends to the bounded history.
   void Publish(UnifiedEvent event);
 
-  const std::deque<UnifiedEvent>& history() const { return history_; }
+  // Oldest-first indexed view over the retained history (at most the
+  // construction-time capacity; older events are overwritten in place).
+  class HistoryView {
+   public:
+    std::size_t size() const { return bus_->size_; }
+    bool empty() const { return bus_->size_ == 0; }
+    const UnifiedEvent& operator[](std::size_t i) const { return bus_->HistoryAt(i); }
+    const UnifiedEvent& front() const { return bus_->HistoryAt(0); }
+    const UnifiedEvent& back() const { return bus_->HistoryAt(bus_->size_ - 1); }
+
+   private:
+    friend class EventBus;
+    explicit HistoryView(const EventBus* bus) : bus_(bus) {}
+    const EventBus* bus_;
+  };
+
+  HistoryView history() const { return HistoryView(this); }
   std::uint64_t published() const { return published_; }
 
   // Events mentioning `machine` within the trailing `window` ending at `now`
@@ -69,9 +93,16 @@ class EventBus {
                          UnifiedEventKind a, UnifiedEventKind b) const;
 
  private:
-  std::size_t history_capacity_;
-  std::deque<UnifiedEvent> history_;
-  std::map<int, std::vector<Handler>> handlers_;
+  // i-th retained event, 0 = oldest.
+  const UnifiedEvent& HistoryAt(std::size_t i) const {
+    return ring_[(start_ + i) % capacity_];
+  }
+
+  std::size_t capacity_;            // fixed at construction
+  std::vector<UnifiedEvent> ring_;  // grows to capacity_, then wraps in place
+  std::size_t start_ = 0;           // index of the oldest retained event
+  std::size_t size_ = 0;            // retained count, <= capacity_
+  std::array<std::vector<Handler>, kNumUnifiedEventKinds> handlers_;
   std::vector<Handler> all_handlers_;
   std::uint64_t published_ = 0;
 };

@@ -12,6 +12,7 @@ Cluster::Cluster(int num_machines, int gpus_per_machine, int num_spares)
   machines_.reserve(static_cast<std::size_t>(num_machines + num_spares));
   for (int i = 0; i < num_machines + num_spares; ++i) {
     machines_.push_back(std::make_unique<Machine>(i, gpus_per_machine));
+    machines_.back()->BindMutationCounter(&health_epoch_);
     if (i >= num_machines) {
       machines_.back()->set_state(MachineState::kIdle);
     }
@@ -48,6 +49,7 @@ void Cluster::ReplaceSlot(int slot, MachineId replacement) {
   incoming.ResetHealth();
   incoming.set_state(MachineState::kActive);
   slot_to_machine_[static_cast<std::size_t>(slot)] = replacement;
+  ++health_epoch_;  // serving membership changed
 }
 
 void Cluster::Blacklist(MachineId id) {
@@ -58,6 +60,7 @@ void Cluster::Blacklist(MachineId id) {
 MachineId Cluster::AddMachine() {
   const MachineId id = static_cast<MachineId>(machines_.size());
   machines_.push_back(std::make_unique<Machine>(id, gpus_per_machine_));
+  machines_.back()->BindMutationCounter(&health_epoch_);
   machines_.back()->set_state(MachineState::kIdle);
   return id;
 }
@@ -75,14 +78,39 @@ std::vector<MachineId> Cluster::IdleMachines() const {
 }
 
 int Cluster::UnhealthyServingCount() const {
-  int n = 0;
+  RefreshHealthIndex();
+  return unhealthy_serving_;
+}
+
+const std::vector<MachineId>& Cluster::SuspectServingMachines() const {
+  RefreshHealthIndex();
+  return suspect_serving_;
+}
+
+const MachineSet& Cluster::SuspectServingSet() const {
+  RefreshHealthIndex();
+  return suspect_set_;
+}
+
+void Cluster::RefreshHealthIndex() const {
+  if (index_epoch_ == health_epoch_) {
+    return;
+  }
+  suspect_serving_.clear();
+  suspect_set_ = MachineSet(static_cast<int>(machines_.size()));
+  unhealthy_serving_ = 0;
   for (MachineId id : slot_to_machine_) {
-    const MachineState s = machine(id).state();
+    const Machine& m = machine(id);
+    if (m.health_dirty()) {
+      suspect_serving_.push_back(id);
+      suspect_set_.Insert(id);
+    }
+    const MachineState s = m.state();
     if (s == MachineState::kFaulty || s == MachineState::kDegraded) {
-      ++n;
+      ++unhealthy_serving_;
     }
   }
-  return n;
+  index_epoch_ = health_epoch_;
 }
 
 }  // namespace byterobust

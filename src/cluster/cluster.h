@@ -5,6 +5,7 @@
 #ifndef SRC_CLUSTER_CLUSTER_H_
 #define SRC_CLUSTER_CLUSTER_H_
 
+#include <cstdint>
 #include <memory>
 #include <set>
 #include <vector>
@@ -20,6 +21,11 @@ class Cluster {
   // plus `num_spares` machines that start life outside the job (used to
   // refill training slots after evictions).
   Cluster(int num_machines, int gpus_per_machine, int num_spares = 0);
+
+  // Machines hold raw hooks into this cluster's health epoch, so the cluster
+  // must never relocate.
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
 
   int num_training_slots() const { return num_training_slots_; }
   int gpus_per_machine() const { return gpus_per_machine_; }
@@ -56,15 +62,52 @@ class Cluster {
   // All machines currently serving the job, in slot order.
   std::vector<MachineId> ServingMachines() const { return slot_to_machine_; }
 
-  // Count of serving machines whose state is kFaulty or kDegraded.
+  // Same membership as ServingMachines() without the copy; hot paths (perf
+  // model, inspections, fault sampling) iterate this instead.
+  const std::vector<MachineId>& serving_slots() const { return slot_to_machine_; }
+
+  // Count of serving machines whose state is kFaulty or kDegraded. Served
+  // from the epoch-keyed health index, so repeated calls between mutations
+  // are O(1).
   int UnhealthyServingCount() const;
 
+  // -- health epoch + suspect index -----------------------------------------
+  //
+  // Every health mutation (fault injection, heal, slot swap, eviction,
+  // restart, or any mutable Machine health access) bumps a monotonically
+  // increasing epoch. Consumers key caches on it: the perf model's
+  // slowest-clock scan and the inspection suspect index below are recomputed
+  // at most once per epoch instead of once per query.
+
+  std::uint64_t health_epoch() const { return health_epoch_; }
+
+  // Serving machines whose health may deviate from nominal (health_dirty()),
+  // in slot order. Machines absent from this list are guaranteed nominal, so
+  // inspections iterate only these instead of the whole cluster.
+  const std::vector<MachineId>& SuspectServingMachines() const;
+
+  // Bitmask over the same suspects, for word-parallel membership queries.
+  const MachineSet& SuspectServingSet() const;
+
  private:
+  void RefreshHealthIndex() const;
+
   int num_training_slots_;
   int gpus_per_machine_;
   std::vector<std::unique_ptr<Machine>> machines_;
   std::vector<MachineId> slot_to_machine_;
   std::set<MachineId> blacklist_;
+
+  // Bumped by Cluster mutators and (through the bound hooks) by every Machine
+  // state/health mutation.
+  std::uint64_t health_epoch_ = 0;
+
+  // Lazily rebuilt once per epoch on first query (mutations are rare next to
+  // the per-step / per-inspection reads that consume the index).
+  mutable std::uint64_t index_epoch_ = ~std::uint64_t{0};
+  mutable std::vector<MachineId> suspect_serving_;
+  mutable MachineSet suspect_set_;
+  mutable int unhealthy_serving_ = 0;
 };
 
 }  // namespace byterobust

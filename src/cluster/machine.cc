@@ -30,6 +30,8 @@ void Machine::ResetHealth() {
     g = GpuHealth{};
   }
   host_ = HostHealth{};
+  health_dirty_ = false;
+  BumpMutationCounter();
 }
 
 bool Machine::HasSdc() const {

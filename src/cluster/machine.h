@@ -3,6 +3,7 @@
 #ifndef SRC_CLUSTER_MACHINE_H_
 #define SRC_CLUSTER_MACHINE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -54,33 +55,68 @@ class Machine {
   int num_gpus() const { return num_gpus_; }
 
   MachineState state() const { return state_; }
-  void set_state(MachineState state) { state_ = state; }
+  void set_state(MachineState state) {
+    state_ = state;
+    BumpMutationCounter();
+  }
   bool InService() const {
     return state_ == MachineState::kActive || state_ == MachineState::kDegraded;
   }
 
-  GpuHealth& gpu(int i) { return gpus_.at(static_cast<std::size_t>(i)); }
+  // Mutable health access conservatively marks the machine "health-dirty" and
+  // bumps the owning cluster's health epoch: the caller *may* write through
+  // the reference. A machine that is not dirty is guaranteed nominal, which
+  // is what lets inspections and the perf model skip it without a scan.
+  GpuHealth& gpu(int i) {
+    MarkHealthDirty();
+    return gpus_.at(static_cast<std::size_t>(i));
+  }
   const GpuHealth& gpu(int i) const { return gpus_.at(static_cast<std::size_t>(i)); }
-  HostHealth& host() { return host_; }
+  HostHealth& host() {
+    MarkHealthDirty();
+    return host_;
+  }
   const HostHealth& host() const { return host_; }
 
   // Resets all health attributes to nominal values (standby delivery,
-  // post-repair return to the pool).
+  // post-repair return to the pool). Clears the dirty flag: nominal health
+  // needs no inspection.
   void ResetHealth();
 
   // True if any GPU has an SDC flag set.
   bool HasSdc() const;
+
+  // True when mutable health access happened since construction/ResetHealth,
+  // i.e. the health attributes may deviate from nominal.
+  bool health_dirty() const { return health_dirty_; }
+
+  // Installed by the owning Cluster so every state/health mutation bumps the
+  // cluster-wide health epoch (cache invalidation for the perf model and the
+  // inspection suspect index). Standalone machines (unit tests) keep nullptr.
+  void BindMutationCounter(std::uint64_t* counter) { mutation_counter_ = counter; }
 
   // Incremented whenever this machine is implicated in an incident; used by
   // campaign reports.
   int incident_count = 0;
 
  private:
+  void BumpMutationCounter() {
+    if (mutation_counter_ != nullptr) {
+      ++*mutation_counter_;
+    }
+  }
+  void MarkHealthDirty() {
+    health_dirty_ = true;
+    BumpMutationCounter();
+  }
+
   MachineId id_;
   int num_gpus_;
   MachineState state_ = MachineState::kActive;
   std::vector<GpuHealth> gpus_;
   HostHealth host_;
+  bool health_dirty_ = false;
+  std::uint64_t* mutation_counter_ = nullptr;
 };
 
 }  // namespace byterobust

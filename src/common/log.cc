@@ -5,12 +5,17 @@
 #include <cstdio>
 
 namespace byterobust {
+
+namespace log_internal {
+// The severity threshold is process-wide (campaign workers share it); see
+// log.h for why it is header-visible.
+std::atomic<int> g_severity_threshold{static_cast<int>(LogLevel::kWarning)};
+}  // namespace log_internal
+
 namespace {
 
-// The severity threshold is process-wide (campaign workers share it); the
-// clock binding is per-thread so each worker's simulator stamps its own
-// log lines.
-std::atomic<LogLevel> g_level{LogLevel::kWarning};
+// The clock binding is per-thread so each campaign worker's simulator stamps
+// its own log lines.
 thread_local const SimTime* t_clock = nullptr;
 
 const char* LevelName(LogLevel level) {
@@ -31,9 +36,14 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+void SetLogLevel(LogLevel level) {
+  log_internal::g_severity_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
+}
 
-LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(
+      log_internal::g_severity_threshold.load(std::memory_order_relaxed));
+}
 
 void SetLogClock(const SimTime* now) { t_clock = now; }
 

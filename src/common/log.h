@@ -8,6 +8,7 @@
 #ifndef SRC_COMMON_LOG_H_
 #define SRC_COMMON_LOG_H_
 
+#include <atomic>
 #include <string>
 
 #include "src/common/sim_time.h"
@@ -42,17 +43,39 @@ void ClearLogClock(const SimTime* now);
 void LogMessage(LogLevel level, const char* module, const char* format, ...)
     __attribute__((format(printf, 3, 4)));
 
+namespace log_internal {
+// The threshold lives in the header so the macros' enabled-check inlines to a
+// single relaxed atomic load. Write through SetLogLevel(), never directly.
+extern std::atomic<int> g_severity_threshold;
+}  // namespace log_internal
+
+// True when a message at `level` would be emitted. The BR_LOG_* macros test
+// this before evaluating their arguments, so disabled log sites never pay for
+// string building (e.g. Incident::ToString on the per-injection hot path).
+inline bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         log_internal::g_severity_threshold.load(std::memory_order_relaxed);
+}
+
 }  // namespace byterobust
 
 // Module-tagged logging macros. `module` is a short component name such as
-// "monitor" or "controller".
+// "monitor" or "controller". The level check runs first: macro arguments are
+// not evaluated when the message would be discarded.
+#define BR_LOG_AT(level, module, ...)                  \
+  do {                                                 \
+    if (::byterobust::LogEnabled(level)) {             \
+      ::byterobust::LogMessage(level, module, __VA_ARGS__); \
+    }                                                  \
+  } while (0)
+
 #define BR_LOG_DEBUG(module, ...) \
-  ::byterobust::LogMessage(::byterobust::LogLevel::kDebug, module, __VA_ARGS__)
+  BR_LOG_AT(::byterobust::LogLevel::kDebug, module, __VA_ARGS__)
 #define BR_LOG_INFO(module, ...) \
-  ::byterobust::LogMessage(::byterobust::LogLevel::kInfo, module, __VA_ARGS__)
+  BR_LOG_AT(::byterobust::LogLevel::kInfo, module, __VA_ARGS__)
 #define BR_LOG_WARN(module, ...) \
-  ::byterobust::LogMessage(::byterobust::LogLevel::kWarning, module, __VA_ARGS__)
+  BR_LOG_AT(::byterobust::LogLevel::kWarning, module, __VA_ARGS__)
 #define BR_LOG_ERROR(module, ...) \
-  ::byterobust::LogMessage(::byterobust::LogLevel::kError, module, __VA_ARGS__)
+  BR_LOG_AT(::byterobust::LogLevel::kError, module, __VA_ARGS__)
 
 #endif  // SRC_COMMON_LOG_H_

@@ -38,9 +38,10 @@ struct InspectionFinding {
   bool high_confidence;
 };
 
-// Pure inspection pass for one category over the serving machines. Switch
-// unreachability is reported on every pass; the caller applies the
-// two-consecutive-events threshold.
+// Pure inspection pass for one category over the serving machines (iterated
+// through the cluster's health-dirty suspect index, so a healthy cluster pays
+// O(1) per pass instead of O(machines)). Switch unreachability is reported on
+// every pass; the caller applies the two-consecutive-events threshold.
 std::vector<InspectionFinding> RunInspection(InspectionCategory category, const Cluster& cluster);
 
 }  // namespace byterobust

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <vector>
 
 namespace byterobust {
 
@@ -25,11 +24,15 @@ std::optional<AnomalyReport> MetricsRules::OnStep(const StepRecord& record) {
       report.symptom_hint = IncidentSymptom::kNanValue;  // treated like loss anomaly
       report.detail = "loss spike > 5x trailing median";
       recent_loss_.clear();
+      low_.clear();
+      high_.clear();
       return report;
     }
   }
   recent_loss_.push_back(record.loss);
+  MedianInsert(record.loss);
   while (static_cast<int>(recent_loss_.size()) > config_.trailing_window) {
+    MedianErase(recent_loss_.front());
     recent_loss_.pop_front();
   }
 
@@ -52,14 +55,46 @@ std::optional<AnomalyReport> MetricsRules::OnStep(const StepRecord& record) {
 
 void MetricsRules::Reset() {
   recent_loss_.clear();
+  low_.clear();
+  high_.clear();
   mfu_high_water_ = 0.0;
   decline_run_ = 0;
 }
 
 double MetricsRules::TrailingMedianLoss() const {
-  std::vector<double> v(recent_loss_.begin(), recent_loss_.end());
-  std::sort(v.begin(), v.end());
-  return v.empty() ? 0.0 : v[v.size() / 2];
+  return high_.empty() ? 0.0 : *high_.begin();
+}
+
+void MetricsRules::MedianInsert(double value) {
+  if (high_.empty() || value >= *high_.begin()) {
+    high_.insert(value);
+  } else {
+    low_.insert(value);
+  }
+  MedianRebalance();
+}
+
+void MetricsRules::MedianErase(double value) {
+  // Everything >= the current median lives in high_; with value drawn from
+  // the window, the find() below cannot miss.
+  if (!high_.empty() && value >= *high_.begin()) {
+    high_.erase(high_.find(value));
+  } else {
+    low_.erase(low_.find(value));
+  }
+  MedianRebalance();
+}
+
+void MetricsRules::MedianRebalance() {
+  // Invariant: |low_| == size()/2, so *high_.begin() is the upper median.
+  while (low_.size() > (low_.size() + high_.size()) / 2) {
+    high_.insert(*low_.rbegin());
+    low_.erase(std::prev(low_.end()));
+  }
+  while (low_.size() < (low_.size() + high_.size()) / 2) {
+    low_.insert(*high_.begin());
+    high_.erase(high_.begin());
+  }
 }
 
 }  // namespace byterobust

@@ -1,6 +1,7 @@
 #include "src/monitor/monitor.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/common/log.h"
 
@@ -57,8 +58,9 @@ void Monitor::RunInspectionPass(InspectionCategory category) {
   }
   for (const InspectionFinding& f : RunInspection(category, *cluster_)) {
     // The switch-reachability item needs two consecutive hits (Table 3).
+    // Const access: a read must not mark the machine health-dirty.
     if (category == InspectionCategory::kNetwork &&
-        !cluster_->machine(f.machine).host().switch_reachable) {
+        !std::as_const(*cluster_).machine(f.machine).host().switch_reachable) {
       if (++switch_event_counts_[f.machine] < config_.switch_event_threshold) {
         continue;
       }

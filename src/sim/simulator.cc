@@ -266,14 +266,34 @@ bool Simulator::DispatchNext() {
   return true;
 }
 
+SimTime Simulator::NextEventTime() {
+  const std::uint32_t bucket_index = LiveHeadBucket();
+  return bucket_index == kNullIndex ? kNoPendingEvent : buckets_[bucket_index].time;
+}
+
+void Simulator::AdvanceTo(SimTime when) {
+  if (when < now_) {
+    throw std::invalid_argument("AdvanceTo in the past");
+  }
+  if (NextEventTime() < when) {
+    throw std::invalid_argument("AdvanceTo would skip a pending event");
+  }
+  now_ = when;
+}
+
 void Simulator::Run() {
   stopped_ = false;
+  const SimTime saved_horizon = horizon_;
+  horizon_ = kNoPendingEvent;
   while (!stopped_ && DispatchNext()) {
   }
+  horizon_ = saved_horizon;
 }
 
 void Simulator::RunUntil(SimTime deadline) {
   stopped_ = false;
+  const SimTime saved_horizon = horizon_;
+  horizon_ = deadline;
   while (!stopped_) {
     const std::uint32_t bucket_index = LiveHeadBucket();
     if (bucket_index == kNullIndex || buckets_[bucket_index].time > deadline) {
@@ -281,6 +301,7 @@ void Simulator::RunUntil(SimTime deadline) {
     }
     DispatchNext();
   }
+  horizon_ = saved_horizon;
   if (now_ < deadline) {
     now_ = deadline;
   }

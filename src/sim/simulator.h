@@ -80,6 +80,32 @@ class Simulator {
   // Requests that Run()/RunUntil() return after the current event completes.
   void Stop() { stopped_ = true; }
 
+  // True after Stop() until the next Run()/RunUntil() resets it. Lets
+  // in-handler fast paths (batched stepping) honor a stop request the same
+  // way the dispatch loop would.
+  bool stop_requested() const { return stopped_; }
+
+  // Returned by NextEventTime() when no live event is pending, and by
+  // horizon() while running without a deadline.
+  static constexpr SimTime kNoPendingEvent = INT64_MAX;
+
+  // Timestamp of the earliest pending live event, or kNoPendingEvent.
+  // Reclaims leading tombstones as a side effect (exactly what the next
+  // dispatch would do), so peeking never changes observable behavior.
+  SimTime NextEventTime();
+
+  // Deadline of the innermost RunUntil() currently executing, or
+  // kNoPendingEvent under Run(). Event handlers use it to avoid doing
+  // inline work the dispatch loop would never have reached.
+  SimTime horizon() const { return horizon_; }
+
+  // Advances Now() to `when` without dispatching anything. `when` must not
+  // precede Now() or overtake a pending live event — time only moves forward
+  // and never skips scheduled work. This is the batched-stepping fast path:
+  // a handler that knows nothing fires before `when` claims the interval
+  // inline instead of paying one heap round-trip per step.
+  void AdvanceTo(SimTime when);
+
   // Number of events dispatched so far.
   std::uint64_t events_dispatched() const { return dispatched_; }
 
@@ -163,6 +189,7 @@ class Simulator {
   bool DispatchNext();
 
   SimTime now_ = 0;
+  SimTime horizon_ = kNoPendingEvent;
   std::uint64_t dispatched_ = 0;
   std::size_t queued_ = 0;  // pending events, including cancelled ones
   std::size_t live_ = 0;    // pending events that are not cancelled

@@ -30,6 +30,13 @@ struct JobConfig {
   // raise the relative MFU over the campaign (Fig. 11: 1.25x dense, 1.58x MoE).
   double base_mfu = 0.32;
 
+  // Batched step execution: a completing step runs every follow-on step that
+  // fits strictly before the next pending simulator event inline, instead of
+  // scheduling one event per step. Observable behavior (StepRecord streams,
+  // campaign JSON) is identical either way; the switch exists so equivalence
+  // tests can pin the per-step reference path.
+  bool batched_stepping = true;
+
   // Loss-curve parameters (power-law decay, Fig. 2).
   double loss_initial = 11.0;
   double loss_floor = 1.75;

@@ -6,7 +6,7 @@ namespace byterobust {
 
 double PerfModel::SlowestClockRatio(const Cluster& cluster) {
   double slowest = 1.0;
-  for (MachineId id : cluster.ServingMachines()) {
+  for (MachineId id : cluster.serving_slots()) {
     const Machine& m = cluster.machine(id);
     for (int g = 0; g < m.num_gpus(); ++g) {
       slowest = std::min(slowest, m.gpu(g).clock_ratio);
@@ -15,15 +15,32 @@ double PerfModel::SlowestClockRatio(const Cluster& cluster) {
   return slowest;
 }
 
+double PerfModel::CachedSlowestClockRatio(const Cluster& cluster) const {
+  if (cached_cluster_ != &cluster || clock_epoch_ != cluster.health_epoch()) {
+    cached_slowest_ = SlowestClockRatio(cluster);
+    cached_cluster_ = &cluster;
+    clock_epoch_ = cluster.health_epoch();
+    perf_epoch_ = kNoEpoch;  // derived step-time/MFU cache is stale too
+  }
+  return cached_slowest_;
+}
+
 SimDuration PerfModel::StepTime(double code_efficiency, const Cluster& cluster) const {
-  const double eff = std::max(code_efficiency, 1e-6);
-  const double clock = std::max(SlowestClockRatio(cluster), 1e-3);
-  const double t = static_cast<double>(config_.base_step_time) / (eff * clock);
-  return static_cast<SimDuration>(t);
+  const double clock = std::max(CachedSlowestClockRatio(cluster), 1e-3);
+  if (perf_epoch_ != clock_epoch_ || perf_efficiency_ != code_efficiency) {
+    const double eff = std::max(code_efficiency, 1e-6);
+    cached_step_time_ =
+        static_cast<SimDuration>(static_cast<double>(config_.base_step_time) / (eff * clock));
+    cached_mfu_ = config_.base_mfu * code_efficiency * cached_slowest_;
+    perf_epoch_ = clock_epoch_;
+    perf_efficiency_ = code_efficiency;
+  }
+  return cached_step_time_;
 }
 
 double PerfModel::Mfu(double code_efficiency, const Cluster& cluster) const {
-  return config_.base_mfu * code_efficiency * SlowestClockRatio(cluster);
+  StepTime(code_efficiency, cluster);  // refreshes cached_mfu_ when stale
+  return cached_mfu_;
 }
 
 }  // namespace byterobust

@@ -4,9 +4,16 @@
 // barriers every step), so the slowest serving machine sets the pace: a single
 // thermally-throttled GPU drags global MFU down — exactly the gray-failure
 // behaviour that makes MFU decline hard to localize (Sec. 5).
+//
+// The machines×GPUs slowest-clock scan is cached against the cluster's health
+// epoch: the training step loop queries StepTime/Mfu every simulated step, but
+// cluster health only changes on fault injection / heal / slot swap, so the
+// scan reruns once per mutation instead of twice per step.
 
 #ifndef SRC_TRAINING_PERF_MODEL_H_
 #define SRC_TRAINING_PERF_MODEL_H_
+
+#include <cstdint>
 
 #include "src/cluster/cluster.h"
 #include "src/common/sim_time.h"
@@ -19,7 +26,7 @@ class PerfModel {
   explicit PerfModel(const JobConfig& config) : config_(config) {}
 
   // Minimum GPU clock ratio across machines currently serving `slots`; 1.0
-  // when everything is healthy.
+  // when everything is healthy. Uncached reference scan.
   static double SlowestClockRatio(const Cluster& cluster);
 
   // Wall time of one training step given the current code efficiency
@@ -32,7 +39,21 @@ class PerfModel {
   const JobConfig& config() const { return config_; }
 
  private:
+  // SlowestClockRatio memoized on (cluster identity, health epoch).
+  double CachedSlowestClockRatio(const Cluster& cluster) const;
+
+  static constexpr std::uint64_t kNoEpoch = ~std::uint64_t{0};
+
   JobConfig config_;
+
+  mutable const Cluster* cached_cluster_ = nullptr;
+  mutable std::uint64_t clock_epoch_ = kNoEpoch;
+  mutable double cached_slowest_ = 1.0;
+  // StepTime/Mfu additionally key on the code-efficiency input.
+  mutable std::uint64_t perf_epoch_ = kNoEpoch;
+  mutable double perf_efficiency_ = -1.0;
+  mutable SimDuration cached_step_time_ = 0;
+  mutable double cached_mfu_ = 0.0;
 };
 
 }  // namespace byterobust

@@ -40,7 +40,7 @@ void TrainJob::Start() {
   }
   state_ = JobRunState::kRunning;
   ++run_count_;
-  nan_loss_ = nan_loss_ && false;  // a restart clears transient NaN inputs
+  nan_loss_ = false;  // a restart clears transient NaN inputs
   hang_culprit_ = -1;
   last_progress_time_ = sim_->Now();
   BR_LOG_INFO("job", "%s run #%d starting at step %lld (code v%d, eff=%.2f)",
@@ -118,6 +118,36 @@ void TrainJob::CompleteStep() {
   if (state_ != JobRunState::kRunning) {
     return;
   }
+  FinishOneStep();
+
+  // Batched execution: while the job stays healthy, run every whole step that
+  // ends strictly before the next pending simulator event (and within the run
+  // horizon) inline, advancing the clock directly instead of paying one
+  // closure + heap round-trip per step. Strict inequality preserves dispatch
+  // semantics exactly: a step ending *at* the next event's timestamp goes
+  // through the scheduler, so (time, schedule order) ties resolve as before.
+  // Observers run at the step's own end time (the clock is advanced first)
+  // and may schedule events or mutate the job; the loop re-reads both bounds
+  // every iteration, so the moment an observer schedules something earlier or
+  // stops/crashes/hangs the job, batching ends.
+  if (config_.batched_stepping) {
+    while (state_ == JobRunState::kRunning && !sim_->stop_requested()) {
+      const SimDuration step_time = CurrentStepTime();
+      const SimTime end = sim_->Now() + step_time;
+      if (end > sim_->horizon() || end >= sim_->NextEventTime()) {
+        break;
+      }
+      step_start_ = sim_->Now();
+      sim_->AdvanceTo(end);
+      FinishOneStep();
+    }
+  }
+  if (state_ == JobRunState::kRunning) {
+    ScheduleNextStep();
+  }
+}
+
+void TrainJob::FinishOneStep() {
   StepRecord rec;
   rec.step = resume_step_;
   rec.start = step_start_;
@@ -136,9 +166,6 @@ void TrainJob::CompleteStep() {
 
   for (const auto& obs : observers_) {
     obs(rec);
-  }
-  if (state_ == JobRunState::kRunning) {
-    ScheduleNextStep();
   }
 }
 

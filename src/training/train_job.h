@@ -104,6 +104,7 @@ class TrainJob {
  private:
   void ScheduleNextStep();
   void CompleteStep();
+  void FinishOneStep();
 
   JobConfig config_;
   Simulator* sim_;

@@ -106,6 +106,67 @@ TEST(ClusterTest, UnhealthyServingCount) {
   EXPECT_EQ(cluster.UnhealthyServingCount(), 2);
 }
 
+TEST(ClusterTest, HealthEpochBumpsOnEveryMutationPath) {
+  Cluster cluster(4, 2, 1);
+  const std::uint64_t e0 = cluster.health_epoch();
+  cluster.machine(0).gpu(1).clock_ratio = 0.5;  // mutable health access
+  EXPECT_GT(cluster.health_epoch(), e0);
+  const std::uint64_t e1 = cluster.health_epoch();
+  cluster.machine(0).set_state(MachineState::kDegraded);
+  EXPECT_GT(cluster.health_epoch(), e1);
+  const std::uint64_t e2 = cluster.health_epoch();
+  cluster.machine(0).ResetHealth();
+  EXPECT_GT(cluster.health_epoch(), e2);
+  const std::uint64_t e3 = cluster.health_epoch();
+  cluster.machine(4).set_state(MachineState::kStandbySleep);
+  cluster.ReplaceSlot(1, 4);
+  EXPECT_GT(cluster.health_epoch(), e3);
+  // Const reads do not bump.
+  const std::uint64_t e4 = cluster.health_epoch();
+  const Cluster& ccluster = cluster;
+  (void)ccluster.machine(0).gpu(1).clock_ratio;
+  (void)ccluster.machine(0).host().nic_up;
+  EXPECT_EQ(cluster.health_epoch(), e4);
+}
+
+TEST(ClusterTest, SuspectIndexTracksDirtyServingMachines) {
+  Cluster cluster(4, 2, 1);
+  EXPECT_TRUE(cluster.SuspectServingMachines().empty());
+  EXPECT_EQ(cluster.UnhealthyServingCount(), 0);
+
+  cluster.machine(2).gpu(0).available = false;  // dirty, state still active
+  cluster.machine(1).host().nic_up = false;
+  cluster.machine(1).set_state(MachineState::kFaulty);
+  ASSERT_EQ(cluster.SuspectServingMachines().size(), 2u);
+  // Slot order, not mutation order.
+  EXPECT_EQ(cluster.SuspectServingMachines()[0], 1);
+  EXPECT_EQ(cluster.SuspectServingMachines()[1], 2);
+  EXPECT_TRUE(cluster.SuspectServingSet().Contains(1));
+  EXPECT_TRUE(cluster.SuspectServingSet().Contains(2));
+  EXPECT_FALSE(cluster.SuspectServingSet().Contains(0));
+  EXPECT_EQ(cluster.UnhealthyServingCount(), 1);
+
+  // Healing clears the dirty bit and drops the machine from the index.
+  cluster.machine(1).ResetHealth();
+  cluster.machine(1).set_state(MachineState::kActive);
+  ASSERT_EQ(cluster.SuspectServingMachines().size(), 1u);
+  EXPECT_EQ(cluster.SuspectServingMachines()[0], 2);
+
+  // Eviction replaces the dirty machine with a clean standby.
+  cluster.machine(4).set_state(MachineState::kStandbySleep);
+  cluster.ReplaceSlot(2, 4);
+  EXPECT_TRUE(cluster.SuspectServingMachines().empty());
+}
+
+TEST(MachineTest, StandaloneMachineTracksDirtyWithoutCluster) {
+  Machine m(0, 4);
+  EXPECT_FALSE(m.health_dirty());
+  m.gpu(2).sdc = true;
+  EXPECT_TRUE(m.health_dirty());
+  m.ResetHealth();
+  EXPECT_FALSE(m.health_dirty());
+}
+
 TEST(ClusterTest, IdleExcludesBlacklisted) {
   Cluster cluster(2, 8, 2);
   EXPECT_EQ(cluster.IdleMachines().size(), 2u);

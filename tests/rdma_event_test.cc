@@ -91,6 +91,23 @@ TEST(EventBusTest, HistoryIsBounded) {
   EXPECT_EQ(bus.history().front().time, Seconds(6));
 }
 
+TEST(EventBusTest, HistoryRingPreservesOrderAcrossWraparound) {
+  EventBus bus(/*history_capacity=*/3);
+  for (int i = 0; i < 8; ++i) {
+    bus.Publish({UnifiedEventKind::kLog, Seconds(i), i, IncidentSymptom::kCudaError, ""});
+  }
+  // Retained: events 5, 6, 7 oldest-first, with the ring reusing slots.
+  ASSERT_EQ(bus.history().size(), 3u);
+  EXPECT_EQ(bus.history().front().time, Seconds(5));
+  EXPECT_EQ(bus.history()[1].time, Seconds(6));
+  EXPECT_EQ(bus.history().back().time, Seconds(7));
+  EXPECT_EQ(bus.published(), 8u);
+  // Correlate walks newest-first across the wrapped boundary.
+  const auto hits = bus.Correlate(6, Seconds(7), Seconds(5));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].time, Seconds(6));
+}
+
 TEST(EventBusTest, CorrelateFiltersByMachineAndWindow) {
   EventBus bus;
   bus.Publish({UnifiedEventKind::kHostAnomaly, Minutes(1), 5, IncidentSymptom::kMfuDecline,

@@ -239,6 +239,63 @@ TEST(SimulatorTest, EventScheduledAtNowDuringDispatchFiresAfterQueuedPeers) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
 }
 
+TEST(SimulatorTest, NextEventTimePeeksEarliestLiveEvent) {
+  Simulator sim;
+  EXPECT_EQ(sim.NextEventTime(), Simulator::kNoPendingEvent);
+  const EventId early = sim.Schedule(Seconds(2), [] {});
+  sim.Schedule(Seconds(5), [] {});
+  EXPECT_EQ(sim.NextEventTime(), Seconds(2));
+  // Cancelling the head exposes the next live event (tombstones reclaimed).
+  sim.Cancel(early);
+  EXPECT_EQ(sim.NextEventTime(), Seconds(5));
+  sim.Run();
+  EXPECT_EQ(sim.NextEventTime(), Simulator::kNoPendingEvent);
+}
+
+TEST(SimulatorTest, AdvanceToMovesClockWithoutDispatching) {
+  Simulator sim;
+  bool fired = false;
+  sim.Schedule(Seconds(10), [&] { fired = true; });
+  sim.AdvanceTo(Seconds(7));
+  EXPECT_EQ(sim.Now(), Seconds(7));
+  EXPECT_FALSE(fired);
+  // Advancing exactly to the pending event's time is allowed (nothing is
+  // skipped); overtaking it is not, and time cannot move backwards.
+  sim.AdvanceTo(Seconds(10));
+  EXPECT_THROW(sim.AdvanceTo(Seconds(11)), std::invalid_argument);
+  EXPECT_THROW(sim.AdvanceTo(Seconds(5)), std::invalid_argument);
+  sim.Run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, HorizonTracksRunUntilDeadline) {
+  Simulator sim;
+  EXPECT_EQ(sim.horizon(), Simulator::kNoPendingEvent);
+  SimTime seen_horizon = 0;
+  sim.Schedule(Seconds(1), [&] { seen_horizon = sim.horizon(); });
+  sim.RunUntil(Seconds(30));
+  EXPECT_EQ(seen_horizon, Seconds(30));
+  EXPECT_EQ(sim.horizon(), Simulator::kNoPendingEvent);
+
+  sim.Schedule(Seconds(1), [&] { seen_horizon = sim.horizon(); });
+  sim.Run();
+  EXPECT_EQ(seen_horizon, Simulator::kNoPendingEvent);
+}
+
+TEST(SimulatorTest, StopRequestVisibleInsideHandler) {
+  Simulator sim;
+  bool requested_inside = false;
+  sim.Schedule(Seconds(1), [&] {
+    sim.Stop();
+    requested_inside = sim.stop_requested();
+  });
+  bool later_fired = false;
+  sim.Schedule(Seconds(2), [&] { later_fired = true; });
+  sim.Run();
+  EXPECT_TRUE(requested_inside);
+  EXPECT_FALSE(later_fired);
+}
+
 TEST(SimulatorTest, ManyDistinctTimestampsDispatchInTimeOrder) {
   Simulator sim;
   std::vector<SimTime> times;

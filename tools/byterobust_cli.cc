@@ -19,6 +19,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <map>
@@ -200,6 +201,13 @@ const ScenarioSpec* FindSpec(const std::string& name) {
   return nullptr;
 }
 
+// Escape hatch for the batched-stepping equivalence ctest: BYTEROBUST_STEP_BATCHING=0
+// pins the per-step reference path. Output must be byte-identical either way.
+bool StepBatchingEnabled() {
+  const char* env = std::getenv("BYTEROBUST_STEP_BATCHING");
+  return env == nullptr || std::string(env) != "0";
+}
+
 SystemConfig QuickstartSystem(std::uint64_t seed) {
   SystemConfig config;
   config.job.name = "quickstart-7B";
@@ -211,6 +219,7 @@ SystemConfig QuickstartSystem(std::uint64_t seed) {
   config.job.base_step_time = Seconds(10);
   config.seed = seed;
   config.spare_machines = 4;
+  config.job.batched_stepping = StepBatchingEnabled();
   return config;
 }
 
@@ -330,7 +339,9 @@ RunResult RunMixed(const ScenarioSpec& spec, double days, std::uint64_t seed) {
   r.scenario = spec.name;
   r.seed = seed;
   r.days = days;
-  Scenario scenario(MixedConfig(spec.name, days, seed));
+  ScenarioConfig cfg = MixedConfig(spec.name, days, seed);
+  cfg.system.job.batched_stepping = StepBatchingEnabled();
+  Scenario scenario(cfg);
   scenario.Run();
   r.incidents_injected = scenario.stats().incidents_injected;
   r.refails = scenario.stats().refails;

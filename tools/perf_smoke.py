@@ -9,7 +9,9 @@ vary across machines, so the gate is a coarse regression tripwire (default
 
     perf_smoke.py current.json baseline.json [--max-ratio 2.0] [name ...]
 
-With no names, every benchmark present in both files is checked.
+Benchmark selection, in priority order: names given on the command line; the
+baseline's "gated" list (so the set of gated benchmarks is versioned next to
+the numbers themselves); otherwise every benchmark present in both files.
 """
 
 import argparse
@@ -19,7 +21,8 @@ import sys
 _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
-def load_times(path):
+def load_report(path):
+    """Returns ({name: real_time_ns}, gated_names_or_None)."""
     with open(path) as f:
         data = json.load(f)
     times = {}
@@ -30,7 +33,7 @@ def load_times(path):
         if unit is None:
             raise SystemExit(f"{path}: unknown time_unit in {bench['name']}")
         times[bench["name"]] = bench["real_time"] * unit
-    return times
+    return times, data.get("gated")
 
 
 def main():
@@ -41,9 +44,9 @@ def main():
     parser.add_argument("--max-ratio", type=float, default=2.0)
     args = parser.parse_intermixed_args()
 
-    current = load_times(args.current)
-    baseline = load_times(args.baseline)
-    names = args.names or sorted(current.keys() & baseline.keys())
+    current, _ = load_report(args.current)
+    baseline, gated = load_report(args.baseline)
+    names = args.names or gated or sorted(current.keys() & baseline.keys())
 
     failures = []
     for name in names:
