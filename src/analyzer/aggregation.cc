@@ -9,8 +9,15 @@ namespace byterobust {
 
 namespace {
 
-// FNV-1a over the structural identity of a process stack. Hashing the frames
-// in place avoids materialising a per-stack key string on the hot path.
+// FNV-1a over (kind, shared-storage identity). Stacks are shared-immutable
+// copies of a handful of canned patterns, so hashing the storage pointer is
+// O(1) per stack instead of re-hashing every frame string. This makes
+// grouping identity-based: structurally equal traces built as separate
+// objects would form separate groups (see StackTrace::identity()), so every
+// producer must intern its patterns — all of stack_synth.cc's builders do.
+// Group *order* is first-encounter order followed by a deterministic
+// (size, key) sort, so the result never depends on the hash values
+// themselves.
 std::size_t HashStack(ProcessKind kind, const StackTrace& stack) {
   std::size_t h = 14695981039346656037ull;
   const auto mix = [&h](std::size_t v) {
@@ -18,11 +25,7 @@ std::size_t HashStack(ProcessKind kind, const StackTrace& stack) {
     h *= 1099511628211ull;
   };
   mix(static_cast<std::size_t>(kind));
-  for (const StackFrame& f : stack.frames) {
-    mix(std::hash<std::string>{}(f.function));
-    mix(std::hash<std::string>{}(f.file));
-    mix(static_cast<std::size_t>(f.line));
-  }
+  mix(reinterpret_cast<std::size_t>(stack.identity()));
   return h;
 }
 

@@ -13,6 +13,7 @@ constexpr double kGb = 1e9;
 CheckpointManager::CheckpointManager(const CkptManagerConfig& config, Simulator* sim,
                                      TrainJob* job)
     : config_(config), sim_(sim), job_(job), backup_plan_(job->topology()) {
+  save_latency_ = SaveLatency();  // pure function of the (fixed) job config
   job_->AddStepObserver([this](const StepRecord& rec) { OnStep(rec); });
 }
 
@@ -30,6 +31,7 @@ void CheckpointManager::OnStep(const StepRecord& record) {
   if (config_.save_every_steps <= 0 || record.step % config_.save_every_steps != 0) {
     return;
   }
+  DrainCompletedSaves();
   // Dual buffer: with two saves already in flight the new one replaces the
   // pending slot only after the oldest completes. Saves complete in FIFO
   // order with fixed latency, so simply cap the queue.
@@ -37,15 +39,16 @@ void CheckpointManager::OnStep(const StepRecord& record) {
     return;  // skip this step's save; the next one will catch up
   }
   ++saves_started_;
-  const std::int64_t step = record.step;
-  in_flight_.push_back(step);
-  sim_->Schedule(SaveLatency(), [this, step] {
-    if (!in_flight_.empty() && in_flight_.front() == step) {
-      in_flight_.pop_front();
-    }
-    durable_step_ = std::max(durable_step_, step);
+  in_flight_.push_back({record.step, sim_->Now() + save_latency_});
+}
+
+void CheckpointManager::DrainCompletedSaves() const {
+  const SimTime now = sim_->Now();
+  while (!in_flight_.empty() && in_flight_.front().complete_time <= now) {
+    durable_step_ = std::max(durable_step_, in_flight_.front().step);
     ++saves_completed_;
-  });
+    in_flight_.pop_front();
+  }
 }
 
 SimDuration CheckpointManager::LoadTime(bool from_remote) const {

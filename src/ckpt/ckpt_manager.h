@@ -40,8 +40,14 @@ class CheckpointManager {
 
   // The step to resume from after a failure: one past the newest durable
   // completed step (0 when nothing durable exists yet).
-  std::int64_t RestorableResumeStep() const { return durable_step_ + 1 > 0 ? durable_step_ + 1 : 0; }
-  std::int64_t durable_step() const { return durable_step_; }
+  std::int64_t RestorableResumeStep() const {
+    DrainCompletedSaves();
+    return durable_step_ + 1 > 0 ? durable_step_ + 1 : 0;
+  }
+  std::int64_t durable_step() const {
+    DrainCompletedSaves();
+    return durable_step_;
+  }
 
   // Time to load the restorable checkpoint into a restarted job.
   SimDuration LoadTime(bool from_remote) const;
@@ -56,23 +62,40 @@ class CheckpointManager {
   SimDuration SaveLatency() const;
 
   std::int64_t saves_started() const { return saves_started_; }
-  std::int64_t saves_completed() const { return saves_completed_; }
-  int in_flight() const { return static_cast<int>(in_flight_.size()); }
+  std::int64_t saves_completed() const {
+    DrainCompletedSaves();
+    return saves_completed_;
+  }
+  int in_flight() const {
+    DrainCompletedSaves();
+    return static_cast<int>(in_flight_.size());
+  }
 
   const CkptManagerConfig& config() const { return config_; }
 
  private:
+  struct PendingSave {
+    std::int64_t step;
+    SimTime complete_time;
+  };
+
   void OnStep(const StepRecord& record);
+  // Saves become durable in FIFO order at a deterministic latency, so instead
+  // of scheduling one simulator event per save (which would cap the batched
+  // step loop at the save latency and cost O(steps) event traffic), completed
+  // saves are folded into durable_step_ lazily at the current simulated time.
+  void DrainCompletedSaves() const;
 
   CkptManagerConfig config_;
   Simulator* sim_;
   TrainJob* job_;
   BackupPlan backup_plan_;
-  std::int64_t durable_step_ = -1;
+  SimDuration save_latency_ = 0;
+  mutable std::int64_t durable_step_ = -1;
   std::int64_t saves_started_ = 0;
-  std::int64_t saves_completed_ = 0;
+  mutable std::int64_t saves_completed_ = 0;
   // Dual buffer: at most two saves in flight; older saves must finish first.
-  std::deque<std::int64_t> in_flight_;
+  mutable std::deque<PendingSave> in_flight_;
 };
 
 }  // namespace byterobust

@@ -12,7 +12,7 @@ Cluster::Cluster(int num_machines, int gpus_per_machine, int num_spares)
   machines_.reserve(static_cast<std::size_t>(num_machines + num_spares));
   for (int i = 0; i < num_machines + num_spares; ++i) {
     machines_.push_back(std::make_unique<Machine>(i, gpus_per_machine));
-    machines_.back()->BindMutationCounter(&health_epoch_);
+    machines_.back()->BindHealthEpoch(&health_epoch_);
     if (i >= num_machines) {
       machines_.back()->set_state(MachineState::kIdle);
     }
@@ -49,7 +49,7 @@ void Cluster::ReplaceSlot(int slot, MachineId replacement) {
   incoming.ResetHealth();
   incoming.set_state(MachineState::kActive);
   slot_to_machine_[static_cast<std::size_t>(slot)] = replacement;
-  ++health_epoch_;  // serving membership changed
+  health_epoch_.Bump();  // serving membership changed
 }
 
 void Cluster::Blacklist(MachineId id) {
@@ -60,7 +60,7 @@ void Cluster::Blacklist(MachineId id) {
 MachineId Cluster::AddMachine() {
   const MachineId id = static_cast<MachineId>(machines_.size());
   machines_.push_back(std::make_unique<Machine>(id, gpus_per_machine_));
-  machines_.back()->BindMutationCounter(&health_epoch_);
+  machines_.back()->BindHealthEpoch(&health_epoch_);
   machines_.back()->set_state(MachineState::kIdle);
   return id;
 }
@@ -93,7 +93,7 @@ const MachineSet& Cluster::SuspectServingSet() const {
 }
 
 void Cluster::RefreshHealthIndex() const {
-  if (index_epoch_ == health_epoch_) {
+  if (index_epoch_ == health_epoch_.value) {
     return;
   }
   suspect_serving_.clear();
@@ -110,7 +110,7 @@ void Cluster::RefreshHealthIndex() const {
       ++unhealthy_serving_;
     }
   }
-  index_epoch_ = health_epoch_;
+  index_epoch_ = health_epoch_.value;
 }
 
 }  // namespace byterobust

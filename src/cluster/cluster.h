@@ -79,7 +79,18 @@ class Cluster {
   // slowest-clock scan and the inspection suspect index below are recomputed
   // at most once per epoch instead of once per query.
 
-  std::uint64_t health_epoch() const { return health_epoch_; }
+  std::uint64_t health_epoch() const { return health_epoch_.value; }
+
+  // Registers a one-shot callback fired by the next health mutation (any
+  // epoch bump). The quiescent monitor uses it to stop re-arming periodic
+  // inspection passes while the cluster is provably healthy: instead of
+  // polling, it parks here and is re-armed on demand. Single consumer — a new
+  // request replaces any pending one. The callback runs synchronously inside
+  // the mutating call (possibly mid-mutation), so it must only *schedule*
+  // work, never read health attributes directly.
+  void RequestMutationWake(std::function<void()> waker) {
+    health_epoch_.waker = std::move(waker);
+  }
 
   // Serving machines whose health may deviate from nominal (health_dirty()),
   // in slot order. Machines absent from this list are guaranteed nominal, so
@@ -99,8 +110,8 @@ class Cluster {
   std::set<MachineId> blacklist_;
 
   // Bumped by Cluster mutators and (through the bound hooks) by every Machine
-  // state/health mutation.
-  std::uint64_t health_epoch_ = 0;
+  // state/health mutation; fires the one-shot waker, if registered.
+  HealthEpoch health_epoch_;
 
   // Lazily rebuilt once per epoch on first query (mutations are rare next to
   // the per-step / per-inspection reads that consume the index).

@@ -4,6 +4,7 @@
 #define SRC_CLUSTER_MACHINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,25 @@
 #include "src/topology/parallelism.h"
 
 namespace byterobust {
+
+// Shared mutation channel between a Cluster and its Machines: a monotonically
+// increasing health epoch plus an optional one-shot waker. Consumers that
+// disarm their periodic work while the cluster is provably healthy (the
+// quiescent monitor) register the waker to be re-armed by the next mutation;
+// it is cleared before being invoked, so a storm of mutations costs one call.
+struct HealthEpoch {
+  std::uint64_t value = 0;
+  std::function<void()> waker;
+
+  void Bump() {
+    ++value;
+    if (waker) {
+      std::function<void()> w = std::move(waker);
+      waker = nullptr;
+      w();
+    }
+  }
+};
 
 enum class MachineState {
   kActive,        // serving the training job
@@ -92,8 +112,9 @@ class Machine {
 
   // Installed by the owning Cluster so every state/health mutation bumps the
   // cluster-wide health epoch (cache invalidation for the perf model and the
-  // inspection suspect index). Standalone machines (unit tests) keep nullptr.
-  void BindMutationCounter(std::uint64_t* counter) { mutation_counter_ = counter; }
+  // inspection suspect index) and fires the epoch's one-shot waker, if any.
+  // Standalone machines (unit tests) keep nullptr.
+  void BindHealthEpoch(HealthEpoch* epoch) { health_epoch_hook_ = epoch; }
 
   // Incremented whenever this machine is implicated in an incident; used by
   // campaign reports.
@@ -101,8 +122,8 @@ class Machine {
 
  private:
   void BumpMutationCounter() {
-    if (mutation_counter_ != nullptr) {
-      ++*mutation_counter_;
+    if (health_epoch_hook_ != nullptr) {
+      health_epoch_hook_->Bump();
     }
   }
   void MarkHealthDirty() {
@@ -116,7 +137,7 @@ class Machine {
   std::vector<GpuHealth> gpus_;
   HostHealth host_;
   bool health_dirty_ = false;
-  std::uint64_t* mutation_counter_ = nullptr;
+  HealthEpoch* health_epoch_hook_ = nullptr;
 };
 
 }  // namespace byterobust

@@ -387,9 +387,12 @@ void RobustController::RunAggregationAnalysis() {
 void RobustController::RunFailSlowVoting(int round, std::shared_ptr<FailSlowVoter> voter) {
   sim_->Schedule(config_.failslow_round_interval, [this, round, voter] {
     // Ground truth for the synthesized snapshot: the slowest serving machine.
+    // A machine absent from the suspect index is provably nominal (clock
+    // ratio 1.0, never below the 0.95 gate), so scanning only suspects finds
+    // exactly what a full serving scan would.
     MachineId slow = -1;
     double slowest = 0.95;
-    for (MachineId id : cluster_->ServingMachines()) {
+    for (MachineId id : cluster_->SuspectServingMachines()) {
       const Machine& m = cluster_->machine(id);
       for (int g = 0; g < m.num_gpus(); ++g) {
         if (m.gpu(g).clock_ratio < slowest) {

@@ -25,7 +25,8 @@ ByteRobustSystem::ByteRobustSystem(const SystemConfig& config) : config_(config)
   controller_ = std::make_unique<RobustController>(
       config.controller, &sim_, cluster_.get(), job_.get(), monitor_.get(), diagnoser_.get(),
       standby_pool_.get(), hot_updates_.get(), ckpt_.get(), root.Fork());
-  ettr_ = std::make_unique<EttrTracker>(0);
+  ettr_ = std::make_unique<EttrTracker>(0, config.metrics_retention);
+  mfu_series_.SetRetention(config.metrics_retention);
   job_->AddStepObserver([this](const StepRecord& rec) {
     ettr_->OnStep(rec);
     mfu_series_.OnStep(rec);

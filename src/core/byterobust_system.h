@@ -33,6 +33,11 @@ struct SystemConfig {
   // Extra idle machines available beyond the job's demand (standby pool
   // candidates and reschedule headroom).
   int spare_machines = 8;
+  // Trailing window for ETTR-span / MFU-sample compaction (0 = unbounded).
+  // Campaigns set this so per-run metric memory stays O(window) instead of
+  // O(steps); keep 0 when historical sliding-ETTR curves or the full MFU
+  // series are needed (benches, figure exports).
+  SimDuration metrics_retention = 0;
 };
 
 // A MonitorConfig tuned for multi-month campaign simulations: coarser

@@ -69,8 +69,10 @@ void Scenario::InjectFailure() {
     system_->sim().Schedule(Minutes(2), [this] { InjectFailure(); });
     return;
   }
+  // serving_slots() is the same slot-ordered membership as ServingMachines()
+  // without materialising a copy per incident.
   const Incident incident =
-      injector_->SampleFailure(system_->sim().Now(), system_->cluster().ServingMachines());
+      injector_->SampleFailure(system_->sim().Now(), system_->cluster().serving_slots());
   ++stats_.incidents_injected;
   ++stats_.injected_by_symptom[static_cast<int>(incident.symptom)];
   BR_LOG_INFO("scenario", "injecting %s", incident.ToString().c_str());

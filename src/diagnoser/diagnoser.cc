@@ -13,9 +13,15 @@ MiniGptConfig MakeMiniGptConfig(const DiagnoserConfig& config) {
 Diagnoser::Diagnoser(const DiagnoserConfig& config, Rng rng)
     : config_(config), rng_(rng), minigpt_(MakeMiniGptConfig(config)) {}
 
+// The three scan loops below iterate the cluster's slot-ordered suspect index
+// instead of all serving machines: a machine absent from it is provably
+// nominal, so it could neither become a suspect nor draw from the RNG (every
+// Bernoulli below is short-circuited behind a deviation check), keeping both
+// the result set and the RNG stream identical to a full scan.
+
 std::vector<MachineId> Diagnoser::RunEud(const Cluster& cluster) {
   std::vector<MachineId> suspects;
-  for (MachineId id : cluster.ServingMachines()) {
+  for (MachineId id : cluster.SuspectServingMachines()) {
     const Machine& m = cluster.machine(id);
     for (int g = 0; g < m.num_gpus(); ++g) {
       const GpuHealth& gpu = m.gpu(g);
@@ -35,7 +41,7 @@ std::vector<MachineId> Diagnoser::RunEud(const Cluster& cluster) {
 
 std::vector<MachineId> Diagnoser::RunIntraMachineAllToAll(const Cluster& cluster) {
   std::vector<MachineId> suspects;
-  for (MachineId id : cluster.ServingMachines()) {
+  for (MachineId id : cluster.SuspectServingMachines()) {
     const Machine& m = cluster.machine(id);
     for (int g = 0; g < m.num_gpus(); ++g) {
       // Inter-GPU bandwidth below expectation: broken HBM shows up here too,
@@ -53,7 +59,7 @@ std::vector<MachineId> Diagnoser::RunIntraMachineAllToAll(const Cluster& cluster
 
 std::vector<MachineId> Diagnoser::RunInterMachineAllGather(const Cluster& cluster) {
   std::vector<MachineId> suspects;
-  for (MachineId id : cluster.ServingMachines()) {
+  for (MachineId id : cluster.SuspectServingMachines()) {
     const Machine& m = cluster.machine(id);
     const bool net_fault =
         !m.host().nic_up || m.host().packet_loss_rate > 0.05 || !m.host().switch_reachable;

@@ -74,7 +74,11 @@ std::vector<std::uint64_t> MiniGptVerifier::RunOnMachine(const Machine& machine,
 std::vector<MachineId> MiniGptVerifier::FindMismatchedMachines(const Cluster& cluster,
                                                                Rng* rng) const {
   std::vector<MachineId> mismatched;
-  for (MachineId id : cluster.ServingMachines()) {
+  // Only suspect (health-dirty) machines can carry SDC; a nominal machine
+  // returns the golden output and draws nothing from the RNG (the Bernoulli
+  // in RunOnMachine sits behind HasSdc()), so iterating the slot-ordered
+  // suspect index is exactly equivalent to a full serving scan.
+  for (MachineId id : cluster.SuspectServingMachines()) {
     if (RunOnMachine(cluster.machine(id), rng) != golden_) {
       mismatched.push_back(id);
     }

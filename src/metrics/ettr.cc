@@ -12,7 +12,25 @@ void EttrTracker::OnStep(const StepRecord& record) {
   }
   productive_ += span;
   ++productive_steps_;
+  if (record.run_id != cached_run_id_) {
+    cached_run_id_ = record.run_id;
+    cached_run_total_ = &productive_by_run_[record.run_id];
+  }
+  *cached_run_total_ += span;
   productive_spans_.push_back({record.start, record.end});
+  if (retention_ <= 0) {
+    return;
+  }
+  // Fold spans that closed before the retained window. A sliding query at the
+  // live edge walks backwards and stops at the first span with end <= lo, so
+  // dropping exactly those spans leaves the walked set — and the summation
+  // order — unchanged: bit-identical results, O(window) memory.
+  const SimTime horizon = record.end - retention_;
+  while (!productive_spans_.empty() && productive_spans_.front().end <= horizon) {
+    folded_productive_ += productive_spans_.front().end - productive_spans_.front().start;
+    ++spans_folded_;
+    productive_spans_.pop_front();
+  }
 }
 
 double EttrTracker::CumulativeEttr(SimTime now) const {
@@ -45,28 +63,26 @@ void MfuSeries::OnStep(const StepRecord& record) {
   if (record.recompute) {
     return;
   }
+  if (total_samples_ == 0 || record.mfu < min_mfu_) {
+    min_mfu_ = record.mfu;
+  }
+  max_mfu_ = std::max(max_mfu_, record.mfu);
+  mfu_sum_ += record.mfu;
+  ++total_samples_;
   samples_.push_back({record.end, record.step, record.mfu, record.loss, record.run_id});
+  if (retention_ <= 0) {
+    return;
+  }
+  const SimTime horizon = record.end - retention_;
+  while (!samples_.empty() && samples_.front().time <= horizon) {
+    ++samples_folded_;
+    samples_.pop_front();
+  }
 }
 
-double MfuSeries::MinMfu() const {
-  double min = 0.0;
-  bool first = true;
-  for (const auto& s : samples_) {
-    if (first || s.mfu < min) {
-      min = s.mfu;
-      first = false;
-    }
-  }
-  return min;
-}
+double MfuSeries::MinMfu() const { return total_samples_ == 0 ? 0.0 : min_mfu_; }
 
-double MfuSeries::MaxMfu() const {
-  double max = 0.0;
-  for (const auto& s : samples_) {
-    max = std::max(max, s.mfu);
-  }
-  return max;
-}
+double MfuSeries::MaxMfu() const { return std::max(max_mfu_, 0.0); }
 
 std::vector<double> MfuSeries::RelativeMfu() const {
   std::vector<double> out;

@@ -24,8 +24,7 @@ std::optional<AnomalyReport> MetricsRules::OnStep(const StepRecord& record) {
       report.symptom_hint = IncidentSymptom::kNanValue;  // treated like loss anomaly
       report.detail = "loss spike > 5x trailing median";
       recent_loss_.clear();
-      low_.clear();
-      high_.clear();
+      sorted_loss_.clear();
       return report;
     }
   }
@@ -55,46 +54,22 @@ std::optional<AnomalyReport> MetricsRules::OnStep(const StepRecord& record) {
 
 void MetricsRules::Reset() {
   recent_loss_.clear();
-  low_.clear();
-  high_.clear();
+  sorted_loss_.clear();
   mfu_high_water_ = 0.0;
   decline_run_ = 0;
 }
 
 double MetricsRules::TrailingMedianLoss() const {
-  return high_.empty() ? 0.0 : *high_.begin();
+  return sorted_loss_.empty() ? 0.0 : sorted_loss_[sorted_loss_.size() / 2];
 }
 
 void MetricsRules::MedianInsert(double value) {
-  if (high_.empty() || value >= *high_.begin()) {
-    high_.insert(value);
-  } else {
-    low_.insert(value);
-  }
-  MedianRebalance();
+  sorted_loss_.insert(std::upper_bound(sorted_loss_.begin(), sorted_loss_.end(), value), value);
 }
 
 void MetricsRules::MedianErase(double value) {
-  // Everything >= the current median lives in high_; with value drawn from
-  // the window, the find() below cannot miss.
-  if (!high_.empty() && value >= *high_.begin()) {
-    high_.erase(high_.find(value));
-  } else {
-    low_.erase(low_.find(value));
-  }
-  MedianRebalance();
-}
-
-void MetricsRules::MedianRebalance() {
-  // Invariant: |low_| == size()/2, so *high_.begin() is the upper median.
-  while (low_.size() > (low_.size() + high_.size()) / 2) {
-    high_.insert(*low_.rbegin());
-    low_.erase(std::prev(low_.end()));
-  }
-  while (low_.size() < (low_.size() + high_.size()) / 2) {
-    low_.insert(*high_.begin());
-    high_.erase(high_.begin());
-  }
+  // value is drawn from the window, so the lower_bound below cannot miss.
+  sorted_loss_.erase(std::lower_bound(sorted_loss_.begin(), sorted_loss_.end(), value));
 }
 
 }  // namespace byterobust

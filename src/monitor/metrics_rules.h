@@ -7,7 +7,7 @@
 
 #include <deque>
 #include <optional>
-#include <set>
+#include <vector>
 
 #include "src/common/sim_time.h"
 #include "src/monitor/anomaly.h"
@@ -40,21 +40,19 @@ class MetricsRules {
  private:
   // Upper median of the trailing window (the value a copy-and-sort of
   // recent_loss_ would put at index size()/2), served in O(1) from the
-  // dual-multiset structure below.
+  // sorted window below.
   double TrailingMedianLoss() const;
 
   void MedianInsert(double value);
   void MedianErase(double value);
-  void MedianRebalance();
 
   MetricsRulesConfig config_;
   std::deque<double> recent_loss_;  // insertion order, for window eviction
-  // Order-statistic split of recent_loss_: low_ holds the smaller half
-  // (size()/2 elements), high_ the rest, so *high_.begin() is the upper
-  // median. Insert/erase are O(log window) instead of the O(w log w)
-  // copy-and-sort the spike rule used to pay per step.
-  std::multiset<double> low_;
-  std::multiset<double> high_;
+  // recent_loss_ kept in sorted order. The window is small (32 by default),
+  // so a flat vector with memmove-style insert/erase beats per-node
+  // allocating tree structures on the per-step hot path while serving the
+  // median as sorted_loss_[size() / 2].
+  std::vector<double> sorted_loss_;
   double mfu_high_water_ = 0.0;
   int decline_run_ = 0;
 };

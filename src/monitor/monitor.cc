@@ -1,11 +1,28 @@
 #include "src/monitor/monitor.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string>
 #include <utility>
 
 #include "src/common/log.h"
 
 namespace byterobust {
+
+namespace {
+
+// Escape hatch for the quiescent-vs-periodic equivalence ctest:
+// BYTEROBUST_QUIESCENT_MONITOR=0 pins the periodic reference path process-wide
+// so campaign JSON can be byte-compared across the two schedules.
+bool QuiescentMonitorEnvEnabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("BYTEROBUST_QUIESCENT_MONITOR");
+    return env == nullptr || std::string(env) != "0";
+  }();
+  return enabled;
+}
+
+}  // namespace
 
 const char* AnomalySourceName(AnomalySource source) {
   switch (source) {
@@ -26,8 +43,14 @@ const char* AnomalySourceName(AnomalySource source) {
 }
 
 Monitor::Monitor(const MonitorConfig& config, Simulator* sim, Cluster* cluster, TrainJob* job)
-    : config_(config), sim_(sim), cluster_(cluster), job_(job), rules_(config.metrics) {
+    : config_(config),
+      sim_(sim),
+      cluster_(cluster),
+      job_(job),
+      quiescent_(config.quiescent && QuiescentMonitorEnvEnabled()),
+      rules_(config.metrics) {
   job_->AddStepObserver([this](const StepRecord& rec) { OnStepRecord(rec); });
+  job_->AddStateObserver([this](JobRunState state) { OnJobStateChange(state); });
 }
 
 void Monitor::Start() {
@@ -35,11 +58,19 @@ void Monitor::Start() {
     return;
   }
   running_ = true;
-  for (InspectionCategory cat :
-       {InspectionCategory::kNetwork, InspectionCategory::kGpu, InspectionCategory::kHost}) {
-    sim_->Schedule(config_.intervals.For(cat), [this, cat] { RunInspectionPass(cat); });
+  anchor_ = sim_->Now();
+  if (!quiescent_) {
+    for (InspectionCategory cat :
+         {InspectionCategory::kNetwork, InspectionCategory::kGpu, InspectionCategory::kHost}) {
+      sim_->Schedule(config_.intervals.For(cat), [this, cat] { RunInspectionPass(cat); });
+    }
+    sim_->Schedule(config_.watchdog_interval, [this] { RunWatchdog(); });
+    return;
   }
-  sim_->Schedule(config_.watchdog_interval, [this] { RunWatchdog(); });
+  // Quiescent: run the first grid tick of every pass (it disarms itself if
+  // the cluster is clean), then let wakers drive the schedule.
+  ArmAllInspections();
+  ArmWatchdog();
 }
 
 void Monitor::Stop() { running_ = false; }
@@ -50,9 +81,82 @@ void Monitor::OnJobRestart() {
   rules_.Reset();
   crash_reported_ = false;
   hang_reported_ = false;
+  if (quiescent_ && running_) {
+    // The flag reset can newly enable the hang/crash predicates, and evicted
+    // suspects may have left the serving set: recompute both schedules.
+    ArmAllInspections();
+    ArmWatchdog();
+  }
+}
+
+SimTime Monitor::NextTickAfter(SimTime t, SimDuration interval) const {
+  std::int64_t k = 1;
+  if (t > anchor_) {
+    k = (t - anchor_) / interval + 1;
+  }
+  return anchor_ + k * interval;
+}
+
+SimTime Monitor::NextTickAtOrAfter(SimTime t, SimDuration interval) const {
+  std::int64_t k = 1;
+  if (t > anchor_) {
+    k = (t - anchor_ + interval - 1) / interval;
+  }
+  return anchor_ + k * interval;
+}
+
+void Monitor::EnsureMutationWake() {
+  if (wake_requested_) {
+    return;
+  }
+  wake_requested_ = true;
+  // The waker runs synchronously inside a mutating call, possibly with the
+  // mutation half-applied; it only re-arms grid events and reads no health
+  // state. Passes that find a clean cluster re-disarm at their next tick.
+  cluster_->RequestMutationWake([this] {
+    wake_requested_ = false;
+    if (running_) {
+      ArmAllInspections();
+    }
+  });
+}
+
+void Monitor::ArmAllInspections() {
+  for (InspectionCategory cat :
+       {InspectionCategory::kNetwork, InspectionCategory::kGpu, InspectionCategory::kHost}) {
+    const int idx = CategoryIndex(cat);
+    if (inspection_armed_[idx]) {
+      continue;
+    }
+    inspection_armed_[idx] = true;
+    // At-or-after: a fault applied exactly on a grid tick is still seen by
+    // that tick's pass on the periodic path (the injection event was enqueued
+    // long before the pass event, so it dispatches first), so the re-armed
+    // pass must fire at the same timestamp.
+    sim_->ScheduleAt(NextTickAtOrAfter(sim_->Now(), config_.intervals.For(cat)),
+                     [this, cat] { RunInspectionPass(cat); });
+  }
+}
+
+void Monitor::ArmInspection(InspectionCategory category) {
+  if (!quiescent_) {
+    sim_->Schedule(config_.intervals.For(category),
+                   [this, category] { RunInspectionPass(category); });
+    return;
+  }
+  if (cluster_->SuspectServingMachines().empty()) {
+    // Provably nothing to find until the next health mutation: park on the
+    // cluster's waker instead of burning one event per interval.
+    EnsureMutationWake();
+    return;
+  }
+  inspection_armed_[CategoryIndex(category)] = true;
+  sim_->ScheduleAt(NextTickAfter(sim_->Now(), config_.intervals.For(category)),
+                   [this, category] { RunInspectionPass(category); });
 }
 
 void Monitor::RunInspectionPass(InspectionCategory category) {
+  inspection_armed_[CategoryIndex(category)] = false;
   if (!running_) {
     return;
   }
@@ -78,17 +182,61 @@ void Monitor::RunInspectionPass(InspectionCategory category) {
     report.detail = std::string(InspectionCategoryName(category)) + " inspection hit";
     Emit(std::move(report));
   }
-  sim_->Schedule(config_.intervals.For(category), [this, category] {
-    RunInspectionPass(category);
-  });
+  ArmInspection(category);
+}
+
+void Monitor::ArmWatchdog() {
+  if (!quiescent_ || !running_) {
+    return;
+  }
+  // Earliest grid tick at which a watchdog predicate could fire given the
+  // current job state. kNoPendingEvent means "none without a state change".
+  SimTime desired = Simulator::kNoPendingEvent;
+  bool crash_armed = false;
+  const JobRunState state = job_->state();
+  const bool nominally_running = state == JobRunState::kRunning || state == JobRunState::kHung;
+  if (state == JobRunState::kCrashed && !crash_reported_) {
+    desired = NextTickAtOrAfter(sim_->Now(), config_.watchdog_interval);
+    crash_armed = true;
+  } else if (nominally_running && !hang_reported_) {
+    // The hang predicate needs now - last_progress > threshold, and threshold
+    // >= hang_grace always, so no tick at or before last_progress + grace can
+    // fire. The armed tick re-evaluates with fresh progress and re-arms.
+    const SimTime earliest = std::max(sim_->Now(), job_->last_progress_time() + config_.hang_grace);
+    desired = NextTickAfter(earliest, config_.watchdog_interval);
+  }
+  if (desired == Simulator::kNoPendingEvent) {
+    if (watchdog_event_ != kInvalidEventId) {
+      sim_->Cancel(watchdog_event_);
+      watchdog_event_ = kInvalidEventId;
+    }
+    return;
+  }
+  if (watchdog_event_ != kInvalidEventId) {
+    if (watchdog_due_ <= desired) {
+      return;  // an earlier wake re-evaluates and re-arms; never late
+    }
+    sim_->Cancel(watchdog_event_);
+  }
+  watchdog_due_ = desired;
+  watchdog_crash_armed_ = crash_armed;
+  watchdog_event_ = sim_->ScheduleAt(desired, [this] { RunWatchdog(); });
 }
 
 void Monitor::RunWatchdog() {
+  // See watchdog_crash_armed_: a hang-armed wake was enqueued before this
+  // tick's inspection passes, so letting it see a crash would report ahead of
+  // a same-tick pass that stops the job first on the periodic path. It skips
+  // the crash branch here; the re-arm below immediately schedules a
+  // crash-armed wake at this same timestamp, behind those passes.
+  const bool evaluate_crash = !quiescent_ || watchdog_crash_armed_;
+  watchdog_event_ = kInvalidEventId;
+  watchdog_crash_armed_ = false;
   if (!running_) {
     return;
   }
   // Crash detection through log / exit-code scraping.
-  if (job_->state() == JobRunState::kCrashed && !crash_reported_) {
+  if (evaluate_crash && job_->state() == JobRunState::kCrashed && !crash_reported_) {
     crash_reported_ = true;
     AnomalyReport report;
     report.source = AnomalySource::kCrashLog;
@@ -119,7 +267,18 @@ void Monitor::RunWatchdog() {
       Emit(std::move(report));
     }
   }
-  sim_->Schedule(config_.watchdog_interval, [this] { RunWatchdog(); });
+  if (!quiescent_) {
+    sim_->Schedule(config_.watchdog_interval, [this] { RunWatchdog(); });
+    return;
+  }
+  ArmWatchdog();
+}
+
+void Monitor::OnJobStateChange(JobRunState state) {
+  (void)state;
+  if (quiescent_ && running_) {
+    ArmWatchdog();
+  }
 }
 
 void Monitor::OnStepRecord(const StepRecord& record) {

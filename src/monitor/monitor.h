@@ -1,6 +1,18 @@
 // The data-plane Monitor: runs inspection threads at per-category intervals,
 // watches training metrics, and reports anomalies to the robust controller
 // (paper Sec. 4.1).
+//
+// Quiescent monitoring (the default): inspection passes and the hang/crash
+// watchdog stay on the same fixed time grid as the periodic reference path
+// (anchor + k * interval), but stop re-arming while they provably cannot find
+// anything — inspections while Cluster::SuspectServingMachines() is empty,
+// the watchdog while the job is progressing and no hang can fire before
+// last_progress + hang_grace. The cluster's health-epoch waker and a TrainJob
+// state observer re-arm them on demand, so monitoring event traffic is
+// proportional to incidents, not simulated time, and the batched step loop
+// runs unimpeded between incidents. Setting BYTEROBUST_QUIESCENT_MONITOR=0
+// (or MonitorConfig::quiescent = false) pins the periodic reference path;
+// campaign JSON is byte-identical either way.
 
 #ifndef SRC_MONITOR_MONITOR_H_
 #define SRC_MONITOR_MONITOR_H_
@@ -34,6 +46,10 @@ struct MonitorConfig {
 
   // Consecutive unresponsive-switch events required before alerting.
   int switch_event_threshold = 2;
+
+  // Quiescence-driven scheduling (see the file comment). The env knob
+  // BYTEROBUST_QUIESCENT_MONITOR=0 overrides this to false process-wide.
+  bool quiescent = true;
 };
 
 class Monitor {
@@ -50,6 +66,9 @@ class Monitor {
   void Stop();
   bool running() const { return running_; }
 
+  // True when this monitor runs the quiescent schedule (config && env).
+  bool quiescent() const { return quiescent_; }
+
   // Clears per-run state (outstanding alerts, metric baselines) after the
   // controller restarts the job.
   void OnJobRestart();
@@ -58,10 +77,33 @@ class Monitor {
   std::uint64_t reports_emitted() const { return reports_emitted_; }
 
  private:
+  static constexpr int kNumCategories = 3;
+  static int CategoryIndex(InspectionCategory category) { return static_cast<int>(category); }
+
   void RunInspectionPass(InspectionCategory category);
   void RunWatchdog();
   void OnStepRecord(const StepRecord& record);
+  void OnJobStateChange(JobRunState state);
   void Emit(AnomalyReport report);
+
+  // -- quiescent scheduling helpers ------------------------------------------
+
+  // First grid tick (anchor + k * interval, k >= 1) strictly after / at-or-
+  // after `t`. The grid is what the periodic chain would have fired on, so a
+  // re-armed pass lands exactly where the reference path's pass would.
+  SimTime NextTickAfter(SimTime t, SimDuration interval) const;
+  SimTime NextTickAtOrAfter(SimTime t, SimDuration interval) const;
+
+  // Re-arms the pass for `category` (quiescent: only while suspects exist,
+  // else parks on the cluster's mutation waker).
+  void ArmInspection(InspectionCategory category);
+  void ArmAllInspections();
+  // Registers the one-shot cluster mutation waker (idempotent).
+  void EnsureMutationWake();
+  // (Re)computes when the watchdog must next run and (re)schedules the single
+  // armed watchdog event accordingly; disarms when no predicate can fire
+  // without an intervening state change.
+  void ArmWatchdog();
 
   MonitorConfig config_;
   Simulator* sim_;
@@ -70,6 +112,7 @@ class Monitor {
   AnomalyHandler handler_;
 
   bool running_ = false;
+  bool quiescent_ = true;
   std::uint64_t reports_emitted_ = 0;
   // De-duplication: (machine, symptom) pairs already reported this run.
   std::set<std::pair<MachineId, int>> outstanding_;
@@ -77,6 +120,22 @@ class Monitor {
   MetricsRules rules_;
   bool crash_reported_ = false;
   bool hang_reported_ = false;
+
+  // Quiescent-mode state. The anchor pins the periodic grid at Start() time.
+  SimTime anchor_ = 0;
+  bool inspection_armed_[kNumCategories] = {false, false, false};
+  bool wake_requested_ = false;
+  EventId watchdog_event_ = kInvalidEventId;
+  SimTime watchdog_due_ = 0;
+  // Why the armed wake exists. A crash-armed wake is enqueued by the crash
+  // transition itself, so it sits *behind* any same-tick inspection passes
+  // (armed moments earlier by the same incident's mutation waker) — exactly
+  // where the periodic watchdog's crash check effectively lands, because a
+  // same-tick pass that stops the job pre-empts it. A hang-armed wake was
+  // enqueued long before the crash and would jump that queue, so it must not
+  // evaluate the crash branch; discovering a pending crash, it re-arms a
+  // same-timestamp crash wake at the back of the bucket instead.
+  bool watchdog_crash_armed_ = false;
 };
 
 }  // namespace byterobust

@@ -14,82 +14,94 @@ std::uint64_t Mix(std::uint64_t x) {
 
 }  // namespace
 
-StackTrace HealthyGradSyncStack() {
-  return StackTrace{{
+const StackTrace& HealthyGradSyncStack() {
+  static const StackTrace trace{{
       {"train_step", "my_megatron/training.py", 412},
       {"start_grad_sync", "my_megatron/distributed/param_grad_buffer.py", 597},
       {"_reduce_scatter_tensor", "torch/distributed/distributed_c10d.py", 3379},
   }};
+  return trace;
 }
 
-StackTrace TensorCollectiveStack() {
-  return StackTrace{{
+const StackTrace& TensorCollectiveStack() {
+  static const StackTrace trace{{
       {"backward", "my_megatron/large_centralized_op_v8.py", 6770},
       {"all_gather_into_tensor", "torch/distributed/distributed_c10d.py", 2898},
   }};
+  return trace;
 }
 
-StackTrace PipelineIsendStack() {
-  return StackTrace{{
+const StackTrace& PipelineIsendStack() {
+  static const StackTrace trace{{
       {"send_backward_recv_backward", "my_megatron/communicate.py", 474},
       {"isend", "torch/distributed/distributed_c10d.py", 1529},
   }};
+  return trace;
 }
 
-StackTrace PipelineIrecvStack() {
-  return StackTrace{{
+const StackTrace& PipelineIrecvStack() {
+  static const StackTrace trace{{
       {"send_backward_recv_backward", "my_megatron/communicate.py", 474},
       {"irecv", "torch/distributed/distributed_c10d.py", 1569},
   }};
+  return trace;
 }
 
-StackTrace DataLoaderWaitStack() {
-  return StackTrace{{
+const StackTrace& DataLoaderWaitStack() {
+  static const StackTrace trace{{
       {"train_step", "my_megatron/training.py", 398},
       {"get_batch", "my_megatron/data/loader.py", 122},
       {"queue_get", "multiprocessing/queues.py", 103},
   }};
+  return trace;
 }
 
-StackTrace DataLoaderStuckStack() {
-  return StackTrace{{
+const StackTrace& DataLoaderStuckStack() {
+  static const StackTrace trace{{
       {"fetch_shard", "my_megatron/data/hdfs_reader.py", 233},
       {"read", "hdfs/client.py", 410},
   }};
+  return trace;
 }
 
-StackTrace DataLoaderIdleStack() {
-  return StackTrace{{
+const StackTrace& DataLoaderIdleStack() {
+  static const StackTrace trace{{
       {"worker_loop", "my_megatron/data/loader.py", 58},
       {"poll", "multiprocessing/connection.py", 257},
   }};
+  return trace;
 }
 
-StackTrace CkptWriterIdleStack() {
-  return StackTrace{{
+const StackTrace& CkptWriterIdleStack() {
+  static const StackTrace trace{{
       {"ckpt_io_loop", "my_megatron/ckpt/writer.py", 71},
       {"wait", "threading.py", 331},
   }};
+  return trace;
 }
 
-StackTrace CkptWriterStuckStack() {
-  return StackTrace{{
+const StackTrace& CkptWriterStuckStack() {
+  static const StackTrace trace{{
       {"serialize_shard", "my_megatron/ckpt/writer.py", 144},
       {"write", "hdfs/client.py", 502},
   }};
+  return trace;
 }
 
-StackTrace ComputeKernelStack() {
-  return StackTrace{{
+const StackTrace& ComputeKernelStack() {
+  static const StackTrace trace{{
       {"backward", "my_megatron/fused_kernels/attention.py", 512},
       {"_flash_attn_backward", "flash_attn/flash_attn_interface.py", 181},
   }};
+  return trace;
 }
 
 namespace {
 
 // Trainer-process stack for one rank during a hang seeded at `culprit`.
-StackTrace TrainerStackDuringHang(const Topology& topo, Rank rank, Rank culprit, HangSite site) {
+// Every branch returns an interned instance, so the caller's copy is shared.
+const StackTrace& TrainerStackDuringHang(const Topology& topo, Rank rank, Rank culprit,
+                                         HangSite site) {
   const RankCoord rc = topo.CoordOf(rank);
   const RankCoord cc = topo.CoordOf(culprit);
 
@@ -99,10 +111,11 @@ StackTrace TrainerStackDuringHang(const Topology& topo, Rank rank, Rank culprit,
   if (site == HangSite::kCheckpointWriter && rank == culprit) {
     // Optimizer step gated on the wedged checkpoint save (Sec. 6.3: the step
     // waits for each rank's own save to complete).
-    return StackTrace{{
+    static const StackTrace kWaitCkptFlush{{
         {"optimizer_step", "my_megatron/training.py", 455},
         {"wait_ckpt_flush", "my_megatron/ckpt/manager.py", 203},
     }};
+    return kWaitCkptFlush;
   }
 
   const bool same_tp_group = rc.pp == cc.pp && rc.dp == cc.dp;

@@ -28,16 +28,18 @@ enum class HangSite {
 };
 
 // Canonical stacks (shared with tests so expectations stay in one place).
-StackTrace HealthyGradSyncStack();
-StackTrace TensorCollectiveStack();
-StackTrace PipelineIsendStack();
-StackTrace PipelineIrecvStack();
-StackTrace DataLoaderWaitStack();   // trainer waiting on the data queue
-StackTrace DataLoaderStuckStack();  // dataloader wedged in storage read
-StackTrace DataLoaderIdleStack();   // healthy dataloader stack
-StackTrace CkptWriterIdleStack();
-StackTrace CkptWriterStuckStack();
-StackTrace ComputeKernelStack();    // mid-backward compute (fail-slow laggard)
+// Each is a single interned instance: copies share the frame storage, so
+// assembling a whole-pod snapshot costs a refcount bump per process.
+const StackTrace& HealthyGradSyncStack();
+const StackTrace& TensorCollectiveStack();
+const StackTrace& PipelineIsendStack();
+const StackTrace& PipelineIrecvStack();
+const StackTrace& DataLoaderWaitStack();   // trainer waiting on the data queue
+const StackTrace& DataLoaderStuckStack();  // dataloader wedged in storage read
+const StackTrace& DataLoaderIdleStack();   // healthy dataloader stack
+const StackTrace& CkptWriterIdleStack();
+const StackTrace& CkptWriterStuckStack();
+const StackTrace& ComputeKernelStack();    // mid-backward compute (fail-slow laggard)
 
 // Trainer-process stacks for a hang seeded at `culprit` with the given site.
 // One ProcessStack per rank in the topology.

@@ -6,7 +6,7 @@ namespace byterobust {
 
 std::string StackTrace::Key() const {
   std::ostringstream out;
-  for (const StackFrame& f : frames) {
+  for (const StackFrame& f : frames()) {
     out << f.function << "@" << f.file << ":" << f.line << ";";
   }
   return out.str();
@@ -14,7 +14,7 @@ std::string StackTrace::Key() const {
 
 std::string StackTrace::ToString() const {
   std::ostringstream out;
-  for (const StackFrame& f : frames) {
+  for (const StackFrame& f : frames()) {
     out << "  " << f.function << " (" << f.file << ":" << f.line << ")\n";
   }
   return out.str();

@@ -4,6 +4,8 @@
 #ifndef SRC_TRACER_STACK_TRACE_H_
 #define SRC_TRACER_STACK_TRACE_H_
 
+#include <initializer_list>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,15 +21,44 @@ struct StackFrame {
   bool operator==(const StackFrame&) const = default;
 };
 
-struct StackTrace {
-  std::vector<StackFrame> frames;  // outermost first
+// An immutable stack shared by value. A whole-pod trace holds one stack per
+// process (world_size x 3 of them), but almost all of those are copies of a
+// handful of canned patterns — sharing the frame storage makes synthesizing
+// and aggregating a 9,600-rank pod a refcount bump per process instead of a
+// string-allocation storm.
+class StackTrace {
+ public:
+  StackTrace() = default;
+  StackTrace(std::initializer_list<StackFrame> frames)
+      : frames_(std::make_shared<const std::vector<StackFrame>>(frames)) {}
+  explicit StackTrace(std::vector<StackFrame> frames)
+      : frames_(std::make_shared<const std::vector<StackFrame>>(std::move(frames))) {}
+
+  const std::vector<StackFrame>& frames() const {
+    static const std::vector<StackFrame> kEmpty;
+    return frames_ ? *frames_ : kEmpty;
+  }
+
+  // Stable identity of the shared frame storage (null for empty traces).
+  // Copies of one canned stack share it, so aggregation can hash it instead
+  // of the frame strings. CAVEAT: aggregation groups by this identity —
+  // structurally equal traces built as *separate* objects land in separate
+  // groups (with equal keys). Every producer must intern its patterns (the
+  // stack_synth.cc builders do); operator== below still deep-compares, so
+  // direct equality checks are unaffected.
+  const void* identity() const { return frames_.get(); }
 
   // Canonical string form; aggregation groups stacks by exact key match
   // (paper Sec. 5.1 "aggregated into multiple groups via string matching").
   std::string Key() const;
   std::string ToString() const;
 
-  bool operator==(const StackTrace&) const = default;
+  bool operator==(const StackTrace& other) const {
+    return frames_ == other.frames_ || frames() == other.frames();
+  }
+
+ private:
+  std::shared_ptr<const std::vector<StackFrame>> frames_;
 };
 
 // Which process in the pod's tree the stack came from. Root causes may live

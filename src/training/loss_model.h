@@ -23,6 +23,10 @@ class LossModel {
   // Gradient norm proxy at a step (used by the monitor's 5x-spike rule).
   double GradNormAt(std::int64_t step) const;
 
+  // Same as GradNormAt for callers that already hold LossAt(step): skips the
+  // redundant power-law evaluation on the per-step hot path.
+  double GradNormFromLoss(std::int64_t step, double loss) const;
+
  private:
   // Deterministic per-step noise in [-1, 1].
   double NoiseAt(std::int64_t step) const;

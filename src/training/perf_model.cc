@@ -5,8 +5,11 @@
 namespace byterobust {
 
 double PerfModel::SlowestClockRatio(const Cluster& cluster) {
+  // Machines absent from the suspect index are provably nominal (clock ratio
+  // 1.0, the identity of min), so the scan over suspects returns exactly what
+  // a full serving scan would at O(|suspects|) instead of O(cluster x GPUs).
   double slowest = 1.0;
-  for (MachineId id : cluster.serving_slots()) {
+  for (MachineId id : cluster.SuspectServingMachines()) {
     const Machine& m = cluster.machine(id);
     for (int g = 0; g < m.num_gpus(); ++g) {
       slowest = std::min(slowest, m.gpu(g).clock_ratio);

@@ -47,6 +47,7 @@ void TrainJob::Start() {
               config_.name.c_str(), run_count_, static_cast<long long>(resume_step_),
               current_version().id, current_version().efficiency);
   ScheduleNextStep();
+  NotifyStateObservers();
 }
 
 void TrainJob::Stop() {
@@ -55,6 +56,7 @@ void TrainJob::Stop() {
     pending_step_ = kInvalidEventId;
   }
   state_ = JobRunState::kStopped;
+  NotifyStateObservers();
 }
 
 void TrainJob::Crash() {
@@ -63,6 +65,7 @@ void TrainJob::Crash() {
     pending_step_ = kInvalidEventId;
   }
   state_ = JobRunState::kCrashed;
+  NotifyStateObservers();
 }
 
 void TrainJob::Hang(Rank culprit) {
@@ -72,6 +75,13 @@ void TrainJob::Hang(Rank culprit) {
   }
   state_ = JobRunState::kHung;
   hang_culprit_ = culprit;
+  NotifyStateObservers();
+}
+
+void TrainJob::NotifyStateObservers() {
+  for (const auto& obs : state_observers_) {
+    obs(state_);
+  }
 }
 
 void TrainJob::RollbackToStep(std::int64_t step) {
@@ -155,7 +165,7 @@ void TrainJob::FinishOneStep() {
   rec.mfu = CurrentMfu();
   rec.is_nan = nan_loss_;
   rec.loss = nan_loss_ ? std::nan("") : loss_.LossAt(rec.step);
-  rec.grad_norm = nan_loss_ ? std::nan("") : loss_.GradNormAt(rec.step);
+  rec.grad_norm = nan_loss_ ? std::nan("") : loss_.GradNormFromLoss(rec.step, rec.loss);
   rec.recompute = rec.step < max_step_reached_;
   rec.run_id = run_count_;
 

@@ -50,6 +50,14 @@ class TrainJob {
   using StepObserver = std::function<void(const StepRecord&)>;
   void AddStepObserver(StepObserver observer) { observers_.push_back(std::move(observer)); }
 
+  // Observer invoked after every run-state transition (Start/Stop/Crash/Hang).
+  // The quiescent monitor uses it to re-arm its watchdog on demand instead of
+  // polling the state on a fixed cadence.
+  using StateObserver = std::function<void(JobRunState)>;
+  void AddStateObserver(StateObserver observer) {
+    state_observers_.push_back(std::move(observer));
+  }
+
   // -- control ---------------------------------------------------------------
 
   // Begins (or resumes) stepping from `resume_step()`. Increments run_count.
@@ -105,6 +113,7 @@ class TrainJob {
   void ScheduleNextStep();
   void CompleteStep();
   void FinishOneStep();
+  void NotifyStateObservers();
 
   JobConfig config_;
   Simulator* sim_;
@@ -116,6 +125,7 @@ class TrainJob {
   JobRunState state_ = JobRunState::kStopped;
   std::vector<CodeVersion> versions_;
   std::vector<StepObserver> observers_;
+  std::vector<StateObserver> state_observers_;
 
   std::int64_t resume_step_ = 0;       // next step index to execute
   std::int64_t steps_completed_ = 0;   // total completions incl. recompute

@@ -84,6 +84,80 @@ TEST(MfuSeriesTest, RecomputeStepsAreExcluded) {
   EXPECT_TRUE(series.RelativeMfu().empty());
 }
 
+// Deterministic jittered step stream across several runs, with restarts
+// (gaps + recompute) sprinkled in — the shape campaigns feed the trackers.
+template <typename Fn>
+void FeedSyntheticCampaign(Fn&& feed) {
+  SimTime t = 0;
+  std::int64_t step = 0;
+  int run = 1;
+  for (int i = 0; i < 3000; ++i) {
+    const SimDuration dur = Seconds(8 + (i * 7) % 9);
+    if (i % 500 == 499) {
+      t += Minutes(7);  // incident: unproductive gap, then a new run
+      ++run;
+      step -= 20;  // rollback: the next 20 steps are recompute
+    }
+    StepRecord rec = MakeStep(step, t, t + dur, /*recompute=*/false,
+                              /*mfu=*/0.25 + 0.1 * ((i * 13) % 50) / 50.0);
+    rec.recompute = i % 500 >= 480;
+    rec.run_id = run;
+    feed(rec);
+    t += dur;
+    ++step;
+  }
+}
+
+TEST(EttrTrackerTest, WindowedCompactionIsBitIdenticalAtTheLiveEdge) {
+  EttrTracker unbounded(0);
+  EttrTracker windowed(0, Hours(2));
+  FeedSyntheticCampaign([&](const StepRecord& rec) {
+    unbounded.OnStep(rec);
+    windowed.OnStep(rec);
+    // Sliding queries at the live edge with window <= retention must be
+    // bit-identical (same spans walked, same summation order).
+    EXPECT_EQ(unbounded.SlidingEttr(rec.end, Hours(1)), windowed.SlidingEttr(rec.end, Hours(1)));
+    EXPECT_EQ(unbounded.SlidingEttr(rec.end, Hours(2)), windowed.SlidingEttr(rec.end, Hours(2)));
+  });
+  EXPECT_EQ(unbounded.productive_time(), windowed.productive_time());
+  EXPECT_EQ(unbounded.recompute_time(), windowed.recompute_time());
+  EXPECT_EQ(unbounded.productive_steps(), windowed.productive_steps());
+  EXPECT_EQ(unbounded.CumulativeEttr(Hours(11)), windowed.CumulativeEttr(Hours(11)));
+  EXPECT_EQ(unbounded.productive_by_run(), windowed.productive_by_run());
+  // Memory actually stayed bounded: the 2 h window holds at most ~900 spans
+  // of >= 8 s; everything older was folded into the running aggregates.
+  EXPECT_GT(windowed.spans_folded(), 0);
+  EXPECT_LT(windowed.retained_spans(), 1000u);
+  EXPECT_EQ(windowed.retained_spans() + static_cast<std::size_t>(windowed.spans_folded()),
+            unbounded.retained_spans());
+  EXPECT_GT(windowed.folded_productive(), 0);
+  EXPECT_LE(windowed.folded_productive(), windowed.productive_time());
+}
+
+TEST(MfuSeriesTest, WindowedCompactionKeepsRunningAggregatesExact) {
+  MfuSeries unbounded;
+  MfuSeries windowed;
+  windowed.SetRetention(Hours(2));
+  FeedSyntheticCampaign([&](const StepRecord& rec) {
+    unbounded.OnStep(rec);
+    windowed.OnStep(rec);
+  });
+  EXPECT_EQ(unbounded.MinMfu(), windowed.MinMfu());
+  EXPECT_EQ(unbounded.MaxMfu(), windowed.MaxMfu());
+  EXPECT_EQ(unbounded.mfu_sum(), windowed.mfu_sum());
+  EXPECT_EQ(unbounded.total_samples(), windowed.total_samples());
+  EXPECT_GT(windowed.samples_folded(), 0);
+  EXPECT_LT(windowed.samples().size(), 1000u);
+  EXPECT_EQ(windowed.samples().size() + static_cast<std::size_t>(windowed.samples_folded()),
+            unbounded.samples().size());
+  // The retained tail is the suffix of the unbounded series.
+  const std::size_t offset = unbounded.samples().size() - windowed.samples().size();
+  for (std::size_t i = 0; i < windowed.samples().size(); ++i) {
+    EXPECT_EQ(unbounded.samples()[offset + i].time, windowed.samples()[i].time);
+    EXPECT_EQ(unbounded.samples()[offset + i].mfu, windowed.samples()[i].mfu);
+  }
+}
+
 IncidentResolution MakeResolution(IncidentSymptom symptom, ResolutionMechanism mech,
                                   SimTime inject, SimDuration detect, SimDuration localize,
                                   SimDuration failover) {

@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +27,7 @@
 #include <memory>
 #include <mutex>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -46,6 +48,14 @@ namespace {
 // ---------------------------------------------------------------------------
 class JsonWriter {
  public:
+  JsonWriter() = default;
+
+  // Primed writer: emits text as if `depth` scopes were already open, with
+  // `need_comma` saying whether the enclosing scope already holds a value.
+  // Lets workers render one "runs" array element (depth 2) byte-identically
+  // to an element written inline by the full-document writer.
+  JsonWriter(int depth, bool need_comma) : depth_(depth) { need_comma_.push_back(need_comma); }
+
   std::string Take() { return out_.str(); }
 
   void BeginObject() { Open('{'); }
@@ -174,6 +184,8 @@ const std::vector<ScenarioSpec>& Specs() {
        IncidentSymptom::kCudaError, 0.5},
       {"dense", "9,600-GPU dense 70+B production campaign (Sec. 8.1)", false,
        IncidentSymptom::kCudaError, 7.0},
+      {"dense-month", "30-day 9,600-GPU dense robustness campaign (month scale)", false,
+       IncidentSymptom::kCudaError, 30.0},
       {"moe", "9,600-GPU MoE 200+B production campaign (Sec. 8.1)", false,
        IncidentSymptom::kCudaError, 7.0},
       {"fig2", "1,000-GPU job with heavy manual adjustment (Fig. 2)", false,
@@ -208,6 +220,33 @@ bool StepBatchingEnabled() {
   return env == nullptr || std::string(env) != "0";
 }
 
+// BYTEROBUST_STREAM_CAMPAIGN=0 pins the buffered reference path (all
+// RunResults held in memory before emission) so the streaming merger can be
+// byte-compared against it. The default streams per-seed JSON through
+// per-worker spill files, bounding campaign memory at O(window) per worker
+// regardless of --seeds.
+bool StreamCampaignEnabled() {
+  const char* env = std::getenv("BYTEROBUST_STREAM_CAMPAIGN");
+  return env == nullptr || std::string(env) != "0";
+}
+
+// Trailing retention window for per-run ETTR-span / MFU-sample compaction.
+// BYTEROBUST_METRIC_WINDOW gives seconds (0 = unbounded); the default keeps
+// two hours, comfortably above the 1 h sliding-ETTR window, so campaign
+// metrics are bit-identical windowed or not while month-scale runs hold
+// O(window) metric state instead of O(steps).
+SimDuration MetricsRetentionFromEnv() {
+  static const SimDuration retention = [] {
+    const char* env = std::getenv("BYTEROBUST_METRIC_WINDOW");
+    if (env == nullptr) {
+      return Hours(2);
+    }
+    const double seconds = std::strtod(env, nullptr);
+    return seconds <= 0.0 ? SimDuration{0} : Seconds(seconds);
+  }();
+  return retention;
+}
+
 SystemConfig QuickstartSystem(std::uint64_t seed) {
   SystemConfig config;
   config.job.name = "quickstart-7B";
@@ -220,11 +259,12 @@ SystemConfig QuickstartSystem(std::uint64_t seed) {
   config.seed = seed;
   config.spare_machines = 4;
   config.job.batched_stepping = StepBatchingEnabled();
+  config.metrics_retention = MetricsRetentionFromEnv();
   return config;
 }
 
 ScenarioConfig MixedConfig(const std::string& name, double days, std::uint64_t seed) {
-  if (name == "dense") {
+  if (name == "dense" || name == "dense-month") {
     return DenseCampaignConfig(days, seed);
   }
   if (name == "moe") {
@@ -341,6 +381,7 @@ RunResult RunMixed(const ScenarioSpec& spec, double days, std::uint64_t seed) {
   r.days = days;
   ScenarioConfig cfg = MixedConfig(spec.name, days, seed);
   cfg.system.job.batched_stepping = StepBatchingEnabled();
+  cfg.system.metrics_retention = MetricsRetentionFromEnv();
   Scenario scenario(cfg);
   scenario.Run();
   r.incidents_injected = scenario.stats().incidents_injected;
@@ -383,7 +424,9 @@ class TargetedCampaign {
       sys_.sim().Schedule(Minutes(2), [this] { Inject(); });
       return;
     }
-    const std::vector<MachineId> serving = sys_.cluster().ServingMachines();
+    // Same slot-ordered membership as ServingMachines(), without the
+    // per-incident copy.
+    const std::vector<MachineId>& serving = sys_.cluster().serving_slots();
     if (serving.empty()) {
       return;
     }
@@ -548,22 +591,6 @@ struct Aggregate {
   double max = 0.0;
 };
 
-Aggregate Aggregated(const std::vector<RunResult>& runs, double (*get)(const RunResult&)) {
-  Aggregate a;
-  if (runs.empty()) {
-    return a;
-  }
-  a.min = a.max = get(runs.front());
-  for (const RunResult& r : runs) {
-    const double v = get(r);
-    a.mean += v;
-    a.min = std::min(a.min, v);
-    a.max = std::max(a.max, v);
-  }
-  a.mean /= static_cast<double>(runs.size());
-  return a;
-}
-
 void WriteAggregate(JsonWriter* w, const std::string& key, const Aggregate& a) {
   w->Key(key);
   w->BeginObject();
@@ -585,26 +612,366 @@ int Emit(JsonWriter* w, const std::string& out_path) {
 }
 
 // ---------------------------------------------------------------------------
-// Subcommands.
+// Streaming campaigns: workers render each finished seed's JSON and hand it
+// off (spill file or in-order committer) instead of buffering RunResults, so
+// campaign memory is O(window), not O(seeds). The aggregate block folds from
+// tiny per-seed summaries in seed order — the identical arithmetic, in the
+// identical order, as the buffered reference path, so output is byte-equal.
 // ---------------------------------------------------------------------------
+
+// The six per-seed numbers the campaign aggregate block consumes.
+struct SeedSummary {
+  double ettr_cumulative = 0.0;
+  double detection_mean_s = 0.0;
+  double resolution_mean_s = 0.0;
+  double failover_mean_s = 0.0;
+  double incidents_injected = 0.0;
+  double evictions = 0.0;
+};
+
+SeedSummary Summarize(const RunResult& r) {
+  SeedSummary s;
+  s.ettr_cumulative = r.ettr_cumulative;
+  s.detection_mean_s = r.detection.mean_s;
+  s.resolution_mean_s = r.resolution.mean_s;
+  s.failover_mean_s = r.failover.mean_s;
+  s.incidents_injected = static_cast<double>(r.incidents_injected);
+  s.evictions = static_cast<double>(r.evictions);
+  return s;
+}
+
+// Seed-order fold shared by the buffered and streaming paths — one
+// implementation, so the byte-identity between them cannot drift.
+Aggregate FoldAggregate(const std::vector<SeedSummary>& summaries, double SeedSummary::*field) {
+  Aggregate a;
+  if (summaries.empty()) {
+    return a;
+  }
+  a.min = a.max = summaries.front().*field;
+  for (const SeedSummary& s : summaries) {
+    const double v = s.*field;
+    a.mean += v;
+    a.min = std::min(a.min, v);
+    a.max = std::max(a.max, v);
+  }
+  a.mean /= static_cast<double>(summaries.size());
+  return a;
+}
+
+// One "runs" array element, byte-identical to the same element rendered
+// inline by the full-document writer (leading newline + indent, no comma).
+std::string RenderRunElement(const RunResult& r) {
+  JsonWriter w(/*depth=*/2, /*need_comma=*/false);
+  WriteRun(&w, r);
+  return w.Take();
+}
+
+void WriteCampaignAggregates(JsonWriter* w, const std::vector<SeedSummary>& summaries) {
+  w->Key("aggregate");
+  w->BeginObject();
+  WriteAggregate(w, "ettr_cumulative", FoldAggregate(summaries, &SeedSummary::ettr_cumulative));
+  WriteAggregate(w, "detection_mean_s", FoldAggregate(summaries, &SeedSummary::detection_mean_s));
+  WriteAggregate(w, "resolution_mean_s",
+                 FoldAggregate(summaries, &SeedSummary::resolution_mean_s));
+  WriteAggregate(w, "failover_mean_s", FoldAggregate(summaries, &SeedSummary::failover_mean_s));
+  WriteAggregate(w, "incidents_injected",
+                 FoldAggregate(summaries, &SeedSummary::incidents_injected));
+  WriteAggregate(w, "evictions", FoldAggregate(summaries, &SeedSummary::evictions));
+  w->EndObject();
+}
+
+// Options shared by every subcommand (parsed below).
 struct Options {
   std::string scenario;
   std::uint64_t seed = 42;
   int seeds = 4;
   int jobs = 1;
   double days = -1.0;  // < 0: use the scenario default
+  bool stream = false;  // campaign: fully incremental output (--stream)
   std::string out_path;
 };
 
+void WriteCampaignHeaderFields(JsonWriter* w, const ScenarioSpec& spec, const Options& opts,
+                               double days) {
+  w->Field("tool", "byterobust");
+  w->Field("command", "campaign");
+  w->Field("scenario", spec.name);
+  w->Field("seeds", opts.seeds);
+  w->Field("base_seed", opts.seed);
+  w->Field("days", days);
+}
+
+// Incremental output: everything goes to stdout and (optionally) to --out,
+// written as produced instead of accumulated in one string.
+class OutputSink {
+ public:
+  explicit OutputSink(const std::string& out_path) : path_(out_path) {
+    if (!path_.empty()) {
+      file_ = std::fopen(path_.c_str(), "wb");
+      if (file_ == nullptr) {
+        ok_ = false;
+      }
+    }
+  }
+  ~OutputSink() {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+    }
+  }
+  OutputSink(const OutputSink&) = delete;
+  OutputSink& operator=(const OutputSink&) = delete;
+
+  void Write(const std::string& text) {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    if (file_ != nullptr && std::fwrite(text.data(), 1, text.size(), file_) != text.size()) {
+      ok_ = false;
+    }
+  }
+
+  // 0 on success, mirroring Emit()'s contract.
+  int Finish() {
+    if (!ok_) {
+      std::fprintf(stderr, "error: could not write %s\n", path_.c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  bool ok_ = true;
+};
+
+// Where one rendered seed landed inside its worker's spill file.
+struct SpillLocation {
+  std::uint32_t worker = 0;
+  long offset = 0;
+  std::uint32_t length = 0;
+};
+
+// Default streaming path: each worker appends its finished seeds' JSON to a
+// private tmpfile; the merger then concatenates the elements in seed order
+// (seeking by the per-seed index) while the aggregate block folds from the
+// per-seed summaries. Peak memory: one rendered element per worker.
+int RunCampaignSpillStreaming(const ScenarioSpec& spec, const Options& opts, double days) {
+  const int seeds = opts.seeds;
+  const int workers = std::max(1, std::min(opts.jobs, seeds));
+  std::vector<SeedSummary> summaries(static_cast<std::size_t>(seeds));
+  std::vector<SpillLocation> index(static_cast<std::size_t>(seeds));
+  std::vector<std::FILE*> spills(static_cast<std::size_t>(workers), nullptr);
+  for (std::FILE*& f : spills) {
+    f = std::tmpfile();
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: could not create campaign spill file\n");
+      for (std::FILE* open : spills) {
+        if (open != nullptr) {
+          std::fclose(open);
+        }
+      }
+      return 1;
+    }
+  }
+
+  std::atomic<int> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  const auto worker = [&](int w) {
+    long offset = 0;
+    for (int i = next.fetch_add(1); i < seeds && !failed.load(); i = next.fetch_add(1)) {
+      try {
+        const RunResult r = RunOne(spec, days, opts.seed + static_cast<std::uint64_t>(i));
+        summaries[static_cast<std::size_t>(i)] = Summarize(r);
+        const std::string element = RenderRunElement(r);
+        if (std::fwrite(element.data(), 1, element.size(), spills[static_cast<std::size_t>(w)]) !=
+            element.size()) {
+          throw std::runtime_error("campaign spill write failed");
+        }
+        index[static_cast<std::size_t>(i)] = {static_cast<std::uint32_t>(w), offset,
+                                              static_cast<std::uint32_t>(element.size())};
+        offset += static_cast<long>(element.size());
+      } catch (...) {
+        failed.store(true);
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+        return;
+      }
+    }
+  };
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers) - 1);
+    for (int t = 1; t < workers; ++t) {
+      pool.emplace_back(worker, t);
+    }
+    worker(0);
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+  if (first_error) {
+    for (std::FILE* f : spills) {
+      std::fclose(f);
+    }
+    std::rethrow_exception(first_error);
+  }
+
+  for (std::FILE* f : spills) {
+    std::fflush(f);
+  }
+  OutputSink sink(opts.out_path);
+  JsonWriter header;
+  header.BeginObject();
+  WriteCampaignHeaderFields(&header, spec, opts, days);
+  WriteCampaignAggregates(&header, summaries);
+  header.Key("runs");
+  header.BeginArray();
+  sink.Write(header.Take());
+  std::string element;
+  for (int i = 0; i < seeds; ++i) {
+    const SpillLocation& loc = index[static_cast<std::size_t>(i)];
+    element.resize(loc.length);
+    std::FILE* f = spills[loc.worker];
+    if (std::fseek(f, loc.offset, SEEK_SET) != 0 ||
+        std::fread(element.data(), 1, element.size(), f) != element.size()) {
+      std::fprintf(stderr, "error: campaign spill read failed\n");
+      for (std::FILE* open : spills) {
+        std::fclose(open);
+      }
+      return 1;
+    }
+    if (i > 0) {
+      sink.Write(",");
+    }
+    sink.Write(element);
+  }
+  for (std::FILE* f : spills) {
+    std::fclose(f);
+  }
+  sink.Write("\n  ]\n}\n");
+  return sink.Finish();
+}
+
+// --stream: fully incremental document for live consumption. Runs are written
+// the moment their seed is next in order (nothing is spilled), so the
+// "aggregate" block — which needs every seed — moves to the end of the
+// document; all values are identical to the default layout's.
+int RunCampaignDirectStreaming(const ScenarioSpec& spec, const Options& opts, double days) {
+  const int seeds = opts.seeds;
+  OutputSink sink(opts.out_path);
+  JsonWriter header;
+  header.BeginObject();
+  WriteCampaignHeaderFields(&header, spec, opts, days);
+  header.Key("runs");
+  header.BeginArray();
+  sink.Write(header.Take());
+
+  std::vector<SeedSummary> summaries(static_cast<std::size_t>(seeds));
+  const auto commit = [&](int i, const std::string& element) {
+    if (i > 0) {
+      sink.Write(",");
+    }
+    sink.Write(element);
+  };
+
+  const int workers = std::max(1, std::min(opts.jobs, seeds));
+  if (workers <= 1) {
+    for (int i = 0; i < seeds; ++i) {
+      const RunResult r = RunOne(spec, days, opts.seed + static_cast<std::uint64_t>(i));
+      summaries[static_cast<std::size_t>(i)] = Summarize(r);
+      commit(i, RenderRunElement(r));
+    }
+  } else {
+    // Workers render out of order; the main thread commits strictly in seed
+    // order, holding at most the out-of-order tail in memory.
+    std::mutex mutex;
+    std::condition_variable ready_cv;
+    std::map<int, std::string> done;
+    std::atomic<int> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    const auto worker = [&] {
+      for (int i = next.fetch_add(1); i < seeds && !failed.load(); i = next.fetch_add(1)) {
+        try {
+          const RunResult r = RunOne(spec, days, opts.seed + static_cast<std::uint64_t>(i));
+          summaries[static_cast<std::size_t>(i)] = Summarize(r);
+          std::string element = RenderRunElement(r);
+          {
+            const std::lock_guard<std::mutex> lock(mutex);
+            done.emplace(i, std::move(element));
+          }
+          ready_cv.notify_one();
+        } catch (...) {
+          failed.store(true);
+          {
+            const std::lock_guard<std::mutex> lock(mutex);
+            if (!first_error) {
+              first_error = std::current_exception();
+            }
+          }
+          ready_cv.notify_one();
+          return;
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int t = 0; t < workers; ++t) {
+      pool.emplace_back(worker);
+    }
+    int committed = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      while (committed < seeds && !failed.load()) {
+        ready_cv.wait(lock, [&] { return failed.load() || done.count(committed) > 0; });
+        auto it = done.find(committed);
+        if (it == done.end()) {
+          break;  // failure woke us
+        }
+        const std::string element = std::move(it->second);
+        done.erase(it);
+        lock.unlock();
+        commit(committed, element);
+        ++committed;
+        lock.lock();
+      }
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+    if (first_error) {
+      std::rethrow_exception(first_error);
+    }
+  }
+
+  sink.Write("\n  ]");
+  JsonWriter tail(/*depth=*/1, /*need_comma=*/true);
+  WriteCampaignAggregates(&tail, summaries);
+  sink.Write(tail.Take());
+  sink.Write("\n}\n");
+  return sink.Finish();
+}
+
+// ---------------------------------------------------------------------------
+// Subcommands.
+// ---------------------------------------------------------------------------
 int Usage() {
   std::fprintf(stderr,
                "usage: byterobust <run|campaign|bench-report|list> [options]\n"
                "\n"
                "  run          --preset NAME   [--seed S] [--days D] [--out FILE]\n"
                "  campaign     --scenario NAME [--seeds N] [--base-seed S] [--days D]\n"
-               "               [--jobs N] [--out FILE]\n"
+               "               [--jobs N] [--stream] [--out FILE]\n"
                "  bench-report [--out FILE]\n"
                "  list\n"
+               "\n"
+               "  --stream emits each seed's JSON as soon as it is next in seed order\n"
+               "  (the aggregate block then follows the runs array instead of preceding\n"
+               "  it); without it, workers spill finished seeds to temp files and the\n"
+               "  merger emits the standard layout with O(window) memory.\n"
                "\nscenarios:\n");
   for (const ScenarioSpec& s : Specs()) {
     std::fprintf(stderr, "  %-12s %s\n", s.name, s.summary);
@@ -635,7 +1002,8 @@ bool FlagAllowed(const std::string& command, const std::string& flag) {
   }
   if (command == "campaign") {
     return flag == "--preset" || flag == "--scenario" || flag == "--seed" ||
-           flag == "--base-seed" || flag == "--seeds" || flag == "--days" || flag == "--jobs";
+           flag == "--base-seed" || flag == "--seeds" || flag == "--days" ||
+           flag == "--jobs" || flag == "--stream";
   }
   return false;  // bench-report / list take only --out
 }
@@ -688,6 +1056,8 @@ bool ParseOptions(const std::string& command, int argc, char** argv, Options* op
         return false;
       }
       opts->days = value;
+    } else if (arg == "--stream") {
+      opts->stream = true;
     } else if (arg == "--out" && has_value) {
       opts->out_path = argv[++i];
     } else {
@@ -729,34 +1099,27 @@ int CmdCampaign(const Options& opts) {
     return 2;
   }
   const double days = opts.days > 0.0 ? opts.days : spec->default_days;
+  if (opts.stream) {
+    return RunCampaignDirectStreaming(*spec, opts, days);
+  }
+  if (StreamCampaignEnabled()) {
+    return RunCampaignSpillStreaming(*spec, opts, days);
+  }
+  // Buffered reference path (BYTEROBUST_STREAM_CAMPAIGN=0): every RunResult
+  // held in memory, rendered in one pass. The streaming paths above must be
+  // byte-identical to this (ctest cli_campaign_streaming_equivalence).
   const std::vector<RunResult> runs =
       RunCampaignRuns(*spec, days, opts.seed, opts.seeds, opts.jobs);
 
+  std::vector<SeedSummary> summaries;
+  summaries.reserve(runs.size());
+  for (const RunResult& r : runs) {
+    summaries.push_back(Summarize(r));
+  }
   JsonWriter w;
   w.BeginObject();
-  w.Field("tool", "byterobust");
-  w.Field("command", "campaign");
-  w.Field("scenario", spec->name);
-  w.Field("seeds", opts.seeds);
-  w.Field("base_seed", opts.seed);
-  w.Field("days", days);
-  w.Key("aggregate");
-  w.BeginObject();
-  WriteAggregate(&w, "ettr_cumulative",
-                 Aggregated(runs, [](const RunResult& r) { return r.ettr_cumulative; }));
-  WriteAggregate(&w, "detection_mean_s",
-                 Aggregated(runs, [](const RunResult& r) { return r.detection.mean_s; }));
-  WriteAggregate(&w, "resolution_mean_s",
-                 Aggregated(runs, [](const RunResult& r) { return r.resolution.mean_s; }));
-  WriteAggregate(&w, "failover_mean_s",
-                 Aggregated(runs, [](const RunResult& r) { return r.failover.mean_s; }));
-  WriteAggregate(&w, "incidents_injected", Aggregated(runs, [](const RunResult& r) {
-                   return static_cast<double>(r.incidents_injected);
-                 }));
-  WriteAggregate(&w, "evictions", Aggregated(runs, [](const RunResult& r) {
-                   return static_cast<double>(r.evictions);
-                 }));
-  w.EndObject();
+  WriteCampaignHeaderFields(&w, *spec, opts, days);
+  WriteCampaignAggregates(&w, summaries);
   w.Key("runs");
   w.BeginArray();
   for (const RunResult& r : runs) {

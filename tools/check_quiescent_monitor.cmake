@@ -1,0 +1,42 @@
+# ctest helper: quiescence-driven monitoring (the default) and the periodic
+# reference path (BYTEROBUST_QUIESCENT_MONITOR=0) must emit byte-identical
+# campaign JSON for the same scenario and seeds — the quiescent schedule only
+# skips passes that provably find nothing, on the same time grid. Two
+# scenarios are compared: a full production-mix campaign (dense) and a
+# targeted single-symptom campaign (gpu-fault), covering both campaign
+# engines and both watchdog paths (crash + hang).
+#
+#   cmake -DCLI=<byterobust binary> -DWORK_DIR=<scratch dir> -P check_quiescent_monitor.cmake
+
+foreach(var CLI WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "${var} is required")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+set(scenario_dense "campaign;--scenario;dense;--seeds;2;--days;0.5")
+set(scenario_targeted "campaign;--scenario;gpu-fault;--seeds;4;--days;0.2")
+
+foreach(name dense targeted)
+  foreach(quiescent 0 1)
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E env BYTEROBUST_QUIESCENT_MONITOR=${quiescent}
+            ${CLI} ${scenario_${name}}
+            --out ${WORK_DIR}/quiescent_${name}_${quiescent}.json
+        OUTPUT_QUIET
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR "${name} campaign with QUIESCENT_MONITOR=${quiescent} failed: ${rc}")
+    endif()
+  endforeach()
+  execute_process(
+      COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/quiescent_${name}_0.json ${WORK_DIR}/quiescent_${name}_1.json
+      RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+        "${name} campaign JSON differs between quiescent and periodic monitoring")
+  endif()
+endforeach()

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Perf-smoke gate: fail when hot-path microbenchmarks regress.
+"""Perf-smoke gate: fail when hot-path microbenchmarks or memory regress.
 
 Compares a fresh google-benchmark JSON report against the checked-in
 baseline (bench/perf_baseline.json) and fails when any selected benchmark's
@@ -8,21 +8,30 @@ vary across machines, so the gate is a coarse regression tripwire (default
 2x), not a precise budget.
 
     perf_smoke.py current.json baseline.json [--max-ratio 2.0] [name ...]
+    perf_smoke.py current.json baseline.json --cli build/tools/byterobust
 
 Benchmark selection, in priority order: names given on the command line; the
 baseline's "gated" list (so the set of gated benchmarks is versioned next to
 the numbers themselves); otherwise every benchmark present in both files.
+
+With --cli, the baseline's "rss_gate" entry is also enforced: the given
+byterobust binary runs the recorded streaming-campaign command and the
+child's peak RSS must stay under max_rss_mb. This is what keeps campaign
+memory O(window) — an accidental return to O(steps) metric growth or
+O(seeds) run buffering trips it just like a speed regression.
 """
 
 import argparse
 import json
+import resource
+import subprocess
 import sys
 
 _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
 def load_report(path):
-    """Returns ({name: real_time_ns}, gated_names_or_None)."""
+    """Returns ({name: real_time_ns}, full_json)."""
     with open(path) as f:
         data = json.load(f)
     times = {}
@@ -33,7 +42,32 @@ def load_report(path):
         if unit is None:
             raise SystemExit(f"{path}: unknown time_unit in {bench['name']}")
         times[bench["name"]] = bench["real_time"] * unit
-    return times, data.get("gated")
+    return times, data
+
+
+def check_rss_gate(cli, gate):
+    """Runs the gated campaign command and checks the child's peak RSS."""
+    cmd = [cli] + gate["args"]
+    limit_mb = gate["max_rss_mb"]
+    # ru_maxrss is KiB on Linux but bytes on macOS.
+    rss_per_mb = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+    # ru_maxrss is a monotone high-water over all reaped children, so a prior
+    # child bigger than the limit would mask the CLI's actual peak — refuse
+    # to measure through that.
+    before_mb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss / rss_per_mb
+    if before_mb > limit_mb:
+        print(f"rss gate: a prior subprocess already peaked at {before_mb:.1f} MB "
+              f"(> limit {limit_mb:.1f} MB); measurement would be masked", file=sys.stderr)
+        return False
+    proc = subprocess.run(cmd, stdout=subprocess.DEVNULL)
+    if proc.returncode != 0:
+        print(f"rss gate: {' '.join(cmd)} exited {proc.returncode}", file=sys.stderr)
+        return False
+    peak_mb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss / rss_per_mb
+    verdict = "OK" if peak_mb <= limit_mb else "REGRESSION"
+    print(f"rss gate ({' '.join(gate['args'])}): peak {peak_mb:.1f} MB, "
+          f"limit {limit_mb:.1f} MB [{verdict}]")
+    return peak_mb <= limit_mb
 
 
 def main():
@@ -42,10 +76,12 @@ def main():
     parser.add_argument("baseline")
     parser.add_argument("names", nargs="*")
     parser.add_argument("--max-ratio", type=float, default=2.0)
+    parser.add_argument("--cli", help="byterobust binary; enables the baseline's rss_gate")
     args = parser.parse_intermixed_args()
 
     current, _ = load_report(args.current)
-    baseline, gated = load_report(args.baseline)
+    baseline, baseline_data = load_report(args.baseline)
+    gated = baseline_data.get("gated")
     names = args.names or gated or sorted(current.keys() & baseline.keys())
 
     failures = []
@@ -61,11 +97,17 @@ def main():
         if ratio > args.max_ratio:
             failures.append(name)
 
+    rss_gate = baseline_data.get("rss_gate")
+    if args.cli and rss_gate:
+        if not check_rss_gate(args.cli, rss_gate):
+            failures.append("rss_gate")
+
     if failures:
         print(f"perf smoke FAILED: {', '.join(failures)} regressed more than "
-              f"{args.max_ratio:.1f}x", file=sys.stderr)
+              f"the gated budget", file=sys.stderr)
         return 1
-    print(f"perf smoke passed ({len(names)} benchmarks within {args.max_ratio:.1f}x)")
+    print(f"perf smoke passed ({len(names)} benchmarks within {args.max_ratio:.1f}x"
+          + (", rss gate ok" if args.cli and rss_gate else "") + ")")
     return 0
 
 
