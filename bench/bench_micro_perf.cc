@@ -11,6 +11,7 @@
 #include "src/ckpt/backup_strategy.h"
 #include "src/core/production_presets.h"
 #include "src/core/scenario.h"
+#include "src/fleet/fleet_presets.h"
 #include "src/replay/dual_phase_replay.h"
 #include "src/sim/simulator.h"
 #include "src/tracer/stack_synth.h"
@@ -89,6 +90,19 @@ void BM_DenseMonthCampaignSeed(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DenseMonthCampaignSeed)->Unit(benchmark::kMillisecond);
+
+// One fleet-mixed campaign seed: three concurrent jobs (52 machines total)
+// with their full per-job control-plane stacks, a shared spare arbiter and
+// staggered starts, at half a simulated day — the end-to-end cost the fleet
+// CLI pays per seed.
+void BM_FleetCampaignSeed(benchmark::State& state) {
+  for (auto _ : state) {
+    Fleet fleet(FleetMixedConfig(/*days=*/0.5, /*seed=*/2024));
+    fleet.Run();
+    benchmark::DoNotOptimize(fleet.arbiter().preemptions_total());
+  }
+}
+BENCHMARK(BM_FleetCampaignSeed)->Unit(benchmark::kMillisecond);
 
 Topology MakeTopo(int dp) {
   ParallelismConfig cfg;

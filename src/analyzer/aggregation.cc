@@ -5,6 +5,8 @@
 #include <set>
 #include <unordered_map>
 
+#include "src/tracer/stack_synth.h"
+
 namespace byterobust {
 
 namespace {
@@ -135,6 +137,51 @@ bool FailSlowVoter::Decide(GroupKind* kind, int* index) const {
   *kind = static_cast<GroupKind>(best->first.first);
   *index = best->first.second;
   return true;
+}
+
+const AggregationResult& FailSlowVoteCache::Round(const AggregationAnalyzer& analyzer,
+                                                  const Topology& topology,
+                                                  MachineId slow_machine,
+                                                  std::uint64_t round_seed) {
+  MachineId noisy = FailSlowNoiseMachine(round_seed, topology.num_machines());
+  if (noisy == slow_machine) {
+    noisy = -1;  // jitter on the laggard itself changes nothing
+  }
+  const std::pair<MachineId, MachineId> key{slow_machine, noisy};
+  const auto it = results_.find(key);
+  if (it != results_.end()) {
+    return it->second;
+  }
+  if (pod_slow_ != slow_machine) {
+    // One synthesis per distinct slow machine: the noise-free round (built
+    // directly so no jitter draw is involved).
+    pod_.clear();
+    pod_.reserve(static_cast<std::size_t>(topology.world_size()));
+    for (Rank r = 0; r < topology.world_size(); ++r) {
+      ProcessStack ps;
+      ps.rank = r;
+      ps.machine = topology.MachineOfRank(r);
+      ps.kind = ProcessKind::kTrainer;
+      ps.stack = ps.machine == slow_machine ? ComputeKernelStack() : HealthyGradSyncStack();
+      pod_.push_back(std::move(ps));
+    }
+    pod_slow_ = slow_machine;
+  }
+  AggregationResult result;
+  if (noisy < 0) {
+    result = analyzer.Analyze(pod_, topology);
+  } else {
+    // Patch only the noisy machine's ranks; stacks stay interned, so the
+    // aggregation sees storage-identical frames to a fresh synthesis.
+    std::vector<ProcessStack> round_pod = pod_;
+    for (ProcessStack& ps : round_pod) {
+      if (ps.machine == noisy) {
+        ps.stack = ComputeKernelStack();
+      }
+    }
+    result = analyzer.Analyze(round_pod, topology);
+  }
+  return results_.emplace(key, std::move(result)).first->second;
 }
 
 }  // namespace byterobust

@@ -14,8 +14,10 @@
 #ifndef SRC_ANALYZER_AGGREGATION_H_
 #define SRC_ANALYZER_AGGREGATION_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/topology/parallelism.h"
@@ -84,6 +86,27 @@ class FailSlowVoter {
   int rounds_needed_;
   int rounds_seen_ = 0;
   std::map<std::pair<int, int>, int> flags_;  // (kind, index) -> count
+};
+
+// Memoized fail-slow rounds. A voting round's snapshot is fully determined
+// by (slow machine, jitter machine): the pod stacks are a pure function of
+// that pair, so instead of re-synthesising and re-aggregating the full pod
+// every 10-second round, the cache keeps one synthesized base pod per slow
+// machine (patched in place when the round adds a noisy machine) and memoizes
+// each pair's AggregationResult for the controller's lifetime — the topology
+// never changes under a job. Round() returns exactly what
+// analyzer.Analyze(SynthesizeFailSlowStacks(topology, slow, seed), topology)
+// would (the stacks share the same interned storage), so voting decisions
+// are unchanged.
+class FailSlowVoteCache {
+ public:
+  const AggregationResult& Round(const AggregationAnalyzer& analyzer, const Topology& topology,
+                                 MachineId slow_machine, std::uint64_t round_seed);
+
+ private:
+  MachineId pod_slow_ = -2;          // slow machine the cached pod models
+  std::vector<ProcessStack> pod_;    // laggard = slow machine only
+  std::map<std::pair<MachineId, MachineId>, AggregationResult> results_;
 };
 
 }  // namespace byterobust

@@ -106,4 +106,9 @@ bool BackupPlan::SurvivesGroupEviction(const Topology& topology,
   return SurvivesEviction(topology, topology.MachinesOfGroup(group));
 }
 
+std::shared_ptr<const BackupPlan> SharedBackupPlan(const Topology& topology) {
+  return FrozenByConfig<BackupPlan>(
+      topology.config(), [&] { return std::make_shared<const BackupPlan>(topology); });
+}
+
 }  // namespace byterobust

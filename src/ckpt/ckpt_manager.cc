@@ -12,7 +12,7 @@ constexpr double kGb = 1e9;
 
 CheckpointManager::CheckpointManager(const CkptManagerConfig& config, Simulator* sim,
                                      TrainJob* job)
-    : config_(config), sim_(sim), job_(job), backup_plan_(job->topology()) {
+    : config_(config), sim_(sim), job_(job), backup_plan_(SharedBackupPlan(job->topology())) {
   save_latency_ = SaveLatency();  // pure function of the (fixed) job config
   job_->AddStepObserver([this](const StepRecord& rec) { OnStep(rec); });
 }
@@ -63,7 +63,7 @@ SimDuration CheckpointManager::LoadTime(bool from_remote) const {
 }
 
 bool CheckpointManager::CanRestoreAfterEviction(const std::vector<MachineId>& machines) const {
-  return backup_plan_.SurvivesEviction(job_->topology(), machines);
+  return backup_plan_->SurvivesEviction(job_->topology(), machines);
 }
 
 }  // namespace byterobust

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 
 #include "src/ckpt/backup_strategy.h"
 #include "src/ckpt/cost_model.h"
@@ -52,7 +53,7 @@ class CheckpointManager {
   // Time to load the restorable checkpoint into a restarted job.
   SimDuration LoadTime(bool from_remote) const;
 
-  const BackupPlan& backup_plan() const { return backup_plan_; }
+  const BackupPlan& backup_plan() const { return *backup_plan_; }
 
   // True if every rank's shard survives evicting `machines` (primary or
   // cross-group backup still on a serving machine).
@@ -89,7 +90,8 @@ class CheckpointManager {
   CkptManagerConfig config_;
   Simulator* sim_;
   TrainJob* job_;
-  BackupPlan backup_plan_;
+  // Frozen campaign template: shared, immutable per parallelism config.
+  std::shared_ptr<const BackupPlan> backup_plan_;
   SimDuration save_latency_ = 0;
   mutable std::int64_t durable_step_ = -1;
   std::int64_t saves_started_ = 0;

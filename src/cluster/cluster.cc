@@ -1,26 +1,99 @@
 #include "src/cluster/cluster.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace byterobust {
 
+void Cluster::RegisterWithCore() {
+  core_->members.push_back(this);
+  if (!core_->health_epoch.on_bump) {
+    Core* core = core_.get();
+    core_->health_epoch.on_bump = [core] {
+      // Fire each member view's one-shot waker. Move-out before invoking so a
+      // waker that itself mutates health (recursive bump) or re-parks sees a
+      // clean slot; iterate by index because a waker may add a view.
+      for (std::size_t i = 0; i < core->members.size(); ++i) {
+        Cluster* member = core->members[i];
+        if (member->mutation_waker_) {
+          std::function<void()> w = std::move(member->mutation_waker_);
+          member->mutation_waker_ = nullptr;
+          w();
+        }
+      }
+    };
+  }
+}
+
 Cluster::Cluster(int num_machines, int gpus_per_machine, int num_spares)
-    : num_training_slots_(num_machines), gpus_per_machine_(gpus_per_machine) {
+    : core_(std::make_shared<Core>()), num_training_slots_(num_machines) {
   if (num_machines <= 0 || gpus_per_machine <= 0 || num_spares < 0) {
     throw std::invalid_argument("invalid cluster dimensions");
   }
-  machines_.reserve(static_cast<std::size_t>(num_machines + num_spares));
+  core_->gpus_per_machine = gpus_per_machine;
+  RegisterWithCore();
+  core_->machines.reserve(static_cast<std::size_t>(num_machines + num_spares));
   for (int i = 0; i < num_machines + num_spares; ++i) {
-    machines_.push_back(std::make_unique<Machine>(i, gpus_per_machine));
-    machines_.back()->BindHealthEpoch(&health_epoch_);
+    core_->machines.push_back(std::make_unique<Machine>(i, gpus_per_machine));
+    core_->machines.back()->BindHealthEpoch(&core_->health_epoch);
     if (i >= num_machines) {
-      machines_.back()->set_state(MachineState::kIdle);
+      core_->machines.back()->set_state(MachineState::kIdle);
     }
   }
   slot_to_machine_.resize(static_cast<std::size_t>(num_machines));
   for (int i = 0; i < num_machines; ++i) {
     slot_to_machine_[static_cast<std::size_t>(i)] = i;
   }
+}
+
+Cluster::Cluster(FleetPoolTag, int total_machines, int gpus_per_machine)
+    : core_(std::make_shared<Core>()), num_training_slots_(0) {
+  if (total_machines <= 0 || gpus_per_machine <= 0) {
+    throw std::invalid_argument("invalid fleet pool dimensions");
+  }
+  core_->gpus_per_machine = gpus_per_machine;
+  RegisterWithCore();
+  core_->machines.reserve(static_cast<std::size_t>(total_machines));
+  for (int i = 0; i < total_machines; ++i) {
+    core_->machines.push_back(std::make_unique<Machine>(i, gpus_per_machine));
+    core_->machines.back()->BindHealthEpoch(&core_->health_epoch);
+    core_->machines.back()->set_state(MachineState::kIdle);
+  }
+}
+
+Cluster::Cluster(Cluster& parent, int num_slots)
+    : core_(parent.core_), num_training_slots_(num_slots) {
+  if (num_slots <= 0) {
+    throw std::invalid_argument("view needs at least one training slot");
+  }
+  // Select before mutating anything: a failed carve must leave no trace — a
+  // throwing constructor never runs its destructor, so registering with the
+  // core (or flipping machines kActive) first would leave a dangling member
+  // pointer behind the exception.
+  std::vector<MachineId> selected;
+  selected.reserve(static_cast<std::size_t>(num_slots));
+  for (const auto& m : core_->machines) {
+    if (static_cast<int>(selected.size()) == num_slots) {
+      break;
+    }
+    if (m->state() == MachineState::kIdle && core_->blacklist.count(m->id()) == 0) {
+      selected.push_back(m->id());
+    }
+  }
+  if (static_cast<int>(selected.size()) != num_slots) {
+    throw std::invalid_argument("fleet pool cannot supply the job's machine demand");
+  }
+  RegisterWithCore();
+  slot_to_machine_ = std::move(selected);
+  for (MachineId id : slot_to_machine_) {
+    core_->machines[static_cast<std::size_t>(id)]->set_state(MachineState::kActive);
+  }
+  core_->health_epoch.Bump();  // serving membership changed
+}
+
+Cluster::~Cluster() {
+  auto& members = core_->members;
+  members.erase(std::remove(members.begin(), members.end(), this), members.end());
 }
 
 int Cluster::SlotOfMachine(MachineId id) const {
@@ -32,7 +105,7 @@ int Cluster::SlotOfMachine(MachineId id) const {
   return -1;
 }
 
-void Cluster::ReplaceSlot(int slot, MachineId replacement) {
+void Cluster::InstallSlotMachine(int slot, MachineId replacement) {
   if (slot < 0 || slot >= num_training_slots_) {
     throw std::out_of_range("slot out of range");
   }
@@ -43,25 +116,51 @@ void Cluster::ReplaceSlot(int slot, MachineId replacement) {
   if (incoming.InService()) {
     throw std::invalid_argument("replacement machine already in service");
   }
-  const MachineId old = slot_to_machine_[static_cast<std::size_t>(slot)];
-  Blacklist(old);
-  machine(old).set_state(MachineState::kEvicted);
   incoming.ResetHealth();
   incoming.set_state(MachineState::kActive);
   slot_to_machine_[static_cast<std::size_t>(slot)] = replacement;
-  health_epoch_.Bump();  // serving membership changed
+}
+
+void Cluster::ReplaceSlot(int slot, MachineId replacement) {
+  // Validate before evicting the old machine so a bad replacement leaves the
+  // slot untouched; InstallSlotMachine re-checks harmlessly.
+  if (slot < 0 || slot >= num_training_slots_) {
+    throw std::out_of_range("slot out of range");
+  }
+  if (IsBlacklisted(replacement)) {
+    throw std::invalid_argument("replacement machine is blacklisted");
+  }
+  if (machine(replacement).InService()) {
+    throw std::invalid_argument("replacement machine already in service");
+  }
+  const MachineId old = slot_to_machine_[static_cast<std::size_t>(slot)];
+  Blacklist(old);
+  machine(old).set_state(MachineState::kEvicted);
+  InstallSlotMachine(slot, replacement);
+  core_->health_epoch.Bump();  // serving membership changed
+}
+
+MachineId Cluster::DetachSlotMachine(int slot, MachineId replacement) {
+  if (slot < 0 || slot >= num_training_slots_) {
+    throw std::out_of_range("slot out of range");
+  }
+  const MachineId detached = slot_to_machine_[static_cast<std::size_t>(slot)];
+  InstallSlotMachine(slot, replacement);
+  machine(detached).set_state(MachineState::kIdle);
+  core_->health_epoch.Bump();  // serving membership changed
+  return detached;
 }
 
 void Cluster::Blacklist(MachineId id) {
-  blacklist_.insert(id);
+  core_->blacklist.insert(id);
   machine(id).set_state(MachineState::kEvicted);
 }
 
 MachineId Cluster::AddMachine() {
-  const MachineId id = static_cast<MachineId>(machines_.size());
-  machines_.push_back(std::make_unique<Machine>(id, gpus_per_machine_));
-  machines_.back()->BindHealthEpoch(&health_epoch_);
-  machines_.back()->set_state(MachineState::kIdle);
+  const MachineId id = static_cast<MachineId>(core_->machines.size());
+  core_->machines.push_back(std::make_unique<Machine>(id, core_->gpus_per_machine));
+  core_->machines.back()->BindHealthEpoch(&core_->health_epoch);
+  core_->machines.back()->set_state(MachineState::kIdle);
   return id;
 }
 
@@ -69,8 +168,8 @@ std::vector<MachineId> Cluster::IdleMachines() const {
   // Only truly idle spares: machines already provisioning (kStandbyInit),
   // sleeping in the warm pool (kStandbySleep) or claimed are not candidates.
   std::vector<MachineId> out;
-  for (const auto& m : machines_) {
-    if (m->state() == MachineState::kIdle && blacklist_.count(m->id()) == 0) {
+  for (const auto& m : core_->machines) {
+    if (m->state() == MachineState::kIdle && core_->blacklist.count(m->id()) == 0) {
       out.push_back(m->id());
     }
   }
@@ -93,11 +192,11 @@ const MachineSet& Cluster::SuspectServingSet() const {
 }
 
 void Cluster::RefreshHealthIndex() const {
-  if (index_epoch_ == health_epoch_.value) {
+  if (index_epoch_ == core_->health_epoch.value) {
     return;
   }
   suspect_serving_.clear();
-  suspect_set_ = MachineSet(static_cast<int>(machines_.size()));
+  suspect_set_ = MachineSet(static_cast<int>(core_->machines.size()));
   unhealthy_serving_ = 0;
   for (MachineId id : slot_to_machine_) {
     const Machine& m = machine(id);
@@ -110,7 +209,7 @@ void Cluster::RefreshHealthIndex() const {
       ++unhealthy_serving_;
     }
   }
-  index_epoch_ = health_epoch_.value;
+  index_epoch_ = core_->health_epoch.value;
 }
 
 }  // namespace byterobust

@@ -13,21 +13,21 @@
 
 namespace byterobust {
 
-// Shared mutation channel between a Cluster and its Machines: a monotonically
-// increasing health epoch plus an optional one-shot waker. Consumers that
-// disarm their periodic work while the cluster is provably healthy (the
-// quiescent monitor) register the waker to be re-armed by the next mutation;
-// it is cleared before being invoked, so a storm of mutations costs one call.
+// Shared mutation channel between a Cluster core and its Machines: a
+// monotonically increasing health epoch plus a permanent dispatch hook. The
+// owning Cluster installs `on_bump` to fire each member view's one-shot
+// mutation waker (consumers that disarm their periodic work while the
+// cluster is provably healthy — the quiescent monitor — park there and are
+// re-armed by the next mutation). Each view's waker is cleared before being
+// invoked, so a storm of mutations costs one call per parked consumer.
 struct HealthEpoch {
   std::uint64_t value = 0;
-  std::function<void()> waker;
+  std::function<void()> on_bump;
 
   void Bump() {
     ++value;
-    if (waker) {
-      std::function<void()> w = std::move(waker);
-      waker = nullptr;
-      w();
+    if (on_bump) {
+      on_bump();
     }
   }
 };

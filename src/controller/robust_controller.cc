@@ -31,7 +31,7 @@ int PickReplayGroupSize(int z, int preferred) {
 
 RobustController::RobustController(const ControllerConfig& config, Simulator* sim,
                                    Cluster* cluster, TrainJob* job, Monitor* monitor,
-                                   Diagnoser* diagnoser, WarmStandbyPool* standby_pool,
+                                   Diagnoser* diagnoser, SparePool* standby_pool,
                                    HotUpdateManager* hot_updates, CheckpointManager* ckpt,
                                    Rng rng)
     : config_(config),
@@ -401,14 +401,16 @@ void RobustController::RunFailSlowVoting(int round, std::shared_ptr<FailSlowVote
         }
       }
     }
-    AggregationResult result;
+    static const AggregationResult kCleanRound{};
+    const AggregationResult* result = &kCleanRound;
     if (slow >= 0) {
-      const auto stacks = SynthesizeFailSlowStacks(
-          job_->topology(), cluster_->SlotOfMachine(slow), static_cast<std::uint64_t>(
-              sim_->Now() + round));
-      result = analyzer_.Analyze(stacks, job_->topology());
+      // Memoized per (slow, jitter) pair: only the noisy machine changes
+      // between rounds, so the pod is synthesized once and repeated rounds
+      // skip the aggregation entirely (identical results either way).
+      result = &failslow_cache_.Round(analyzer_, job_->topology(), cluster_->SlotOfMachine(slow),
+                                      static_cast<std::uint64_t>(sim_->Now() + round));
     }
-    voter->AddRound(result);
+    voter->AddRound(*result);
     if (!voter->Ready()) {
       RunFailSlowVoting(round + 1, voter);
       return;

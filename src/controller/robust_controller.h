@@ -77,7 +77,7 @@ class RobustController {
  public:
   RobustController(const ControllerConfig& config, Simulator* sim, Cluster* cluster,
                    TrainJob* job, Monitor* monitor, Diagnoser* diagnoser,
-                   WarmStandbyPool* standby_pool, HotUpdateManager* hot_updates,
+                   SparePool* standby_pool, HotUpdateManager* hot_updates,
                    CheckpointManager* ckpt, Rng rng);
 
   RobustController(const RobustController&) = delete;
@@ -150,11 +150,13 @@ class RobustController {
   TrainJob* job_;
   Monitor* monitor_;
   Diagnoser* diagnoser_;
-  WarmStandbyPool* standby_pool_;
+  SparePool* standby_pool_;
   HotUpdateManager* hot_updates_;
   CheckpointManager* ckpt_;
   Rng rng_;
   AggregationAnalyzer analyzer_;
+  // Memoized fail-slow voting rounds (pure in (slow, jitter) per topology).
+  FailSlowVoteCache failslow_cache_;
 
   RestartListener restart_listener_;
   std::deque<Incident> pending_incidents_;  // injected, not yet attributed

@@ -1,6 +1,15 @@
 // ByteRobust facade: wires the full control plane + data plane onto a
 // simulated cluster and training job. This is the library's primary public
 // entry point (see examples/quickstart.cc).
+//
+// Two wiring modes:
+//   - self-contained (the classic single-job layout): the system owns its
+//     Simulator, a root Cluster sized to the job plus exclusive spares, and a
+//     per-job WarmStandbyPool;
+//   - fleet member (src/fleet): the system runs on an externally owned
+//     Simulator, carves its Cluster as a view of the shared fleet pool, and
+//     draws spares from an external SparePool (the shared SpareArbiter's
+//     per-job client) instead of an exclusive warm pool.
 
 #ifndef SRC_CORE_BYTEROBUST_SYSTEM_H_
 #define SRC_CORE_BYTEROBUST_SYSTEM_H_
@@ -31,7 +40,8 @@ struct SystemConfig {
   ControllerConfig controller;
   std::uint64_t seed = 42;
   // Extra idle machines available beyond the job's demand (standby pool
-  // candidates and reschedule headroom).
+  // candidates and reschedule headroom). Ignored in fleet wiring, where the
+  // shared pool is sized by FleetConfig.
   int spare_machines = 8;
   // Trailing window for ETTR-span / MFU-sample compaction (0 = unbounded).
   // Campaigns set this so per-run metric memory stays O(window) instead of
@@ -46,9 +56,21 @@ struct SystemConfig {
 // (production) intervals instead.
 MonitorConfig CampaignMonitorConfig();
 
+// External plumbing for a fleet-member system (see src/fleet/fleet.h). The
+// pointed-to objects must outlive the system.
+struct FleetMemberWiring {
+  Simulator* sim = nullptr;
+  Cluster* pool = nullptr;       // shared fleet pool; the job view is carved from it
+  SparePool* spares = nullptr;   // shared-arbiter client for this job
+  SimTime ettr_origin = 0;       // campaign start for this job's ETTR clock
+};
+
 class ByteRobustSystem {
  public:
   explicit ByteRobustSystem(const SystemConfig& config);
+
+  // Fleet-member wiring: shared simulator + machine pool + spare supplier.
+  ByteRobustSystem(const SystemConfig& config, const FleetMemberWiring& wiring);
 
   ByteRobustSystem(const ByteRobustSystem&) = delete;
   ByteRobustSystem& operator=(const ByteRobustSystem&) = delete;
@@ -57,12 +79,15 @@ class ByteRobustSystem {
   // warm standby pool) and launches the training job.
   void Start();
 
-  Simulator& sim() { return sim_; }
+  Simulator& sim() { return *sim_; }
   Cluster& cluster() { return *cluster_; }
   TrainJob& job() { return *job_; }
   Monitor& monitor() { return *monitor_; }
   Diagnoser& diagnoser() { return *diagnoser_; }
+  // Only valid in self-contained wiring (fleet members draw from the shared
+  // arbiter instead).
   WarmStandbyPool& standby_pool() { return *standby_pool_; }
+  SparePool& spares() { return *spares_; }
   HotUpdateManager& hot_updates() { return *hot_updates_; }
   CheckpointManager& ckpt() { return *ckpt_; }
   RobustController& controller() { return *controller_; }
@@ -72,9 +97,13 @@ class ByteRobustSystem {
   const SystemConfig& config() const { return config_; }
 
  private:
+  void WireComponents(SimTime ettr_origin);
+
   SystemConfig config_;
-  Simulator sim_;
+  std::unique_ptr<Simulator> owned_sim_;
+  Simulator* sim_ = nullptr;
   std::unique_ptr<Cluster> cluster_;
+  SparePool* spares_ = nullptr;
   std::unique_ptr<TrainJob> job_;
   std::unique_ptr<Monitor> monitor_;
   std::unique_ptr<Diagnoser> diagnoser_;

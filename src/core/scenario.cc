@@ -10,25 +10,37 @@ namespace byterobust {
 Scenario::Scenario(const ScenarioConfig& config)
     : config_(config),
       system_(std::make_unique<ByteRobustSystem>(config.system)),
+      sys_(system_.get()),
       rng_(config.system.seed ^ 0xC0FFEEULL) {
   injector_ = std::make_unique<FaultInjector>(config.injector, rng_.Fork());
-  system_->controller().SetRestartListener(
+  sys_->controller().SetRestartListener(
       [this](ResolutionMechanism mechanism) { OnRestart(mechanism); });
 }
 
-void Scenario::Run() {
-  system_->Start();
+Scenario::Scenario(const ScenarioConfig& config, ByteRobustSystem* system)
+    : config_(config), sys_(system), rng_(system->config().seed ^ 0xC0FFEEULL) {
+  injector_ = std::make_unique<FaultInjector>(config.injector, rng_.Fork());
+  sys_->controller().SetRestartListener(
+      [this](ResolutionMechanism mechanism) { OnRestart(mechanism); });
+}
+
+void Scenario::Begin() {
+  sys_->Start();
   ScheduleNextFailure();
   if (config_.planned_updates > 0) {
     ScheduleNextUpdate(0);
   }
-  system_->sim().RunUntil(config_.duration);
+}
+
+void Scenario::Run() {
+  Begin();
+  sys_->sim().RunUntil(config_.duration);
 }
 
 void Scenario::ScheduleNextFailure() {
   const SimDuration delay =
-      injector_->NextFailureDelay(system_->cluster().num_training_slots());
-  system_->sim().Schedule(delay, [this] { InjectFailure(); });
+      injector_->NextFailureDelay(sys_->cluster().num_training_slots());
+  sys_->sim().Schedule(delay, [this] { InjectFailure(); });
 }
 
 void Scenario::ScheduleNextUpdate(int update_index) {
@@ -39,7 +51,7 @@ void Scenario::ScheduleNextUpdate(int update_index) {
   const double mean_gap =
       static_cast<double>(config_.duration) / (config_.planned_updates + 1);
   const SimDuration delay = static_cast<SimDuration>(rng_.Exponential(mean_gap));
-  system_->sim().Schedule(delay, [this, update_index] {
+  sys_->sim().Schedule(delay, [this, update_index] {
     CodeVersion v;
     v.id = next_version_id_++;
     // Efficiency approaches final_efficiency geometrically: early updates buy
@@ -48,7 +60,7 @@ void Scenario::ScheduleNextUpdate(int update_index) {
         static_cast<double>(update_index + 1) / static_cast<double>(config_.planned_updates);
     const double target = 1.0 + (config_.final_efficiency - 1.0) *
                                     (1.0 - std::pow(1.0 - progress, 2.0));
-    v.efficiency = std::max(system_->job().current_version().efficiency, target);
+    v.efficiency = std::max(sys_->job().current_version().efficiency, target);
     v.buggy = rng_.Bernoulli(config_.update_buggy_prob);
     v.bug_latency = config_.bug_latency;
     v.urgent = rng_.Bernoulli(config_.update_urgent_prob);
@@ -58,50 +70,67 @@ void Scenario::ScheduleNextUpdate(int update_index) {
       ++stats_.buggy_updates;
     }
     submitted_versions_[v.id] = {v, 0};
-    system_->hot_updates().Submit(v);
+    sys_->hot_updates().Submit(v);
     ScheduleNextUpdate(update_index + 1);
   });
 }
 
 void Scenario::InjectFailure() {
-  if (system_->job().state() != JobRunState::kRunning) {
+  if (sys_->job().state() != JobRunState::kRunning) {
     // Hold fault arrivals while the job is down; machines fail under load.
-    system_->sim().Schedule(Minutes(2), [this] { InjectFailure(); });
+    sys_->sim().Schedule(Minutes(2), [this] { InjectFailure(); });
     return;
   }
   // serving_slots() is the same slot-ordered membership as ServingMachines()
   // without materialising a copy per incident.
   const Incident incident =
-      injector_->SampleFailure(system_->sim().Now(), system_->cluster().serving_slots());
+      injector_->SampleFailure(sys_->sim().Now(), sys_->cluster().serving_slots());
   ++stats_.incidents_injected;
   ++stats_.injected_by_symptom[static_cast<int>(incident.symptom)];
   BR_LOG_INFO("scenario", "injecting %s", incident.ToString().c_str());
 
-  FaultInjector::ApplyToCluster(incident, &system_->cluster());
-  system_->controller().NotifyIncidentInjected(incident);
+  FaultInjector::ApplyToCluster(incident, &sys_->cluster());
+  sys_->controller().NotifyIncidentInjected(incident);
+  TrackIncident(incident);
+  ApplyEffect(incident);
+  ScheduleNextFailure();
+}
 
+void Scenario::TrackIncident(const Incident& incident) {
   ActiveIncident active;
   active.incident = incident;
   active_.push_back(active);
   if (incident.root_cause == RootCause::kTransient) {
     const std::uint64_t id = incident.id;
-    system_->sim().Schedule(config_.transient_heal, [this, id] {
+    sys_->sim().Schedule(config_.transient_heal, [this, id] {
       for (ActiveIncident& a : active_) {
         if (a.incident.id == id) {
           a.healed = true;
-          FaultInjector::ClearFromCluster(a.incident, &system_->cluster());
+          FaultInjector::ClearFromCluster(a.incident, &sys_->cluster());
         }
       }
     });
   }
-  ApplyEffect(incident);
-  ScheduleNextFailure();
+}
+
+void Scenario::InjectExternal(const Incident& incident) {
+  ++stats_.incidents_injected;
+  ++stats_.injected_by_symptom[static_cast<int>(incident.symptom)];
+  BR_LOG_INFO("scenario", "external incident %s", incident.ToString().c_str());
+  sys_->controller().NotifyIncidentInjected(incident);
+  TrackIncident(incident);
+  // A job that is already down keeps the ground truth (re-detection after the
+  // restart flows through the normal inspection paths) but takes no fresh
+  // process-level effect.
+  if (sys_->job().state() == JobRunState::kRunning) {
+    ApplyEffect(incident);
+  }
 }
 
 Rank Scenario::CulpritRankFor(const Incident& incident) const {
-  const Topology& topo = system_->job().topology();
+  const Topology& topo = sys_->job().topology();
   if (!incident.faulty_machines.empty()) {
-    const int slot = system_->cluster().SlotOfMachine(incident.faulty_machines.front());
+    const int slot = sys_->cluster().SlotOfMachine(incident.faulty_machines.front());
     if (slot >= 0) {
       const int gpu = std::max(incident.gpu_index, 0) % topo.config().gpus_per_machine;
       return slot * topo.config().gpus_per_machine + gpu;
@@ -112,7 +141,7 @@ Rank Scenario::CulpritRankFor(const Incident& incident) const {
 }
 
 void Scenario::ApplyEffect(const Incident& incident) {
-  TrainJob& job = system_->job();
+  TrainJob& job = sys_->job();
   switch (incident.symptom) {
     case IncidentSymptom::kJobHang:
       job.Hang(CulpritRankFor(incident));
@@ -139,13 +168,13 @@ bool Scenario::IsResolved(const ActiveIncident& active) const {
   }
   if (inc.root_cause == RootCause::kUserCode) {
     if (active.buggy_version_id >= 0) {
-      return !system_->job().HasVersion(active.buggy_version_id);
+      return !sys_->job().HasVersion(active.buggy_version_id);
     }
     return false;  // resolved explicitly on rollback/human restarts
   }
   // Infrastructure / SDC: resolved once every faulty machine is out.
   for (MachineId m : inc.faulty_machines) {
-    if (!system_->cluster().IsBlacklisted(m)) {
+    if (!sys_->cluster().IsBlacklisted(m)) {
       return false;
     }
   }
@@ -158,7 +187,7 @@ void Scenario::OnRestart(ResolutionMechanism mechanism) {
                           mechanism == ResolutionMechanism::kUnresolvedHuman;
 
   // Detonate latent bugs in freshly applied updates.
-  const CodeVersion& current = system_->job().current_version();
+  const CodeVersion& current = sys_->job().current_version();
   if (current.buggy) {
     bool already_tracked = false;
     for (const ActiveIncident& a : active_) {
@@ -171,7 +200,7 @@ void Scenario::OnRestart(ResolutionMechanism mechanism) {
       inc.id = 1000000 + static_cast<std::uint64_t>(current.id);
       inc.symptom = IncidentSymptom::kCudaError;  // e.g. illegal memory access
       inc.root_cause = RootCause::kUserCode;
-      inc.inject_time = system_->sim().Now();
+      inc.inject_time = sys_->sim().Now();
       ActiveIncident active;
       active.incident = inc;
       active.buggy_version_id = current.id;
@@ -201,11 +230,11 @@ void Scenario::OnRestart(ResolutionMechanism mechanism) {
                                       a.buggy_version_id >= 0
                                   ? config_.bug_latency
                                   : config_.refail_delay;
-    system_->sim().Schedule(delay, [this, inc, generation] {
+    sys_->sim().Schedule(delay, [this, inc, generation] {
       if (generation != refail_generation_) {
         return;  // superseded by a newer restart
       }
-      if (system_->job().state() != JobRunState::kRunning) {
+      if (sys_->job().state() != JobRunState::kRunning) {
         return;
       }
       bool still_active = false;
@@ -222,8 +251,8 @@ void Scenario::OnRestart(ResolutionMechanism mechanism) {
       // If the controller already closed its episode (it believed the issue
       // fixed), re-register the ground truth so the new episode attributes
       // the recurring anomaly to the right incident.
-      if (system_->controller().episodes_open() == 0) {
-        system_->controller().NotifyIncidentInjected(inc);
+      if (sys_->controller().episodes_open() == 0) {
+        sys_->controller().NotifyIncidentInjected(inc);
       }
       ApplyEffect(inc);
     });
@@ -233,7 +262,7 @@ void Scenario::OnRestart(ResolutionMechanism mechanism) {
   // buggy update returns fixed). Capped so a pathological loop cannot form.
   for (auto& [original_id, entry] : submitted_versions_) {
     auto& [version, attempts] = entry;
-    if (attempts >= 3 || system_->job().HasVersion(version.id)) {
+    if (attempts >= 3 || sys_->job().HasVersion(version.id)) {
       continue;
     }
     bool bug_still_live = false;
@@ -253,9 +282,9 @@ void Scenario::OnRestart(ResolutionMechanism mechanism) {
     fixed.description += " (re-landed after review)";
     version = fixed;  // future HasVersion checks track the re-landed id
     const CodeVersion to_submit = fixed;
-    system_->sim().Schedule(Hours(4), [this, to_submit] {
-      if (!system_->job().HasVersion(to_submit.id)) {
-        system_->hot_updates().Submit(to_submit);
+    sys_->sim().Schedule(Hours(4), [this, to_submit] {
+      if (!sys_->job().HasVersion(to_submit.id)) {
+        sys_->hot_updates().Submit(to_submit);
       }
     });
   }

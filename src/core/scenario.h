@@ -49,10 +49,28 @@ class Scenario {
  public:
   explicit Scenario(const ScenarioConfig& config);
 
-  // Runs the campaign to config.duration.
+  // Drives an externally owned system (fleet mode): the caller wires the
+  // system onto a shared simulator/cluster and owns the event loop; the
+  // scenario only injects this job's faults and code updates. `config.system`
+  // is ignored (the external system was built from its own config).
+  Scenario(const ScenarioConfig& config, ByteRobustSystem* system);
+
+  // Runs the campaign to config.duration (self-contained mode).
   void Run();
 
-  ByteRobustSystem& system() { return *system_; }
+  // Starts the system and schedules the fault/update arrival processes
+  // without running the simulator. Fleet members call this at their job's
+  // start time; Run() is Begin() + RunUntil(duration).
+  void Begin();
+
+  // Registers an externally generated incident (fleet-level switch storm):
+  // controller ground-truth attribution, transient self-heal,
+  // refail-on-restart bookkeeping and the job-side effect, exactly as for an
+  // incident drawn by this scenario's own injector. The caller has already
+  // applied the health mutation to the cluster machines.
+  void InjectExternal(const Incident& incident);
+
+  ByteRobustSystem& system() { return *sys_; }
   const ScenarioStats& stats() const { return stats_; }
   const ScenarioConfig& config() const { return config_; }
 
@@ -66,13 +84,15 @@ class Scenario {
   void ScheduleNextFailure();
   void ScheduleNextUpdate(int update_index);
   void InjectFailure();
+  void TrackIncident(const Incident& incident);
   void ApplyEffect(const Incident& incident);
   void OnRestart(ResolutionMechanism mechanism);
   bool IsResolved(const ActiveIncident& active) const;
   Rank CulpritRankFor(const Incident& incident) const;
 
   ScenarioConfig config_;
-  std::unique_ptr<ByteRobustSystem> system_;
+  std::unique_ptr<ByteRobustSystem> system_;  // self-contained mode only
+  ByteRobustSystem* sys_ = nullptr;           // the driven system (owned or external)
   std::unique_ptr<FaultInjector> injector_;
   Rng rng_;
   ScenarioStats stats_;

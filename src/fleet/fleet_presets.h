@@ -1,0 +1,27 @@
+// Canned fleet configurations for the `byterobust fleet` subcommand, the
+// micro-bench and the tests.
+//
+//   fleet-mixed        three heterogeneous jobs (sizes, priorities, staggered
+//                      starts) with the full Table 1 fault mix each, sharing
+//                      a small standby pool.
+//   fleet-contention   four jobs under an accelerated fault clock with a
+//                      single shared spare: recoveries collide, high-priority
+//                      jobs preempt, low-priority jobs queue.
+//   fleet-switch-storm two rack-adjacent jobs under a ToR switch-storm
+//                      generator whose blast bands straddle the allocation
+//                      boundary (cross-job blast radius >= 2).
+
+#ifndef SRC_FLEET_FLEET_PRESETS_H_
+#define SRC_FLEET_FLEET_PRESETS_H_
+
+#include "src/fleet/fleet.h"
+
+namespace byterobust {
+
+FleetConfig FleetMixedConfig(double days, std::uint64_t seed);
+FleetConfig FleetContentionConfig(double days, std::uint64_t seed);
+FleetConfig FleetSwitchStormConfig(double days, std::uint64_t seed);
+
+}  // namespace byterobust
+
+#endif  // SRC_FLEET_FLEET_PRESETS_H_

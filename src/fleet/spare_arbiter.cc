@@ -1,0 +1,171 @@
+#include "src/fleet/spare_arbiter.h"
+
+#include <algorithm>
+
+#include "src/common/log.h"
+#include "src/common/rng.h"
+
+namespace byterobust {
+
+int SpareArbiter::JobClient::TargetSize(int serving_machines) const {
+  (void)serving_machines;  // fleet sizing ignores the single job's footprint
+  return arbiter_->FleetTargetSize();
+}
+
+void SpareArbiter::JobClient::Replenish(int target) {
+  (void)target;
+  arbiter_->Replenish();
+}
+
+std::vector<MachineId> SpareArbiter::JobClient::Claim(int count) {
+  return arbiter_->Claim(job_index_, count);
+}
+
+SpareArbiter::SpareArbiter(const SpareArbiterConfig& config, Simulator* sim, Cluster* pool)
+    : config_(config), sim_(sim), pool_(pool), standbys_(config.standby, sim, pool) {
+  standbys_.SetChangeListener([this] { RecordOccupancy(); });
+}
+
+SparePool* SpareArbiter::RegisterJob(const std::string& name, int priority) {
+  const int index = static_cast<int>(jobs_.size());
+  JobEntry entry;
+  entry.name = name;
+  entry.priority = priority;
+  entry.client.reset(new JobClient(this, index));
+  jobs_.push_back(std::move(entry));
+  return jobs_.back().client.get();
+}
+
+void SpareArbiter::AttachJobRuntime(int job_index, Cluster* view, TrainJob* job) {
+  JobEntry& entry = jobs_.at(static_cast<std::size_t>(job_index));
+  entry.view = view;
+  entry.job = job;
+}
+
+int SpareArbiter::FleetTargetSize() const {
+  int serving = 0;
+  for (const JobEntry& entry : jobs_) {
+    if (entry.view != nullptr) {
+      serving += entry.view->num_training_slots();
+    }
+  }
+  const int p99 = BinomialQuantile(serving, config_.standby.daily_machine_failure_prob,
+                                   config_.standby.quantile);
+  return std::max(p99, 1);
+}
+
+void SpareArbiter::Replenish() { standbys_.Replenish(FleetTargetSize()); }
+
+MachineId SpareArbiter::PreemptOne(int claimant_index, int claimant_priority) {
+  // Victims in preference order: ascending priority (strictly below the
+  // claimant); among equals, the later-registered job loses. A victim with no
+  // nominal machine to give is skipped in favour of the next donor.
+  std::vector<int> victims;
+  for (int j = 0; j < static_cast<int>(jobs_.size()); ++j) {
+    const JobEntry& entry = jobs_[static_cast<std::size_t>(j)];
+    if (j == claimant_index || entry.view == nullptr || entry.job == nullptr) {
+      continue;
+    }
+    if (entry.priority < claimant_priority) {
+      victims.push_back(j);
+    }
+  }
+  std::sort(victims.begin(), victims.end(), [this](int a, int b) {
+    const JobEntry& ja = jobs_[static_cast<std::size_t>(a)];
+    const JobEntry& jb = jobs_[static_cast<std::size_t>(b)];
+    return ja.priority != jb.priority ? ja.priority < jb.priority : a > b;
+  });
+  int victim = -1;
+  int slot = -1;
+  for (int j : victims) {
+    // Hand over a provably nominal machine: preempting a suspect one would
+    // gift the claimant a fault. Scan from the highest slot so slot 0 (often
+    // rank 0) is disturbed last.
+    const std::vector<MachineId>& slots = jobs_[static_cast<std::size_t>(j)].view->serving_slots();
+    for (int s = static_cast<int>(slots.size()) - 1; s >= 0; --s) {
+      if (!pool_->machine(slots[static_cast<std::size_t>(s)]).health_dirty()) {
+        victim = j;
+        slot = s;
+        break;
+      }
+    }
+    if (victim >= 0) {
+      break;
+    }
+  }
+  if (victim < 0) {
+    return -1;
+  }
+  JobEntry& loser = jobs_[static_cast<std::size_t>(victim)];
+  const MachineId fresh = pool_->AddMachine();  // cold reschedule for the victim
+  const MachineId taken = loser.view->DetachSlotMachine(slot, fresh);
+  // Reserve the machine for the claimant: kStandbySleep keeps it out of
+  // IdleMachines() until the claimant's ReplaceSlot installs it.
+  pool_->machine(taken).set_state(MachineState::kStandbySleep);
+  ++loser.stats.preemptions_lost;
+  BR_LOG_INFO("arbiter", "job %s (prio %d) preempts machine %d from %s (prio %d)",
+              jobs_[static_cast<std::size_t>(claimant_index)].name.c_str(), claimant_priority,
+              taken, loser.name.c_str(), loser.priority);
+  // A running victim loses a serving machine mid-step: its processes die and
+  // its own controller drives the recovery (reattempt on a now-healthy
+  // cluster). A victim that is already down just finds a fresh machine in the
+  // slot when it restarts.
+  if (loser.job->state() == JobRunState::kRunning) {
+    loser.job->Crash();
+  }
+  return taken;
+}
+
+std::vector<MachineId> SpareArbiter::Claim(int job_index, int count) {
+  JobEntry& entry = jobs_.at(static_cast<std::size_t>(job_index));
+  ++entry.stats.claims;
+  entry.stats.machines_requested += count;
+  std::vector<MachineId> out = standbys_.Claim(count);
+  entry.stats.machines_granted += static_cast<int>(out.size());
+  count -= static_cast<int>(out.size());
+  while (count > 0 && config_.allow_preemption) {
+    const MachineId taken = PreemptOne(job_index, entry.priority);
+    if (taken < 0) {
+      break;
+    }
+    out.push_back(taken);
+    ++entry.stats.preemptions_gained;
+    --count;
+  }
+  if (count > 0) {
+    // The pool (plus preemption) could not cover the claim; the controller
+    // falls back to platform rescheduling for the remainder.
+    ++entry.stats.queued_claims;
+    entry.stats.shortfall_machines += count;
+  }
+  RecordOccupancy();
+  return out;
+}
+
+void SpareArbiter::RecordOccupancy() {
+  const SpareOccupancySample sample{sim_->Now(), ready_count(), provisioning_count()};
+  if (!occupancy_.empty() && occupancy_.back().time == sample.time &&
+      occupancy_.back().ready == sample.ready &&
+      occupancy_.back().provisioning == sample.provisioning) {
+    return;
+  }
+  occupancy_.push_back(sample);
+}
+
+int SpareArbiter::preemptions_total() const {
+  int total = 0;
+  for (const JobEntry& entry : jobs_) {
+    total += entry.stats.preemptions_gained;
+  }
+  return total;
+}
+
+int SpareArbiter::queued_claims_total() const {
+  int total = 0;
+  for (const JobEntry& entry : jobs_) {
+    total += entry.stats.queued_claims;
+  }
+  return total;
+}
+
+}  // namespace byterobust

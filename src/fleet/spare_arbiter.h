@@ -1,0 +1,150 @@
+// Shared spare-pool arbiter for fleet mode (PR 5).
+//
+// At fleet scale, exclusive per-job warm-standby pools waste machines: spares
+// sit idle against each job's P99 while another job's recovery starves. The
+// arbiter replaces them with one fleet-global standby pool over the shared
+// machine pool. Claims are served first-come from the ready pool; when the
+// pool runs dry, a high-priority job may *preempt* a healthy serving machine
+// from the lowest-priority running job (which is crashed and recovers through
+// its own controller, typically on the slower reschedule path), and any
+// remaining shortfall is recorded as a queued claim before the claimant falls
+// back to platform rescheduling. Replenishment is fleet-global, sized at the
+// P99 quantile of the binomial failure model over the whole fleet's serving
+// footprint (paper Sec. 6.2, applied fleet-wide).
+//
+// Each job talks to the arbiter through a JobClient implementing the
+// SparePool interface, so the RobustController is oblivious to whether its
+// spares are exclusive or contended.
+
+#ifndef SRC_FLEET_SPARE_ARBITER_H_
+#define SRC_FLEET_SPARE_ARBITER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/sim_time.h"
+#include "src/recovery/warm_standby.h"
+#include "src/sim/simulator.h"
+#include "src/training/train_job.h"
+
+namespace byterobust {
+
+struct SpareArbiterConfig {
+  // Binomial sizing + provision latency, shared with the single-job pool.
+  StandbyConfig standby;
+  // When the ready pool is short, allow claims to preempt healthy serving
+  // machines from strictly lower-priority running jobs.
+  bool allow_preemption = true;
+};
+
+// Per-job contention counters, emitted in the fleet JSON.
+struct SpareJobStats {
+  int claims = 0;               // Claim() calls issued by this job
+  int machines_requested = 0;
+  int machines_granted = 0;     // served from the ready pool
+  int preemptions_gained = 0;   // machines taken from lower-priority jobs
+  int preemptions_lost = 0;     // serving machines lost to higher-priority jobs
+  int queued_claims = 0;        // claims the pool could not fully serve
+  int shortfall_machines = 0;   // machines the claimant had to reschedule
+};
+
+// One point of the spare-pool occupancy timeline (recorded on every pool
+// mutation: claim, preemption, provision start/finish).
+struct SpareOccupancySample {
+  SimTime time = 0;
+  int ready = 0;
+  int provisioning = 0;
+};
+
+class SpareArbiter {
+ public:
+  SpareArbiter(const SpareArbiterConfig& config, Simulator* sim, Cluster* pool);
+
+  SpareArbiter(const SpareArbiter&) = delete;
+  SpareArbiter& operator=(const SpareArbiter&) = delete;
+
+  // Per-job facade handed to the RobustController. TargetSize/Replenish act
+  // fleet-globally; Claim carries the job's identity (and thus priority).
+  class JobClient : public SparePool {
+   public:
+    int TargetSize(int serving_machines) const override;
+    void Replenish(int target) override;
+    std::vector<MachineId> Claim(int count) override;
+
+   private:
+    friend class SpareArbiter;
+    JobClient(SpareArbiter* arbiter, int job_index)
+        : arbiter_(arbiter), job_index_(job_index) {}
+    SpareArbiter* arbiter_;
+    int job_index_;
+  };
+
+  // Registers a job (before its system exists; priority comes from the fleet
+  // spec). Returns the SparePool facade to wire into the job's controller;
+  // the arbiter retains ownership.
+  SparePool* RegisterJob(const std::string& name, int priority);
+
+  // Attaches the job's runtime objects once its system is built. The view
+  // and job must outlive the arbiter's use.
+  void AttachJobRuntime(int job_index, Cluster* view, TrainJob* job);
+
+  // Fleet-global P99 standby target over every attached job's serving
+  // footprint.
+  int FleetTargetSize() const;
+
+  // Brings ready + provisioning toward FleetTargetSize() from the shared
+  // pool's idle machines (adding fresh machines when the pool is exhausted).
+  void Replenish();
+
+  // Claims up to `count` machines for `job_index`: ready pool first, then
+  // preemption of lower-priority running jobs (if enabled), then records the
+  // shortfall as a queued claim.
+  std::vector<MachineId> Claim(int job_index, int count);
+
+  int ready_count() const { return standbys_.ready_count(); }
+  int provisioning_count() const { return standbys_.provisioning_count(); }
+  int num_jobs() const { return static_cast<int>(jobs_.size()); }
+  const SpareJobStats& job_stats(int job_index) const {
+    return jobs_.at(static_cast<std::size_t>(job_index)).stats;
+  }
+  int preemptions_total() const;
+  int queued_claims_total() const;
+  const std::vector<SpareOccupancySample>& occupancy() const { return occupancy_; }
+
+  const SpareArbiterConfig& config() const { return config_; }
+
+ private:
+  struct JobEntry {
+    std::string name;
+    int priority = 0;
+    Cluster* view = nullptr;   // null until AttachJobRuntime
+    TrainJob* job = nullptr;
+    std::unique_ptr<JobClient> client;
+    SpareJobStats stats;
+  };
+
+  void RecordOccupancy();
+  // Takes one provably nominal serving machine from the best victim: the
+  // lowest-priority job strictly below `claimant_priority` (running or not —
+  // a job that is already down, or not yet launched, is the cheapest donor;
+  // only a running victim is crashed). The victim's slot is backfilled with a
+  // fresh platform machine, modelling the reschedule whose latency lands on
+  // the victim's own recovery. Returns -1 when no preemption is possible.
+  MachineId PreemptOne(int claimant_index, int claimant_priority);
+
+  SpareArbiterConfig config_;
+  Simulator* sim_;
+  Cluster* pool_;
+  std::vector<JobEntry> jobs_;
+  // Ready/provisioning standby machinery shared with the single-job path;
+  // the arbiter adds fleet-global sizing, priority claims and occupancy
+  // tracking on top.
+  WarmStandbyPool standbys_;
+  std::vector<SpareOccupancySample> occupancy_;
+};
+
+}  // namespace byterobust
+
+#endif  // SRC_FLEET_SPARE_ARBITER_H_

@@ -38,16 +38,19 @@ void WarmStandbyPool::Replenish(int target) {
 void WarmStandbyPool::ProvisionOne(MachineId id) {
   cluster_->machine(id).set_state(MachineState::kStandbyInit);
   ++provisioning_;
+  NotifyChanged();
   sim_->Schedule(config_.provision_time, [this, id] {
     --provisioning_;
     Machine& m = cluster_->machine(id);
     // The machine may have been blacklisted while provisioning.
     if (cluster_->IsBlacklisted(id)) {
+      NotifyChanged();
       return;
     }
     m.ResetHealth();
     m.set_state(MachineState::kStandbySleep);
     ready_.push_back(id);
+    NotifyChanged();
     BR_LOG_DEBUG("standby", "machine %d entered the warm pool (ready=%d)", id, ready_count());
   });
 }
@@ -57,6 +60,9 @@ std::vector<MachineId> WarmStandbyPool::Claim(int count) {
   while (count-- > 0 && !ready_.empty()) {
     out.push_back(ready_.front());
     ready_.pop_front();
+  }
+  if (!out.empty()) {
+    NotifyChanged();
   }
   return out;
 }

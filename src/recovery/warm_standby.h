@@ -9,6 +9,7 @@
 #define SRC_RECOVERY_WARM_STANDBY_H_
 
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "src/cluster/cluster.h"
@@ -29,36 +30,69 @@ struct StandbyConfig {
   SimDuration provision_time = Minutes(20);
 };
 
-class WarmStandbyPool {
+// Abstract spare-machine supplier consumed by the RobustController. The
+// classic single-job system plugs in a WarmStandbyPool; fleet mode plugs in a
+// per-job client of the shared SpareArbiter (src/fleet/spare_arbiter.h), so
+// the controller's eviction path is oblivious to whether spares are exclusive
+// or contended across jobs.
+class SparePool {
+ public:
+  virtual ~SparePool() = default;
+
+  // Standby count the pool should hold for a job of `serving_machines`
+  // machines (fleet implementations may ignore the argument and size on the
+  // fleet-wide footprint).
+  virtual int TargetSize(int serving_machines) const = 0;
+
+  // Brings the pool toward `target` by provisioning idle machines.
+  virtual void Replenish(int target) = 0;
+
+  // Claims up to `count` ready standbys (removed from the pool and returned
+  // in claim order). Fewer may be returned if the pool is short.
+  virtual std::vector<MachineId> Claim(int count) = 0;
+};
+
+class WarmStandbyPool : public SparePool {
  public:
   WarmStandbyPool(const StandbyConfig& config, Simulator* sim, Cluster* cluster);
 
   // P99 standby count for a job of `serving_machines` machines. Matches the
   // paper's Table 5 column "#P99" shape (2-4 machines for 128-1024 hosts at
   // 16 GPUs each).
-  int TargetSize(int serving_machines) const;
+  int TargetSize(int serving_machines) const override;
 
   // Brings the pool toward `target` by provisioning idle machines (or newly
   // added ones). Provisioning completes after config.provision_time.
-  void Replenish(int target);
+  void Replenish(int target) override;
 
   // Claims up to `count` ready standbys (removed from the pool and returned
   // in claim order). Fewer may be returned if the pool is short.
-  std::vector<MachineId> Claim(int count);
+  std::vector<MachineId> Claim(int count) override;
 
   int ready_count() const { return static_cast<int>(ready_.size()); }
   int provisioning_count() const { return provisioning_; }
+
+  // Invoked after every ready/provisioning count change (provision start,
+  // completion, claim). The fleet arbiter uses it to record its occupancy
+  // timeline; unset by default, so the single-job path is untouched.
+  void SetChangeListener(std::function<void()> listener) { listener_ = std::move(listener); }
 
   const StandbyConfig& config() const { return config_; }
 
  private:
   void ProvisionOne(MachineId id);
+  void NotifyChanged() {
+    if (listener_) {
+      listener_();
+    }
+  }
 
   StandbyConfig config_;
   Simulator* sim_;
   Cluster* cluster_;
   std::deque<MachineId> ready_;
   int provisioning_ = 0;
+  std::function<void()> listener_;
 };
 
 }  // namespace byterobust

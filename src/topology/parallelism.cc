@@ -249,4 +249,9 @@ bool Topology::FindCoveringGroup(const std::vector<MachineId>& machines,
   return false;
 }
 
+std::shared_ptr<const Topology> SharedTopology(const ParallelismConfig& config) {
+  return FrozenByConfig<Topology>(config,
+                                  [&] { return std::make_shared<const Topology>(config); });
+}
+
 }  // namespace byterobust

@@ -187,17 +187,22 @@ std::vector<ProcessStack> SynthesizeFullPodStacks(const Topology& topology, Rank
   return out;
 }
 
+MachineId FailSlowNoiseMachine(std::uint64_t round_seed, int num_machines) {
+  // Roughly every third round, one random healthy machine is also caught
+  // mid-compute (sampling jitter): single-round aggregation would misfire.
+  const std::uint64_t h = Mix(round_seed);
+  if ((h % 3) != 0) {
+    return -1;
+  }
+  return static_cast<MachineId>(Mix(h) % static_cast<std::uint64_t>(num_machines));
+}
+
 std::vector<ProcessStack> SynthesizeFailSlowStacks(const Topology& topology,
                                                    MachineId slow_machine,
                                                    std::uint64_t round_seed) {
   std::vector<ProcessStack> out;
   out.reserve(static_cast<std::size_t>(topology.world_size()));
-  // Roughly every third round, one random healthy machine is also caught
-  // mid-compute (sampling jitter): single-round aggregation would misfire.
-  const std::uint64_t h = Mix(round_seed);
-  const bool add_noise = (h % 3) == 0;
-  const MachineId noisy =
-      static_cast<MachineId>(Mix(h) % static_cast<std::uint64_t>(topology.num_machines()));
+  const MachineId noisy = FailSlowNoiseMachine(round_seed, topology.num_machines());
 
   for (Rank r = 0; r < topology.world_size(); ++r) {
     const MachineId m = topology.MachineOfRank(r);
@@ -205,7 +210,7 @@ std::vector<ProcessStack> SynthesizeFailSlowStacks(const Topology& topology,
     ps.rank = r;
     ps.machine = m;
     ps.kind = ProcessKind::kTrainer;
-    const bool laggard = m == slow_machine || (add_noise && m == noisy && m != slow_machine);
+    const bool laggard = m == slow_machine || (m == noisy && m != slow_machine);
     ps.stack = laggard ? ComputeKernelStack() : HealthyGradSyncStack();
     out.push_back(std::move(ps));
   }

@@ -59,6 +59,12 @@ std::vector<ProcessStack> SynthesizeFailSlowStacks(const Topology& topology,
                                                    MachineId slow_machine,
                                                    std::uint64_t round_seed);
 
+// The sampling-jitter machine a fail-slow round with this seed would also
+// catch mid-compute, or -1 for a clean round. Shared with the voting cache
+// (src/analyzer/aggregation.h) so a round's snapshot is fully determined by
+// (slow_machine, noise machine) and can be memoized.
+MachineId FailSlowNoiseMachine(std::uint64_t round_seed, int num_machines);
+
 }  // namespace byterobust
 
 #endif  // SRC_TRACER_STACK_SYNTH_H_

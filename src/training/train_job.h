@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/cluster/cluster.h"
@@ -106,7 +107,7 @@ class TrainJob {
   SimDuration CurrentStepTime() const;
 
   const JobConfig& config() const { return config_; }
-  const Topology& topology() const { return topology_; }
+  const Topology& topology() const { return *topology_; }
   Cluster* cluster() { return cluster_; }
 
  private:
@@ -118,7 +119,8 @@ class TrainJob {
   JobConfig config_;
   Simulator* sim_;
   Cluster* cluster_;
-  Topology topology_;
+  // Frozen campaign template: shared, immutable per parallelism config.
+  std::shared_ptr<const Topology> topology_;
   PerfModel perf_;
   LossModel loss_;
 

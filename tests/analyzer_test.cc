@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "src/analyzer/aggregation.h"
 #include "src/tracer/stack_synth.h"
 
@@ -146,6 +148,58 @@ TEST(AggregationTest, DeterministicGroupOrdering) {
   ASSERT_EQ(a.groups.size(), b.groups.size());
   for (std::size_t i = 0; i < a.groups.size(); ++i) {
     EXPECT_EQ(a.groups[i].key, b.groups[i].key);
+  }
+}
+
+// The memoized fail-slow rounds must be observably identical to a fresh
+// synthesis + aggregation for every (slow machine, round seed) combination,
+// including rounds with sampling jitter and repeated cache hits.
+TEST(FailSlowVoteCacheTest, MatchesReferenceSynthesisAcrossRoundsAndSlowMachines) {
+  const Topology topo = Fig7Topology();
+  AggregationAnalyzer analyzer;
+  FailSlowVoteCache cache;
+  for (MachineId slow : {0, 7, 15}) {
+    for (std::uint64_t seed = 0; seed < 24; ++seed) {
+      const auto reference =
+          analyzer.Analyze(SynthesizeFailSlowStacks(topo, slow, seed), topo);
+      const AggregationResult& cached = cache.Round(analyzer, topo, slow, seed);
+      ASSERT_EQ(cached.groups.size(), reference.groups.size()) << slow << "/" << seed;
+      for (std::size_t g = 0; g < cached.groups.size(); ++g) {
+        EXPECT_EQ(cached.groups[g].key, reference.groups[g].key);
+        EXPECT_EQ(cached.groups[g].ranks, reference.groups[g].ranks);
+        EXPECT_EQ(cached.groups[g].machines, reference.groups[g].machines);
+        EXPECT_EQ(cached.groups[g].healthy, reference.groups[g].healthy);
+      }
+      EXPECT_EQ(cached.outlier_machines, reference.outlier_machines);
+      EXPECT_EQ(cached.found_group, reference.found_group);
+      EXPECT_EQ(cached.machines_to_evict, reference.machines_to_evict);
+      if (cached.found_group) {
+        EXPECT_EQ(cached.isolated_group.kind, reference.isolated_group.kind);
+        EXPECT_EQ(cached.isolated_group.index, reference.isolated_group.index);
+      }
+    }
+  }
+}
+
+TEST(FailSlowVoteCacheTest, NoiseMachineMatchesSynthesizedJitter) {
+  const Topology topo = Fig7Topology();
+  // FailSlowNoiseMachine must predict exactly which machine the synthesized
+  // round flags beyond the slow one.
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    const MachineId noisy = FailSlowNoiseMachine(seed, topo.num_machines());
+    const MachineId slow = 3;
+    const auto stacks = SynthesizeFailSlowStacks(topo, slow, seed);
+    std::set<MachineId> laggards;
+    for (const ProcessStack& ps : stacks) {
+      if (ps.stack == ComputeKernelStack()) {
+        laggards.insert(ps.machine);
+      }
+    }
+    std::set<MachineId> expected{slow};
+    if (noisy >= 0 && noisy != slow) {
+      expected.insert(noisy);
+    }
+    EXPECT_EQ(laggards, expected) << "seed " << seed;
   }
 }
 

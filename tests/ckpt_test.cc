@@ -298,5 +298,31 @@ TEST_F(CkptManagerTest, SaveEveryNSteps) {
   EXPECT_EQ(sparse.saves_started(), 2);  // steps 0 and 2 only
 }
 
+// Frozen campaign template: one immutable BackupPlan per parallelism config,
+// identical in content to a freshly built plan.
+TEST(BackupPlanTest, SharedBackupPlanCachesPerConfig) {
+  ParallelismConfig cfg;
+  cfg.tp = 2;
+  cfg.pp = 4;
+  cfg.dp = 2;
+  cfg.gpus_per_machine = 2;
+  const auto topo = SharedTopology(cfg);
+  const auto a = SharedBackupPlan(*topo);
+  const auto b = SharedBackupPlan(*topo);
+  EXPECT_EQ(a.get(), b.get());
+
+  const BackupPlan fresh(*topo);
+  ASSERT_EQ(a->assignments().size(), fresh.assignments().size());
+  for (std::size_t i = 0; i < fresh.assignments().size(); ++i) {
+    EXPECT_EQ(a->assignments()[i].target, fresh.assignments()[i].target);
+  }
+  EXPECT_EQ(a->cross_group(), fresh.cross_group());
+
+  ParallelismConfig other = cfg;
+  other.dp = 4;
+  const auto c = SharedBackupPlan(*SharedTopology(other));
+  EXPECT_NE(a.get(), c.get());
+}
+
 }  // namespace
 }  // namespace byterobust

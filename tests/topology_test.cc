@@ -274,5 +274,31 @@ TEST(TopologyTest, MachinesOfGroupHandlesForeignGroups) {
   EXPECT_EQ(topo.MachinesOfGroup(custom), (std::vector<MachineId>{0, 15}));
 }
 
+// Frozen campaign template: equal configs share one immutable instance;
+// distinct configs get distinct instances with the right tables.
+TEST(TopologyTest, SharedTopologyCachesPerConfig) {
+  ParallelismConfig cfg;
+  cfg.tp = 2;
+  cfg.pp = 4;
+  cfg.dp = 4;
+  cfg.gpus_per_machine = 2;
+  const auto a = SharedTopology(cfg);
+  const auto b = SharedTopology(cfg);
+  EXPECT_EQ(a.get(), b.get());  // one frozen instance per config
+
+  ParallelismConfig other = cfg;
+  other.dp = 8;
+  const auto c = SharedTopology(other);
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(c->world_size(), 64);
+
+  // The shared instance answers exactly like a freshly built topology.
+  const Topology fresh(cfg);
+  for (Rank r = 0; r < fresh.world_size(); ++r) {
+    EXPECT_EQ(a->MachineOfRank(r), fresh.MachineOfRank(r));
+    EXPECT_TRUE(a->CoordOf(r) == fresh.CoordOf(r));
+  }
+}
+
 }  // namespace
 }  // namespace byterobust

@@ -3,16 +3,22 @@
 // Subcommands:
 //   run          run one named scenario for one seed, emit a JSON summary
 //   campaign     run a scenario across N seeds, emit per-seed + aggregate JSON
+//   fleet        run a named multi-job fleet scenario across N seeds
 //   bench-report emit the restart-cost / WAS model as JSON across scales
-//   list         list the named scenarios
+//   list         list the named scenarios (single-job and fleet)
 //
 //   ./build/tools/byterobust run --preset quickstart --seed 2024
 //   ./build/tools/byterobust campaign --scenario gpu-fault --seeds 8
+//   ./build/tools/byterobust fleet --scenario fleet-contention --seeds 4
 //   ./build/tools/byterobust bench-report
 //
 // Mixed scenarios drive the full Scenario engine (Table 1 fault mix, hot
 // updates, re-fail ground truth); targeted scenarios inject a single symptom
-// at exponential intervals to isolate one detection/resolution pipeline.
+// at exponential intervals to isolate one detection/resolution pipeline;
+// fleet scenarios host several concurrent jobs on one shared machine pool
+// with a contended spare arbiter (src/fleet). `campaign` and `fleet` share
+// the seed-parallel worker pool and the spill/direct streaming merger, so
+// both are byte-identical across --jobs values and --stream on/off.
 
 #include <algorithm>
 #include <atomic>
@@ -36,6 +42,8 @@
 #include "src/core/production_presets.h"
 #include "src/core/scenario.h"
 #include "src/faults/fault_injector.h"
+#include "src/fleet/fleet.h"
+#include "src/fleet/fleet_presets.h"
 #include "src/metrics/report.h"
 #include "src/recovery/restart_model.h"
 #include "src/recovery/was_model.h"
@@ -206,6 +214,38 @@ const std::vector<ScenarioSpec>& Specs() {
 
 const ScenarioSpec* FindSpec(const std::string& name) {
   for (const ScenarioSpec& s : Specs()) {
+    if (name == s.name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+// Named fleet scenarios (multi-job, shared spare pool; see src/fleet).
+struct FleetSpec {
+  const char* name;
+  const char* summary;
+  FleetConfig (*make)(double days, std::uint64_t seed);
+  double default_days;
+};
+
+const std::vector<FleetSpec>& FleetSpecs() {
+  static const std::vector<FleetSpec> specs = {
+      {"fleet-mixed",
+       "three heterogeneous jobs (priorities, staggered starts) on one shared spare pool",
+       &FleetMixedConfig, 0.5},
+      {"fleet-contention",
+       "four jobs, one shared spare, accelerated faults: claims preempt and queue",
+       &FleetContentionConfig, 0.5},
+      {"fleet-switch-storm",
+       "two rack-adjacent jobs under ToR switch storms whose bands span both",
+       &FleetSwitchStormConfig, 1.0},
+  };
+  return specs;
+}
+
+const FleetSpec* FindFleetSpec(const std::string& name) {
+  for (const FleetSpec& s : FleetSpecs()) {
     if (name == s.name) {
       return &s;
     }
@@ -485,52 +525,6 @@ RunResult RunOne(const ScenarioSpec& spec, double days, std::uint64_t seed) {
   return spec.targeted ? RunTargeted(spec, days, seed) : RunMixed(spec, days, seed);
 }
 
-// Runs `seeds` campaign runs on up to `jobs` worker threads. Seed i always
-// maps to results[i], so the merged output is byte-identical for any jobs
-// value; each worker's simulator binds its own thread-local log clock, so
-// concurrent runs never share mutable state.
-std::vector<RunResult> RunCampaignRuns(const ScenarioSpec& spec, double days,
-                                       std::uint64_t base_seed, int seeds, int jobs) {
-  std::vector<RunResult> runs(static_cast<std::size_t>(seeds));
-  std::atomic<int> next{0};
-  std::atomic<bool> failed{false};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-  const auto worker = [&] {
-    for (int i = next.fetch_add(1); i < seeds && !failed.load(); i = next.fetch_add(1)) {
-      try {
-        runs[static_cast<std::size_t>(i)] =
-            RunOne(spec, days, base_seed + static_cast<std::uint64_t>(i));
-      } catch (...) {
-        failed.store(true);  // stop the other workers claiming further seeds
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) {
-          first_error = std::current_exception();
-        }
-        return;
-      }
-    }
-  };
-  const int workers = std::min(jobs, seeds);
-  if (workers <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(workers) - 1);
-    for (int t = 1; t < workers; ++t) {
-      pool.emplace_back(worker);
-    }
-    worker();
-    for (std::thread& t : pool) {
-      t.join();
-    }
-  }
-  if (first_error) {
-    std::rethrow_exception(first_error);
-  }
-  return runs;
-}
-
 // ---------------------------------------------------------------------------
 // JSON emission.
 // ---------------------------------------------------------------------------
@@ -543,8 +537,7 @@ void WriteLatency(JsonWriter* w, const std::string& key, const LatencyStats& s) 
   w->EndObject();
 }
 
-void WriteRun(JsonWriter* w, const RunResult& r) {
-  w->BeginObject();
+void WriteRunFields(JsonWriter* w, const RunResult& r) {
   w->Field("scenario", r.scenario);
   w->Field("seed", r.seed);
   w->Field("days", r.days);
@@ -582,6 +575,11 @@ void WriteRun(JsonWriter* w, const RunResult& r) {
     w->Field(name, count);
   }
   w->EndObject();
+}
+
+void WriteRun(JsonWriter* w, const RunResult& r) {
+  w->BeginObject();
+  WriteRunFields(w, r);
   w->EndObject();
 }
 
@@ -612,50 +610,78 @@ int Emit(JsonWriter* w, const std::string& out_path) {
 }
 
 // ---------------------------------------------------------------------------
-// Streaming campaigns: workers render each finished seed's JSON and hand it
-// off (spill file or in-order committer) instead of buffering RunResults, so
-// campaign memory is O(window), not O(seeds). The aggregate block folds from
-// tiny per-seed summaries in seed order — the identical arithmetic, in the
-// identical order, as the buffered reference path, so output is byte-equal.
+// Campaign engine, generic over the per-seed runner so `campaign` (one
+// RunResult per seed) and `fleet` (a whole multi-job fleet per seed) share
+// the worker pool and the streaming merger byte-identically.
+//
+// Workers render each finished seed's JSON and hand it off (spill file or
+// in-order committer) instead of buffering results, so campaign memory is
+// O(window), not O(seeds). The aggregate block folds from tiny per-seed
+// summary vectors in seed order — the identical arithmetic, in the identical
+// order, as the buffered reference path, so output is byte-equal.
 // ---------------------------------------------------------------------------
 
-// The six per-seed numbers the campaign aggregate block consumes.
-struct SeedSummary {
-  double ettr_cumulative = 0.0;
-  double detection_mean_s = 0.0;
-  double resolution_mean_s = 0.0;
-  double failover_mean_s = 0.0;
-  double incidents_injected = 0.0;
-  double evictions = 0.0;
+// What one seed contributes to the document: its rendered "runs" array
+// element (depth 2, byte-identical to the same element written inline by a
+// full-document writer) and the numbers the aggregate block consumes, in a
+// fixed per-command order.
+struct SeedOutcome {
+  std::string element;
+  std::vector<double> summary;
 };
 
-SeedSummary Summarize(const RunResult& r) {
-  SeedSummary s;
-  s.ettr_cumulative = r.ettr_cumulative;
-  s.detection_mean_s = r.detection.mean_s;
-  s.resolution_mean_s = r.resolution.mean_s;
-  s.failover_mean_s = r.failover.mean_s;
-  s.incidents_injected = static_cast<double>(r.incidents_injected);
-  s.evictions = static_cast<double>(r.evictions);
-  return s;
-}
+struct CampaignEngineSpec {
+  int seeds = 0;
+  int jobs = 1;
+  bool stream = false;
+  std::string out_path;
+  // Runs seed index i (workers call this concurrently; every run must bind
+  // only thread-local / run-local state).
+  std::function<SeedOutcome(int)> run_seed;
+  std::function<void(JsonWriter*)> header_fields;
+  std::function<void(JsonWriter*, const std::vector<std::vector<double>>&)> aggregates;
+};
 
-// Seed-order fold shared by the buffered and streaming paths — one
-// implementation, so the byte-identity between them cannot drift.
-Aggregate FoldAggregate(const std::vector<SeedSummary>& summaries, double SeedSummary::*field) {
+// Seed-order fold over one summary slot, shared by the buffered and
+// streaming paths — one implementation, so byte-identity cannot drift.
+Aggregate FoldAggregateAt(const std::vector<std::vector<double>>& summaries, std::size_t slot) {
   Aggregate a;
   if (summaries.empty()) {
     return a;
   }
-  a.min = a.max = summaries.front().*field;
-  for (const SeedSummary& s : summaries) {
-    const double v = s.*field;
+  a.min = a.max = summaries.front().at(slot);
+  for (const std::vector<double>& s : summaries) {
+    const double v = s.at(slot);
     a.mean += v;
     a.min = std::min(a.min, v);
     a.max = std::max(a.max, v);
   }
   a.mean /= static_cast<double>(summaries.size());
   return a;
+}
+
+// Campaign aggregate slots: one source of truth for the pairing between the
+// per-seed summary vector (CampaignSummaryOf) and the emitted labels
+// (WriteCampaignAggregates) — reordering one without the other cannot happen.
+enum CampaignAggSlot : std::size_t {
+  kCampaignAggEttr = 0,
+  kCampaignAggDetection,
+  kCampaignAggResolution,
+  kCampaignAggFailover,
+  kCampaignAggIncidents,
+  kCampaignAggEvictions,
+  kCampaignAggCount,
+};
+
+std::vector<double> CampaignSummaryOf(const RunResult& r) {
+  std::vector<double> s(kCampaignAggCount);
+  s[kCampaignAggEttr] = r.ettr_cumulative;
+  s[kCampaignAggDetection] = r.detection.mean_s;
+  s[kCampaignAggResolution] = r.resolution.mean_s;
+  s[kCampaignAggFailover] = r.failover.mean_s;
+  s[kCampaignAggIncidents] = static_cast<double>(r.incidents_injected);
+  s[kCampaignAggEvictions] = static_cast<double>(r.evictions);
+  return s;
 }
 
 // One "runs" array element, byte-identical to the same element rendered
@@ -666,17 +692,15 @@ std::string RenderRunElement(const RunResult& r) {
   return w.Take();
 }
 
-void WriteCampaignAggregates(JsonWriter* w, const std::vector<SeedSummary>& summaries) {
+void WriteCampaignAggregates(JsonWriter* w, const std::vector<std::vector<double>>& summaries) {
   w->Key("aggregate");
   w->BeginObject();
-  WriteAggregate(w, "ettr_cumulative", FoldAggregate(summaries, &SeedSummary::ettr_cumulative));
-  WriteAggregate(w, "detection_mean_s", FoldAggregate(summaries, &SeedSummary::detection_mean_s));
-  WriteAggregate(w, "resolution_mean_s",
-                 FoldAggregate(summaries, &SeedSummary::resolution_mean_s));
-  WriteAggregate(w, "failover_mean_s", FoldAggregate(summaries, &SeedSummary::failover_mean_s));
-  WriteAggregate(w, "incidents_injected",
-                 FoldAggregate(summaries, &SeedSummary::incidents_injected));
-  WriteAggregate(w, "evictions", FoldAggregate(summaries, &SeedSummary::evictions));
+  WriteAggregate(w, "ettr_cumulative", FoldAggregateAt(summaries, kCampaignAggEttr));
+  WriteAggregate(w, "detection_mean_s", FoldAggregateAt(summaries, kCampaignAggDetection));
+  WriteAggregate(w, "resolution_mean_s", FoldAggregateAt(summaries, kCampaignAggResolution));
+  WriteAggregate(w, "failover_mean_s", FoldAggregateAt(summaries, kCampaignAggFailover));
+  WriteAggregate(w, "incidents_injected", FoldAggregateAt(summaries, kCampaignAggIncidents));
+  WriteAggregate(w, "evictions", FoldAggregateAt(summaries, kCampaignAggEvictions));
   w->EndObject();
 }
 
@@ -687,18 +711,24 @@ struct Options {
   int seeds = 4;
   int jobs = 1;
   double days = -1.0;  // < 0: use the scenario default
-  bool stream = false;  // campaign: fully incremental output (--stream)
+  bool stream = false;  // campaign/fleet: fully incremental output (--stream)
   std::string out_path;
 };
 
-void WriteCampaignHeaderFields(JsonWriter* w, const ScenarioSpec& spec, const Options& opts,
-                               double days) {
+// Header fields shared by every seed-campaign document (campaign and fleet).
+void WriteRunSetHeaderFields(JsonWriter* w, const char* command, const char* scenario,
+                             const Options& opts, double days) {
   w->Field("tool", "byterobust");
-  w->Field("command", "campaign");
-  w->Field("scenario", spec.name);
+  w->Field("command", command);
+  w->Field("scenario", scenario);
   w->Field("seeds", opts.seeds);
   w->Field("base_seed", opts.seed);
   w->Field("days", days);
+}
+
+void WriteCampaignHeaderFields(JsonWriter* w, const ScenarioSpec& spec, const Options& opts,
+                               double days) {
+  WriteRunSetHeaderFields(w, "campaign", spec.name, opts, days);
 }
 
 // Incremental output: everything goes to stdout and (optionally) to --out,
@@ -754,10 +784,10 @@ struct SpillLocation {
 // private tmpfile; the merger then concatenates the elements in seed order
 // (seeking by the per-seed index) while the aggregate block folds from the
 // per-seed summaries. Peak memory: one rendered element per worker.
-int RunCampaignSpillStreaming(const ScenarioSpec& spec, const Options& opts, double days) {
-  const int seeds = opts.seeds;
-  const int workers = std::max(1, std::min(opts.jobs, seeds));
-  std::vector<SeedSummary> summaries(static_cast<std::size_t>(seeds));
+int RunEngineSpillStreaming(const CampaignEngineSpec& spec) {
+  const int seeds = spec.seeds;
+  const int workers = std::max(1, std::min(spec.jobs, seeds));
+  std::vector<std::vector<double>> summaries(static_cast<std::size_t>(seeds));
   std::vector<SpillLocation> index(static_cast<std::size_t>(seeds));
   std::vector<std::FILE*> spills(static_cast<std::size_t>(workers), nullptr);
   for (std::FILE*& f : spills) {
@@ -781,9 +811,9 @@ int RunCampaignSpillStreaming(const ScenarioSpec& spec, const Options& opts, dou
     long offset = 0;
     for (int i = next.fetch_add(1); i < seeds && !failed.load(); i = next.fetch_add(1)) {
       try {
-        const RunResult r = RunOne(spec, days, opts.seed + static_cast<std::uint64_t>(i));
-        summaries[static_cast<std::size_t>(i)] = Summarize(r);
-        const std::string element = RenderRunElement(r);
+        SeedOutcome outcome = spec.run_seed(i);
+        summaries[static_cast<std::size_t>(i)] = std::move(outcome.summary);
+        const std::string element = std::move(outcome.element);
         if (std::fwrite(element.data(), 1, element.size(), spills[static_cast<std::size_t>(w)]) !=
             element.size()) {
           throw std::runtime_error("campaign spill write failed");
@@ -822,11 +852,11 @@ int RunCampaignSpillStreaming(const ScenarioSpec& spec, const Options& opts, dou
   for (std::FILE* f : spills) {
     std::fflush(f);
   }
-  OutputSink sink(opts.out_path);
+  OutputSink sink(spec.out_path);
   JsonWriter header;
   header.BeginObject();
-  WriteCampaignHeaderFields(&header, spec, opts, days);
-  WriteCampaignAggregates(&header, summaries);
+  spec.header_fields(&header);
+  spec.aggregates(&header, summaries);
   header.Key("runs");
   header.BeginArray();
   sink.Write(header.Take());
@@ -859,17 +889,17 @@ int RunCampaignSpillStreaming(const ScenarioSpec& spec, const Options& opts, dou
 // the moment their seed is next in order (nothing is spilled), so the
 // "aggregate" block — which needs every seed — moves to the end of the
 // document; all values are identical to the default layout's.
-int RunCampaignDirectStreaming(const ScenarioSpec& spec, const Options& opts, double days) {
-  const int seeds = opts.seeds;
-  OutputSink sink(opts.out_path);
+int RunEngineDirectStreaming(const CampaignEngineSpec& spec) {
+  const int seeds = spec.seeds;
+  OutputSink sink(spec.out_path);
   JsonWriter header;
   header.BeginObject();
-  WriteCampaignHeaderFields(&header, spec, opts, days);
+  spec.header_fields(&header);
   header.Key("runs");
   header.BeginArray();
   sink.Write(header.Take());
 
-  std::vector<SeedSummary> summaries(static_cast<std::size_t>(seeds));
+  std::vector<std::vector<double>> summaries(static_cast<std::size_t>(seeds));
   const auto commit = [&](int i, const std::string& element) {
     if (i > 0) {
       sink.Write(",");
@@ -877,12 +907,12 @@ int RunCampaignDirectStreaming(const ScenarioSpec& spec, const Options& opts, do
     sink.Write(element);
   };
 
-  const int workers = std::max(1, std::min(opts.jobs, seeds));
+  const int workers = std::max(1, std::min(spec.jobs, seeds));
   if (workers <= 1) {
     for (int i = 0; i < seeds; ++i) {
-      const RunResult r = RunOne(spec, days, opts.seed + static_cast<std::uint64_t>(i));
-      summaries[static_cast<std::size_t>(i)] = Summarize(r);
-      commit(i, RenderRunElement(r));
+      SeedOutcome outcome = spec.run_seed(i);
+      summaries[static_cast<std::size_t>(i)] = std::move(outcome.summary);
+      commit(i, outcome.element);
     }
   } else {
     // Workers render out of order; the main thread commits strictly in seed
@@ -896,12 +926,11 @@ int RunCampaignDirectStreaming(const ScenarioSpec& spec, const Options& opts, do
     const auto worker = [&] {
       for (int i = next.fetch_add(1); i < seeds && !failed.load(); i = next.fetch_add(1)) {
         try {
-          const RunResult r = RunOne(spec, days, opts.seed + static_cast<std::uint64_t>(i));
-          summaries[static_cast<std::size_t>(i)] = Summarize(r);
-          std::string element = RenderRunElement(r);
+          SeedOutcome outcome = spec.run_seed(i);
+          summaries[static_cast<std::size_t>(i)] = std::move(outcome.summary);
           {
             const std::lock_guard<std::mutex> lock(mutex);
-            done.emplace(i, std::move(element));
+            done.emplace(i, std::move(outcome.element));
           }
           ready_cv.notify_one();
         } catch (...) {
@@ -949,10 +978,85 @@ int RunCampaignDirectStreaming(const ScenarioSpec& spec, const Options& opts, do
 
   sink.Write("\n  ]");
   JsonWriter tail(/*depth=*/1, /*need_comma=*/true);
-  WriteCampaignAggregates(&tail, summaries);
+  spec.aggregates(&tail, summaries);
   sink.Write(tail.Take());
   sink.Write("\n}\n");
   return sink.Finish();
+}
+
+// Buffered reference path (BYTEROBUST_STREAM_CAMPAIGN=0): every rendered
+// element held in memory, emitted in one pass. The streaming paths above must
+// be byte-identical to this (ctest cli_campaign_streaming_equivalence).
+int RunEngineBuffered(const CampaignEngineSpec& spec) {
+  const int seeds = spec.seeds;
+  std::vector<SeedOutcome> outcomes(static_cast<std::size_t>(seeds));
+  std::atomic<int> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  const auto worker = [&] {
+    for (int i = next.fetch_add(1); i < seeds && !failed.load(); i = next.fetch_add(1)) {
+      try {
+        outcomes[static_cast<std::size_t>(i)] = spec.run_seed(i);
+      } catch (...) {
+        failed.store(true);  // stop the other workers claiming further seeds
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+        return;
+      }
+    }
+  };
+  const int workers = std::max(1, std::min(spec.jobs, seeds));
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers) - 1);
+    for (int t = 1; t < workers; ++t) {
+      pool.emplace_back(worker);
+    }
+    worker();
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+
+  std::vector<std::vector<double>> summaries;
+  summaries.reserve(outcomes.size());
+  for (const SeedOutcome& o : outcomes) {
+    summaries.push_back(o.summary);
+  }
+  OutputSink sink(spec.out_path);
+  JsonWriter header;
+  header.BeginObject();
+  spec.header_fields(&header);
+  spec.aggregates(&header, summaries);
+  header.Key("runs");
+  header.BeginArray();
+  sink.Write(header.Take());
+  for (int i = 0; i < seeds; ++i) {
+    if (i > 0) {
+      sink.Write(",");
+    }
+    sink.Write(outcomes[static_cast<std::size_t>(i)].element);
+  }
+  sink.Write("\n  ]\n}\n");
+  return sink.Finish();
+}
+
+int RunCampaignEngine(const CampaignEngineSpec& spec) {
+  if (spec.stream) {
+    return RunEngineDirectStreaming(spec);
+  }
+  if (StreamCampaignEnabled()) {
+    return RunEngineSpillStreaming(spec);
+  }
+  return RunEngineBuffered(spec);
 }
 
 // ---------------------------------------------------------------------------
@@ -960,10 +1064,12 @@ int RunCampaignDirectStreaming(const ScenarioSpec& spec, const Options& opts, do
 // ---------------------------------------------------------------------------
 int Usage() {
   std::fprintf(stderr,
-               "usage: byterobust <run|campaign|bench-report|list> [options]\n"
+               "usage: byterobust <run|campaign|fleet|bench-report|list> [options]\n"
                "\n"
                "  run          --preset NAME   [--seed S] [--days D] [--out FILE]\n"
                "  campaign     --scenario NAME [--seeds N] [--base-seed S] [--days D]\n"
+               "               [--jobs N] [--stream] [--out FILE]\n"
+               "  fleet        --scenario NAME [--seeds N] [--base-seed S] [--days D]\n"
                "               [--jobs N] [--stream] [--out FILE]\n"
                "  bench-report [--out FILE]\n"
                "  list\n"
@@ -975,6 +1081,10 @@ int Usage() {
                "\nscenarios:\n");
   for (const ScenarioSpec& s : Specs()) {
     std::fprintf(stderr, "  %-12s %s\n", s.name, s.summary);
+  }
+  std::fprintf(stderr, "\nfleet scenarios:\n");
+  for (const FleetSpec& s : FleetSpecs()) {
+    std::fprintf(stderr, "  %-18s %s\n", s.name, s.summary);
   }
   return 2;
 }
@@ -1000,7 +1110,7 @@ bool FlagAllowed(const std::string& command, const std::string& flag) {
     return flag == "--preset" || flag == "--scenario" || flag == "--seed" ||
            flag == "--days";
   }
-  if (command == "campaign") {
+  if (command == "campaign" || command == "fleet") {
     return flag == "--preset" || flag == "--scenario" || flag == "--seed" ||
            flag == "--base-seed" || flag == "--seeds" || flag == "--days" ||
            flag == "--jobs" || flag == "--stream";
@@ -1099,35 +1209,192 @@ int CmdCampaign(const Options& opts) {
     return 2;
   }
   const double days = opts.days > 0.0 ? opts.days : spec->default_days;
-  if (opts.stream) {
-    return RunCampaignDirectStreaming(*spec, opts, days);
-  }
-  if (StreamCampaignEnabled()) {
-    return RunCampaignSpillStreaming(*spec, opts, days);
-  }
-  // Buffered reference path (BYTEROBUST_STREAM_CAMPAIGN=0): every RunResult
-  // held in memory, rendered in one pass. The streaming paths above must be
-  // byte-identical to this (ctest cli_campaign_streaming_equivalence).
-  const std::vector<RunResult> runs =
-      RunCampaignRuns(*spec, days, opts.seed, opts.seeds, opts.jobs);
+  CampaignEngineSpec engine;
+  engine.seeds = opts.seeds;
+  engine.jobs = opts.jobs;
+  engine.stream = opts.stream;
+  engine.out_path = opts.out_path;
+  engine.run_seed = [spec, days, &opts](int i) {
+    const RunResult r = RunOne(*spec, days, opts.seed + static_cast<std::uint64_t>(i));
+    return SeedOutcome{RenderRunElement(r), CampaignSummaryOf(r)};
+  };
+  engine.header_fields = [spec, &opts, days](JsonWriter* w) {
+    WriteCampaignHeaderFields(w, *spec, opts, days);
+  };
+  engine.aggregates = [](JsonWriter* w, const std::vector<std::vector<double>>& summaries) {
+    WriteCampaignAggregates(w, summaries);
+  };
+  return RunCampaignEngine(engine);
+}
 
-  std::vector<SeedSummary> summaries;
-  summaries.reserve(runs.size());
-  for (const RunResult& r : runs) {
-    summaries.push_back(Summarize(r));
+// ---------------------------------------------------------------------------
+// Fleet emission: N concurrent jobs on one shared pool (src/fleet).
+// ---------------------------------------------------------------------------
+
+// Fleet aggregate slots: same single-sourcing as the campaign slots above.
+enum FleetAggSlot : std::size_t {
+  kFleetAggGpuRatio = 0,
+  kFleetAggPreemptions,
+  kFleetAggQueuedClaims,
+  kFleetAggStorms,
+  kFleetAggCrossJobStorms,
+  kFleetAggIncidents,
+  kFleetAggEvictions,
+  kFleetAggCount,
+};
+
+void WriteFleetAggregates(JsonWriter* w, const std::vector<std::vector<double>>& summaries) {
+  w->Key("aggregate");
+  w->BeginObject();
+  WriteAggregate(w, "effective_gpu_time_ratio", FoldAggregateAt(summaries, kFleetAggGpuRatio));
+  WriteAggregate(w, "preemptions", FoldAggregateAt(summaries, kFleetAggPreemptions));
+  WriteAggregate(w, "queued_claims", FoldAggregateAt(summaries, kFleetAggQueuedClaims));
+  WriteAggregate(w, "storms_injected", FoldAggregateAt(summaries, kFleetAggStorms));
+  WriteAggregate(w, "cross_job_storms", FoldAggregateAt(summaries, kFleetAggCrossJobStorms));
+  WriteAggregate(w, "incidents_injected", FoldAggregateAt(summaries, kFleetAggIncidents));
+  WriteAggregate(w, "evictions", FoldAggregateAt(summaries, kFleetAggEvictions));
+  w->EndObject();
+}
+
+// Runs one fleet seed and renders its "runs" element: fleet-level metrics
+// (effective GPU-time ratio, spare-pool occupancy timeline, blast radius)
+// plus one per-job block reusing the campaign RunResult schema extended with
+// priority / start time / spare-claim counters.
+SeedOutcome RunFleetSeed(const FleetSpec& spec, double days, std::uint64_t seed) {
+  FleetConfig cfg = spec.make(days, seed);
+  for (FleetJobSpec& job : cfg.jobs) {
+    job.scenario.system.job.batched_stepping = StepBatchingEnabled();
+    job.scenario.system.metrics_retention = MetricsRetentionFromEnv();
   }
-  JsonWriter w;
+  Fleet fleet(cfg);
+  fleet.Run();
+
+  int incidents_total = 0;
+  int evictions_total = 0;
+  JsonWriter w(/*depth=*/2, /*need_comma=*/false);
   w.BeginObject();
-  WriteCampaignHeaderFields(&w, *spec, opts, days);
-  WriteCampaignAggregates(&w, summaries);
-  w.Key("runs");
+  w.Field("scenario", spec.name);
+  w.Field("seed", seed);
+  w.Field("days", days);
+  w.Field("num_jobs", fleet.num_jobs());
+  w.Key("fleet");
+  w.BeginObject();
+  w.Field("machines_total", static_cast<int>(fleet.pool().total_machines()));
+  w.Field("effective_gpu_time_ratio", fleet.EffectiveGpuTimeRatio());
+  w.Field("storms_injected", fleet.storms_injected());
+  w.Field("cross_job_storms", fleet.cross_job_storms());
+  w.Key("blast_radius");
+  w.BeginObject();
+  for (const auto& [radius, count] : fleet.blast_radius_counts()) {
+    w.Field(std::to_string(radius), count);
+  }
+  w.EndObject();
+  const SpareOccupancySummary occ = fleet.OccupancySummary();
+  w.Key("spare_pool");
+  w.BeginObject();
+  w.Field("preemptions", fleet.arbiter().preemptions_total());
+  w.Field("queued_claims", fleet.arbiter().queued_claims_total());
+  w.Field("ready_mean", occ.mean_ready);
+  w.Field("ready_min", occ.min_ready);
+  w.Field("ready_max", occ.max_ready);
+  w.Field("occupancy_samples", occ.samples);
+  // Occupancy timeline: every pool mutation up to a fixed emission cap.
+  const std::vector<SpareOccupancySample>& timeline = fleet.arbiter().occupancy();
+  constexpr std::size_t kTimelineCap = 256;
+  w.Field("timeline_truncated", timeline.size() > kTimelineCap);
+  w.Key("timeline");
   w.BeginArray();
-  for (const RunResult& r : runs) {
-    WriteRun(&w, r);
+  for (std::size_t i = 0; i < timeline.size() && i < kTimelineCap; ++i) {
+    w.BeginObject();
+    w.Field("t_s", ToSeconds(timeline[i].time));
+    w.Field("ready", timeline[i].ready);
+    w.Field("provisioning", timeline[i].provisioning);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();  // spare_pool
+  w.EndObject();  // fleet
+  w.Key("jobs");
+  w.BeginArray();
+  for (int i = 0; i < fleet.num_jobs(); ++i) {
+    const FleetJobSpec& job_spec = fleet.spec(i);
+    RunResult r;
+    r.scenario = spec.name;
+    r.seed = fleet.system(i).config().seed;
+    r.days = ToDays(std::max<SimDuration>(cfg.duration - job_spec.start_time, 0));
+    r.incidents_injected = fleet.scenario(i).stats().incidents_injected;
+    r.refails = fleet.scenario(i).stats().refails;
+    r.updates_submitted = fleet.scenario(i).stats().updates_submitted;
+    CollectSystemMetrics(fleet.system(i), &r);
+    if (fleet.system(i).job().run_count() == 0) {
+      // A job that never launched inside the campaign window has no
+      // availability to report; CumulativeEttr's zero-wall convention would
+      // otherwise claim a perfect 1.0 for it.
+      r.ettr_cumulative = 0.0;
+    }
+    incidents_total += r.incidents_injected;
+    evictions_total += r.evictions;
+    const SpareJobStats& spares = fleet.arbiter().job_stats(i);
+    w.BeginObject();
+    w.Field("name", job_spec.name);
+    w.Field("priority", job_spec.priority);
+    w.Field("start_day", ToDays(job_spec.start_time));
+    WriteRunFields(&w, r);
+    w.Key("spares");
+    w.BeginObject();
+    w.Field("claims", spares.claims);
+    w.Field("machines_requested", spares.machines_requested);
+    w.Field("machines_granted", spares.machines_granted);
+    w.Field("preemptions_gained", spares.preemptions_gained);
+    w.Field("preemptions_lost", spares.preemptions_lost);
+    w.Field("queued_claims", spares.queued_claims);
+    w.Field("shortfall_machines", spares.shortfall_machines);
+    w.EndObject();
+    w.EndObject();
   }
   w.EndArray();
   w.EndObject();
-  return Emit(&w, opts.out_path);
+
+  SeedOutcome outcome;
+  outcome.element = w.Take();
+  outcome.summary.resize(kFleetAggCount);
+  outcome.summary[kFleetAggGpuRatio] = fleet.EffectiveGpuTimeRatio();
+  outcome.summary[kFleetAggPreemptions] = fleet.arbiter().preemptions_total();
+  outcome.summary[kFleetAggQueuedClaims] = fleet.arbiter().queued_claims_total();
+  outcome.summary[kFleetAggStorms] = fleet.storms_injected();
+  outcome.summary[kFleetAggCrossJobStorms] = fleet.cross_job_storms();
+  outcome.summary[kFleetAggIncidents] = incidents_total;
+  outcome.summary[kFleetAggEvictions] = evictions_total;
+  return outcome;
+}
+
+int CmdFleet(const Options& opts) {
+  const FleetSpec* spec = FindFleetSpec(opts.scenario);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "error: unknown fleet scenario '%s' (try: byterobust list)\n",
+                 opts.scenario.c_str());
+    return 2;
+  }
+  if (opts.seeds < 1) {
+    std::fprintf(stderr, "error: --seeds must be >= 1\n");
+    return 2;
+  }
+  const double days = opts.days > 0.0 ? opts.days : spec->default_days;
+  CampaignEngineSpec engine;
+  engine.seeds = opts.seeds;
+  engine.jobs = opts.jobs;
+  engine.stream = opts.stream;
+  engine.out_path = opts.out_path;
+  engine.run_seed = [spec, days, &opts](int i) {
+    return RunFleetSeed(*spec, days, opts.seed + static_cast<std::uint64_t>(i));
+  };
+  engine.header_fields = [spec, &opts, days](JsonWriter* w) {
+    WriteRunSetHeaderFields(w, "fleet", spec->name, opts, days);
+  };
+  engine.aggregates = [](JsonWriter* w, const std::vector<std::vector<double>>& summaries) {
+    WriteFleetAggregates(w, summaries);
+  };
+  return RunCampaignEngine(engine);
 }
 
 int CmdBenchReport(const Options& opts) {
@@ -1174,6 +1441,16 @@ int CmdList(const Options& opts) {
     w.EndObject();
   }
   w.EndArray();
+  w.Key("fleet_scenarios");
+  w.BeginArray();
+  for (const FleetSpec& s : FleetSpecs()) {
+    w.BeginObject();
+    w.Field("name", s.name);
+    w.Field("summary", s.summary);
+    w.Field("default_days", s.default_days);
+    w.EndObject();
+  }
+  w.EndArray();
   w.EndObject();
   return Emit(&w, opts.out_path);
 }
@@ -1192,6 +1469,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "campaign") {
     return CmdCampaign(opts);
+  }
+  if (command == "fleet") {
+    return CmdFleet(opts);
   }
   if (command == "bench-report") {
     return CmdBenchReport(opts);

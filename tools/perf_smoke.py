@@ -14,11 +14,14 @@ Benchmark selection, in priority order: names given on the command line; the
 baseline's "gated" list (so the set of gated benchmarks is versioned next to
 the numbers themselves); otherwise every benchmark present in both files.
 
-With --cli, the baseline's "rss_gate" entry is also enforced: the given
-byterobust binary runs the recorded streaming-campaign command and the
-child's peak RSS must stay under max_rss_mb. This is what keeps campaign
-memory O(window) — an accidental return to O(steps) metric growth or
-O(seeds) run buffering trips it just like a speed regression.
+With --cli, the baseline's RSS gates are also enforced: the given byterobust
+binary runs each recorded streaming-campaign command ("rss_gates" list, or
+the legacy single "rss_gate" object) and the child's peak RSS must stay under
+that gate's max_rss_mb. This is what keeps campaign memory O(window) — an
+accidental return to O(steps) metric growth or O(seeds) run buffering trips
+it just like a speed regression. Gates must be ordered by ascending
+max_rss_mb: ru_maxrss is a monotone high-water across children, so a larger
+earlier peak would mask a later gate's measurement.
 """
 
 import argparse
@@ -97,17 +100,24 @@ def main():
         if ratio > args.max_ratio:
             failures.append(name)
 
-    rss_gate = baseline_data.get("rss_gate")
-    if args.cli and rss_gate:
-        if not check_rss_gate(args.cli, rss_gate):
-            failures.append("rss_gate")
+    rss_gates = list(baseline_data.get("rss_gates") or [])
+    legacy_gate = baseline_data.get("rss_gate")
+    if legacy_gate:
+        rss_gates.append(legacy_gate)
+    # Ascending budgets regardless of baseline order: a larger earlier peak
+    # would mask every smaller gate behind it (ru_maxrss is a high-water).
+    rss_gates.sort(key=lambda gate: gate["max_rss_mb"])
+    if args.cli:
+        for i, gate in enumerate(rss_gates):
+            if not check_rss_gate(args.cli, gate):
+                failures.append(f"rss_gate[{i}]")
 
     if failures:
         print(f"perf smoke FAILED: {', '.join(failures)} regressed more than "
               f"the gated budget", file=sys.stderr)
         return 1
     print(f"perf smoke passed ({len(names)} benchmarks within {args.max_ratio:.1f}x"
-          + (", rss gate ok" if args.cli and rss_gate else "") + ")")
+          + (f", {len(rss_gates)} rss gate(s) ok" if args.cli and rss_gates else "") + ")")
     return 0
 
 
