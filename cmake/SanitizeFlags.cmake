@@ -1,0 +1,77 @@
+# Sanitizer-mode resolution and mutual-exclusion validation for
+# BYTEROBUST_SANITIZE.
+#
+# Modes (case-insensitive):
+#   OFF             no sanitizer (also FALSE/0/empty)
+#   ON | address    AddressSanitizer + UBSan (the legacy boolean meant this)
+#   thread | tsan   ThreadSanitizer
+#
+# byterobust_resolve_sanitize(<mode> <out_compile_list> <out_link_list>)
+# maps the mode to compile/link flag lists and FATAL_ERRORs on contradictory
+# combinations: TSan and ASan each claim the whole shadow address space, so a
+# process cannot run both — configuring BYTEROBUST_SANITIZE=thread while ASan
+# flags ride in via CMAKE_CXX_FLAGS (or vice versa) must fail loudly at
+# configure time, not link time.
+#
+# The module doubles as its own unit under test (ctest
+# `cmake_sanitize_exclusion`, driver tools/check_sanitize_config.cmake): in
+# script mode it resolves -DBR_SANITIZE_MODE against -DBR_AMBIENT_FLAGS and
+# prints the result, so both the accept and reject paths are exercised
+# without configuring a whole project.
+
+function(byterobust_resolve_sanitize mode out_compile out_link)
+  string(TOLOWER "${mode}" kind)
+  if(kind STREQUAL "on" OR kind STREQUAL "true" OR kind STREQUAL "1"
+     OR kind STREQUAL "address" OR kind STREQUAL "asan")
+    set(kind "address")
+  elseif(kind STREQUAL "thread" OR kind STREQUAL "tsan")
+    set(kind "thread")
+  elseif(kind STREQUAL "off" OR kind STREQUAL "false" OR kind STREQUAL "0"
+         OR kind STREQUAL "")
+    set(kind "off")
+  else()
+    message(FATAL_ERROR
+        "BYTEROBUST_SANITIZE=${mode} is not a recognized sanitizer mode. "
+        "Use OFF, address (or the legacy ON) for ASan+UBSan, or thread for TSan.")
+  endif()
+
+  # Flags arriving from the environment/toolchain, outside our option.
+  set(ambient "${CMAKE_CXX_FLAGS} ${CMAKE_C_FLAGS} ${CMAKE_EXE_LINKER_FLAGS} "
+              "${CMAKE_SHARED_LINKER_FLAGS}")
+  if(kind STREQUAL "thread" AND ambient MATCHES "-fsanitize=[a-z_,]*address")
+    message(FATAL_ERROR
+        "BYTEROBUST_SANITIZE=thread is mutually exclusive with the "
+        "AddressSanitizer flags already present in your compiler/linker flags "
+        "(found '-fsanitize=...address...'): TSan and ASan each shadow the "
+        "entire address space and cannot share a process. Drop the ASan flags "
+        "or configure BYTEROBUST_SANITIZE=address instead.")
+  endif()
+  if(kind STREQUAL "address" AND ambient MATCHES "-fsanitize=[a-z_,]*thread")
+    message(FATAL_ERROR
+        "BYTEROBUST_SANITIZE=${mode} (ASan+UBSan) is mutually exclusive with "
+        "the ThreadSanitizer flags already present in your compiler/linker "
+        "flags (found '-fsanitize=...thread...'). Drop the TSan flags or "
+        "configure BYTEROBUST_SANITIZE=thread instead.")
+  endif()
+
+  if(kind STREQUAL "address")
+    set(${out_compile} "-fsanitize=address,undefined;-fno-omit-frame-pointer;-g" PARENT_SCOPE)
+    set(${out_link} "-fsanitize=address,undefined" PARENT_SCOPE)
+  elseif(kind STREQUAL "thread")
+    set(${out_compile} "-fsanitize=thread;-fno-omit-frame-pointer;-g" PARENT_SCOPE)
+    set(${out_link} "-fsanitize=thread" PARENT_SCOPE)
+  else()
+    set(${out_compile} "" PARENT_SCOPE)
+    set(${out_link} "" PARENT_SCOPE)
+  endif()
+  set(BYTEROBUST_SANITIZE_KIND "${kind}" PARENT_SCOPE)
+endfunction()
+
+# Script-mode unit hook:
+#   cmake -DBR_SANITIZE_MODE=<mode> [-DBR_AMBIENT_FLAGS=<flags>] -P SanitizeFlags.cmake
+if(CMAKE_SCRIPT_MODE_FILE AND CMAKE_SCRIPT_MODE_FILE STREQUAL CMAKE_CURRENT_LIST_FILE)
+  set(CMAKE_CXX_FLAGS "${BR_AMBIENT_FLAGS}")
+  byterobust_resolve_sanitize("${BR_SANITIZE_MODE}" unit_compile unit_link)
+  message(STATUS "resolved mode=${BYTEROBUST_SANITIZE_KIND} "
+                 "compile=[${unit_compile}] link=[${unit_link}]")
+endif()

@@ -19,7 +19,8 @@ namespace {
 // producer must intern its patterns — all of stack_synth.cc's builders do.
 // Group *order* is first-encounter order followed by a deterministic
 // (size, key) sort, so the result never depends on the hash values
-// themselves.
+// themselves. The pointer mix below is the one BR-POINTER-ORDER suppression
+// in tools/determinism_lint_allow.txt — keep this invariant if you touch it.
 std::size_t HashStack(ProcessKind kind, const StackTrace& stack) {
   std::size_t h = 14695981039346656037ull;
   const auto mix = [&h](std::size_t v) {

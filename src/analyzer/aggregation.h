@@ -98,6 +98,13 @@ class FailSlowVoter {
 // analyzer.Analyze(SynthesizeFailSlowStacks(topology, slow, seed), topology)
 // would (the stacks share the same interned storage), so voting decisions
 // are unchanged.
+//
+// Threading model: despite being a cache, this is *not* process-wide shared
+// state — each RobustController owns one instance, and a controller (with
+// its whole per-seed system stack) is confined to a single campaign worker
+// thread. It is deliberately unsynchronized; do not lift an instance into a
+// static or share it across systems without adding a Mutex and
+// BR_GUARDED_BY annotations (src/common/sync.h).
 class FailSlowVoteCache {
  public:
   const AggregationResult& Round(const AggregationAnalyzer& analyzer, const Topology& topology,

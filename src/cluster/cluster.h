@@ -13,6 +13,13 @@
 // health mutations anywhere in the shared pool keep a single fleet-wide
 // epoch, so cross-job phenomena (a ToR fault degrading machines of two jobs)
 // are observable by both monitors.
+//
+// Threading model: a cluster core and every view carved from it belong to
+// one campaign worker thread (the simulator that drives them is
+// single-threaded; fleet-mode "sharing" is between jobs interleaved on that
+// one thread, never between OS threads). Mutation wakers fire synchronously
+// on the owning thread. Nothing here is locked, and the determinism lint +
+// TSan gates exist to keep cross-thread state out of this layer.
 
 #ifndef SRC_CLUSTER_CLUSTER_H_
 #define SRC_CLUSTER_CLUSTER_H_

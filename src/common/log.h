@@ -46,6 +46,14 @@ void LogMessage(LogLevel level, const char* module, const char* format, ...)
 namespace log_internal {
 // The threshold lives in the header so the macros' enabled-check inlines to a
 // single relaxed atomic load. Write through SetLogLevel(), never directly.
+//
+// Concurrency contract: this atomic and the thread_local clock binding in
+// log.cc are the logger's entire cross-thread surface. The threshold is
+// process-wide and read by every campaign worker; relaxed ordering is
+// sufficient because the value is a monotonic filter, not a synchronization
+// flag — no reader infers anything about other memory from it. Being a
+// std::atomic it needs no mutex (and thus no BR_GUARDED_BY); the clang
+// -Wthread-safety job and the TSan suite both run over this path.
 extern std::atomic<int> g_severity_threshold;
 }  // namespace log_internal
 

@@ -1,0 +1,64 @@
+// Clang thread-safety analysis annotations (no-ops elsewhere).
+//
+// These macros expose clang's `-Wthread-safety` static analysis to the
+// codebase: mutex-guarded members are declared with BR_GUARDED_BY, functions
+// that must run under a lock with BR_REQUIRES, and lock/unlock primitives
+// with BR_ACQUIRE/BR_RELEASE. GCC (the default toolchain here) does not
+// implement the attributes, so every macro compiles away to nothing there;
+// the dedicated clang CI job builds with `-Wthread-safety -Werror` and turns
+// annotation violations into build failures.
+//
+// The annotated wrappers that actually carry these attributes live in
+// src/common/sync.h (br::Mutex / br::MutexLock / br::CondVar); libstdc++'s
+// std::mutex is not annotated, so raw standard-library locking is invisible
+// to the analysis and should not be used for shared mutable state.
+
+#ifndef SRC_COMMON_THREAD_ANNOTATIONS_H_
+#define SRC_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define BR_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define BR_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op on GCC/MSVC
+#endif
+
+// A type that acts as a lockable capability (a mutex).
+#define BR_CAPABILITY(x) BR_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+// An RAII type that acquires a capability in its constructor and releases it
+// in its destructor.
+#define BR_SCOPED_CAPABILITY BR_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+// Data member readable/writable only while holding the given capability.
+#define BR_GUARDED_BY(x) BR_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+// Pointer member whose *pointee* is guarded by the given capability.
+#define BR_PT_GUARDED_BY(x) BR_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+// Function that may only be called while holding the given capabilities.
+#define BR_REQUIRES(...) \
+  BR_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+// Function that acquires / releases the given capabilities.
+#define BR_ACQUIRE(...) \
+  BR_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define BR_RELEASE(...) \
+  BR_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+// Function that acquires the capability only when it returns `ret`.
+#define BR_TRY_ACQUIRE(ret, ...) \
+  BR_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(ret, __VA_ARGS__))
+
+// Function that must NOT be called while holding the given capabilities
+// (deadlock prevention for non-reentrant locks).
+#define BR_EXCLUDES(...) BR_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+// Function returning a reference to the given capability.
+#define BR_RETURN_CAPABILITY(x) BR_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+// Escape hatch: turns the analysis off for one function. Every use must carry
+// a comment explaining why the function is safe regardless.
+#define BR_NO_THREAD_SAFETY_ANALYSIS \
+  BR_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // SRC_COMMON_THREAD_ANNOTATIONS_H_

@@ -8,6 +8,12 @@
 // machines that may serve several jobs at once (the per-storm *blast radius*
 // is the number of jobs hit), and every recovery claims spares from the same
 // contended pool.
+//
+// Threading model: one Fleet (all N jobs, the shared simulator, the arbiter)
+// belongs to a single campaign worker thread; "concurrent jobs" are
+// interleaved deterministically by the discrete-event simulator, not by OS
+// threads. Cross-seed parallelism happens strictly above this layer in the
+// CLI worker pool, which shares nothing mutable between seeds.
 
 #ifndef SRC_FLEET_FLEET_H_
 #define SRC_FLEET_FLEET_H_

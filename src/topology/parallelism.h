@@ -19,11 +19,13 @@
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "src/common/sync.h"
+#include "src/common/thread_annotations.h"
 
 namespace byterobust {
 
@@ -194,20 +196,29 @@ class Topology {
 // per scenario), so a linear scan under a mutex beats hashing; entries are
 // kept for the process lifetime — that is the point of a frozen template.
 // All consumers only run const queries, so sharing across concurrent
-// campaign workers is safe.
+// campaign workers is safe. The entry list is the one piece of process-wide
+// mutable state on the campaign hot path; clang's thread-safety analysis
+// proves every access holds the cache mutex (BR_GUARDED_BY).
+template <typename T>
+struct FrozenConfigCache {
+  Mutex mutex;
+  std::vector<std::pair<ParallelismConfig, std::shared_ptr<const T>>> entries
+      BR_GUARDED_BY(mutex);
+};
+
 template <typename T, typename Builder>
 std::shared_ptr<const T> FrozenByConfig(const ParallelismConfig& config, Builder build) {
-  static std::mutex mutex;
-  static auto* cache =
-      new std::vector<std::pair<ParallelismConfig, std::shared_ptr<const T>>>();
-  const std::lock_guard<std::mutex> lock(mutex);
-  for (const auto& [cached_config, value] : *cache) {
+  // Leaked on purpose: frozen templates live for the process, and a leaked
+  // heap object sidesteps destruction-order races at exit.
+  static auto* cache = new FrozenConfigCache<T>();
+  const MutexLock lock(&cache->mutex);
+  for (const auto& [cached_config, value] : cache->entries) {
     if (cached_config == config) {
       return value;
     }
   }
-  cache->emplace_back(config, build());
-  return cache->back().second;
+  cache->entries.emplace_back(config, build());
+  return cache->entries.back().second;
 }
 
 // Frozen campaign template: the rank/machine/group tables above are a pure

@@ -1,0 +1,18 @@
+// Lint fixture: accumulation-order hazards for floating point.
+// Expected: BR-FLOAT-ORDER (std::reduce and std::accumulate over an
+// unordered container).
+#include <numeric>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+double TotalLoss(const std::vector<double>& losses,
+                 const std::unordered_set<double>& penalties) {
+  std::unordered_set<double> pending = penalties;
+  double total = std::reduce(losses.begin(), losses.end());  // unspecified order
+  total += std::accumulate(pending.begin(), pending.end(), 0.0);  // bucket order
+  return total;
+}
+
+}  // namespace fixture

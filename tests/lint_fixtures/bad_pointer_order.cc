@@ -1,0 +1,24 @@
+// Lint fixture: pointer values as sort/hash keys.
+// Expected: BR-POINTER-ORDER (sort without comparator, std::hash<T*>,
+// reinterpret_cast to uintptr_t).
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace fixture {
+
+struct Machine {
+  int id = 0;
+};
+
+std::size_t MachineDigest(const Machine* m) {
+  std::hash<const Machine*> hasher;  // hashes the address, not the machine
+  return hasher(m) ^ reinterpret_cast<std::uintptr_t>(m);
+}
+
+void OrderMachines(std::vector<Machine*>& fleet) {
+  std::sort(fleet.begin(), fleet.end());  // sorts by heap address (ASLR)
+}
+
+}  // namespace fixture

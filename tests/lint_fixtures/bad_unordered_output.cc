@@ -1,0 +1,20 @@
+// Lint fixture: iterating an unordered_map inside a JSON-rendering function.
+// Expected: BR-UNORDERED-OUTPUT (twice: range-for and .begin()).
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+std::string RenderReportJson(const std::unordered_map<std::string, double>& metrics) {
+  std::unordered_map<std::string, double> totals = metrics;
+  std::string out = "{";
+  for (const auto& [name, value] : totals) {  // bucket order leaks into output
+    out += "\"" + name + "\":" + std::to_string(value) + ",";
+  }
+  auto it = totals.begin();  // same hazard via explicit iterators
+  (void)it;
+  out += "}";
+  return out;
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Lint fixture: nondeterministic / hidden-global-state RNG.
+// Expected: BR-UNSEEDED-RNG (std::random_device and rand()).
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int PickMachine(int machines) {
+  std::random_device entropy;  // hardware entropy: differs every run
+  std::mt19937 gen(entropy());
+  (void)gen;
+  return rand() % machines;  // hidden global state, unpinned seed
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Lint fixture: wall-clock reads in simulation code.
+// Expected: BR-WALL-CLOCK (system_clock::now and time(nullptr)).
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+double StepDurationSeconds() {
+  const auto start = std::chrono::system_clock::now();
+  const std::time_t stamp = time(nullptr);
+  (void)stamp;
+  const auto end = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+}  // namespace fixture

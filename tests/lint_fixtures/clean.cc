@@ -1,0 +1,38 @@
+// Lint fixture: determinism-safe patterns the lint must NOT flag.
+// Expected: no findings.
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Sample {
+  int machine = 0;
+  double value = 0.0;
+};
+
+std::string RenderSamplesJson(const std::vector<Sample>& samples) {
+  // Unordered map used for point lookups only — no iteration.
+  std::unordered_map<int, double> by_machine;
+  for (const Sample& s : samples) {
+    by_machine[s.machine] = s.value;
+  }
+  // Output iterates the ordered input; folds run left to right.
+  std::vector<Sample> sorted = samples;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Sample& a, const Sample& b) { return a.machine < b.machine; });
+  const double total =
+      std::accumulate(sorted.begin(), sorted.end(), 0.0,
+                      [](double acc, const Sample& s) { return acc + s.value; });
+  std::string out = "[";
+  for (const Sample& s : sorted) {
+    out += std::to_string(by_machine.count(s.machine) ? s.value : 0.0) + ",";
+  }
+  out += "]," + std::to_string(total);
+  return out;
+}
+
+}  // namespace fixture

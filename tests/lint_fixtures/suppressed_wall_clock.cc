@@ -1,0 +1,16 @@
+// Lint fixture: a deliberate wall-clock shim, suppressed by the fixture
+// allowlist (tests/lint_fixtures/fixture_allow.txt).
+// Expected: no finding when run with that allowlist; BR-WALL-CLOCK without it.
+#include <chrono>
+
+namespace fixture {
+
+// The one place wall time is allowed: progress reporting to the operator,
+// never fed into simulation state or JSON output.
+double OperatorWallSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace fixture

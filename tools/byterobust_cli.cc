@@ -23,15 +23,14 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -39,6 +38,8 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/sync.h"
+#include "src/common/thread_annotations.h"
 #include "src/core/production_presets.h"
 #include "src/core/scenario.h"
 #include "src/faults/fault_injector.h"
@@ -642,6 +643,132 @@ struct CampaignEngineSpec {
   std::function<void(JsonWriter*, const std::vector<std::vector<double>>&)> aggregates;
 };
 
+// ---------------------------------------------------------------------------
+// Worker-pool plumbing. All cross-thread mutable state lives in the two small
+// classes below with BR_GUARDED_BY-annotated members, so the clang
+// `-Wthread-safety` CI job statically proves every access holds the right
+// lock. (Annotations only attach to members and globals — lambda-captured
+// locals are invisible to the analysis — which is why this state is hoisted
+// out of the engine functions.) Per-seed slots such as `summaries[i]` and the
+// spill index are written by exactly one worker each (disjoint indices of
+// pre-sized vectors) and read only after the pool joins; they need no lock.
+// ---------------------------------------------------------------------------
+
+// First-failure latch for a worker pool: the first captured exception wins,
+// and failed() flips so the other workers stop claiming seeds.
+class FailureLatch {
+ public:
+  // Records the in-flight exception; call from a catch block.
+  void Capture() {
+    failed_.store(true, std::memory_order_relaxed);
+    const MutexLock lock(&mu_);
+    if (!first_error_) {
+      first_error_ = std::current_exception();
+    }
+  }
+
+  bool failed() const { return failed_.load(std::memory_order_relaxed); }
+
+  // Rethrows the first captured exception, if any. Call after the pool joined.
+  void RethrowIfFailed() {
+    std::exception_ptr error;
+    {
+      const MutexLock lock(&mu_);
+      error = first_error_;
+    }
+    if (error) {
+      std::rethrow_exception(error);
+    }
+  }
+
+ private:
+  Mutex mu_;
+  std::atomic<bool> failed_{false};
+  std::exception_ptr first_error_ BR_GUARDED_BY(mu_);
+};
+
+// Claims seed indices off the shared ticket until they run out or a worker
+// has failed; runs `run` for each claim, latching the first exception. The
+// optional `on_failure` hook runs after the latch captures (e.g. to wake a
+// committer blocked on a condition variable).
+void DrainSeeds(int seeds, std::atomic<int>* next_seed, FailureLatch* latch,
+                const std::function<void(int)>& run,
+                const std::function<void()>& on_failure = {}) {
+  for (int i = next_seed->fetch_add(1); i < seeds && !latch->failed();
+       i = next_seed->fetch_add(1)) {
+    try {
+      run(i);
+    } catch (...) {
+      latch->Capture();
+      if (on_failure) {
+        on_failure();
+      }
+      return;
+    }
+  }
+}
+
+// Out-of-order producers, strictly seed-ordered consumer: workers Push each
+// rendered element as it finishes; the committer Pops 0, 1, 2, ... so the
+// document is written in seed order while only the out-of-order tail is ever
+// resident. A latched failure wakes the committer immediately.
+class OrderedCommitQueue {
+ public:
+  explicit OrderedCommitQueue(const FailureLatch* latch) : latch_(latch) {}
+
+  void Push(int index, std::string element) {
+    {
+      const MutexLock lock(&mu_);
+      done_.emplace(index, std::move(element));
+    }
+    cv_.NotifyOne();
+  }
+
+  // Wakes the committer after the latch recorded a failure.
+  void NotifyFailure() { cv_.NotifyAll(); }
+
+  // Blocks until element `index` is available (true) or the pool failed
+  // before producing it (false).
+  bool Pop(int index, std::string* element) {
+    const MutexLock lock(&mu_);
+    while (true) {
+      const auto it = done_.find(index);
+      if (it != done_.end()) {
+        *element = std::move(it->second);
+        done_.erase(it);
+        return true;
+      }
+      if (latch_->failed()) {
+        return false;
+      }
+      cv_.Wait(&mu_);
+    }
+  }
+
+ private:
+  const FailureLatch* latch_;
+  Mutex mu_;
+  CondVar cv_;
+  std::map<int, std::string> done_ BR_GUARDED_BY(mu_);
+};
+
+// Runs `body(worker_index)` on `workers` threads — the calling thread doubles
+// as worker 0 unless `caller_participates` is false — and joins them all.
+void RunWorkerPool(int workers, bool caller_participates,
+                   const std::function<void(int)>& body) {
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int t = caller_participates ? 1 : 0; t < workers; ++t) {
+    pool.emplace_back(body, t);
+  }
+  if (caller_participates) {
+    body(0);
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+}
+
 // Seed-order fold over one summary slot, shared by the buffered and
 // streaming paths — one implementation, so byte-identity cannot drift.
 Aggregate FoldAggregateAt(const std::vector<std::vector<double>>& summaries, std::size_t slot) {
@@ -804,49 +931,30 @@ int RunEngineSpillStreaming(const CampaignEngineSpec& spec) {
   }
 
   std::atomic<int> next{0};
-  std::atomic<bool> failed{false};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
+  FailureLatch latch;
   const auto worker = [&](int w) {
+    // Each worker appends to its own spill file and writes disjoint
+    // summaries/index slots; only the latch is cross-thread state.
     long offset = 0;
-    for (int i = next.fetch_add(1); i < seeds && !failed.load(); i = next.fetch_add(1)) {
-      try {
-        SeedOutcome outcome = spec.run_seed(i);
-        summaries[static_cast<std::size_t>(i)] = std::move(outcome.summary);
-        const std::string element = std::move(outcome.element);
-        if (std::fwrite(element.data(), 1, element.size(), spills[static_cast<std::size_t>(w)]) !=
-            element.size()) {
-          throw std::runtime_error("campaign spill write failed");
-        }
-        index[static_cast<std::size_t>(i)] = {static_cast<std::uint32_t>(w), offset,
-                                              static_cast<std::uint32_t>(element.size())};
-        offset += static_cast<long>(element.size());
-      } catch (...) {
-        failed.store(true);
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) {
-          first_error = std::current_exception();
-        }
-        return;
+    DrainSeeds(seeds, &next, &latch, [&](int i) {
+      SeedOutcome outcome = spec.run_seed(i);
+      summaries[static_cast<std::size_t>(i)] = std::move(outcome.summary);
+      const std::string element = std::move(outcome.element);
+      if (std::fwrite(element.data(), 1, element.size(), spills[static_cast<std::size_t>(w)]) !=
+          element.size()) {
+        throw std::runtime_error("campaign spill write failed");
       }
-    }
+      index[static_cast<std::size_t>(i)] = {static_cast<std::uint32_t>(w), offset,
+                                            static_cast<std::uint32_t>(element.size())};
+      offset += static_cast<long>(element.size());
+    });
   };
-  {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(workers) - 1);
-    for (int t = 1; t < workers; ++t) {
-      pool.emplace_back(worker, t);
-    }
-    worker(0);
-    for (std::thread& t : pool) {
-      t.join();
-    }
-  }
-  if (first_error) {
+  RunWorkerPool(workers, /*caller_participates=*/true, worker);
+  if (latch.failed()) {
     for (std::FILE* f : spills) {
       std::fclose(f);
     }
-    std::rethrow_exception(first_error);
+    latch.RethrowIfFailed();
   }
 
   for (std::FILE* f : spills) {
@@ -917,63 +1025,34 @@ int RunEngineDirectStreaming(const CampaignEngineSpec& spec) {
   } else {
     // Workers render out of order; the main thread commits strictly in seed
     // order, holding at most the out-of-order tail in memory.
-    std::mutex mutex;
-    std::condition_variable ready_cv;
-    std::map<int, std::string> done;
     std::atomic<int> next{0};
-    std::atomic<bool> failed{false};
-    std::exception_ptr first_error;
-    const auto worker = [&] {
-      for (int i = next.fetch_add(1); i < seeds && !failed.load(); i = next.fetch_add(1)) {
-        try {
-          SeedOutcome outcome = spec.run_seed(i);
-          summaries[static_cast<std::size_t>(i)] = std::move(outcome.summary);
-          {
-            const std::lock_guard<std::mutex> lock(mutex);
-            done.emplace(i, std::move(outcome.element));
-          }
-          ready_cv.notify_one();
-        } catch (...) {
-          failed.store(true);
-          {
-            const std::lock_guard<std::mutex> lock(mutex);
-            if (!first_error) {
-              first_error = std::current_exception();
-            }
-          }
-          ready_cv.notify_one();
-          return;
-        }
-      }
-    };
+    FailureLatch latch;
+    OrderedCommitQueue queue(&latch);
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(workers));
     for (int t = 0; t < workers; ++t) {
-      pool.emplace_back(worker);
+      pool.emplace_back([&] {
+        DrainSeeds(
+            seeds, &next, &latch,
+            [&](int i) {
+              SeedOutcome outcome = spec.run_seed(i);
+              summaries[static_cast<std::size_t>(i)] = std::move(outcome.summary);
+              queue.Push(i, std::move(outcome.element));
+            },
+            /*on_failure=*/[&] { queue.NotifyFailure(); });
+      });
     }
-    int committed = 0;
-    {
-      std::unique_lock<std::mutex> lock(mutex);
-      while (committed < seeds && !failed.load()) {
-        ready_cv.wait(lock, [&] { return failed.load() || done.count(committed) > 0; });
-        auto it = done.find(committed);
-        if (it == done.end()) {
-          break;  // failure woke us
-        }
-        const std::string element = std::move(it->second);
-        done.erase(it);
-        lock.unlock();
-        commit(committed, element);
-        ++committed;
-        lock.lock();
+    std::string element;
+    for (int committed = 0; committed < seeds; ++committed) {
+      if (!queue.Pop(committed, &element)) {
+        break;  // a worker failed before producing this seed
       }
+      commit(committed, element);
     }
     for (std::thread& t : pool) {
       t.join();
     }
-    if (first_error) {
-      std::rethrow_exception(first_error);
-    }
+    latch.RethrowIfFailed();
   }
 
   sink.Write("\n  ]");
@@ -991,40 +1070,14 @@ int RunEngineBuffered(const CampaignEngineSpec& spec) {
   const int seeds = spec.seeds;
   std::vector<SeedOutcome> outcomes(static_cast<std::size_t>(seeds));
   std::atomic<int> next{0};
-  std::atomic<bool> failed{false};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-  const auto worker = [&] {
-    for (int i = next.fetch_add(1); i < seeds && !failed.load(); i = next.fetch_add(1)) {
-      try {
-        outcomes[static_cast<std::size_t>(i)] = spec.run_seed(i);
-      } catch (...) {
-        failed.store(true);  // stop the other workers claiming further seeds
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) {
-          first_error = std::current_exception();
-        }
-        return;
-      }
-    }
+  FailureLatch latch;
+  const auto worker = [&](int) {
+    DrainSeeds(seeds, &next, &latch,
+               [&](int i) { outcomes[static_cast<std::size_t>(i)] = spec.run_seed(i); });
   };
   const int workers = std::max(1, std::min(spec.jobs, seeds));
-  if (workers <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(workers) - 1);
-    for (int t = 1; t < workers; ++t) {
-      pool.emplace_back(worker);
-    }
-    worker();
-    for (std::thread& t : pool) {
-      t.join();
-    }
-  }
-  if (first_error) {
-    std::rethrow_exception(first_error);
-  }
+  RunWorkerPool(workers, /*caller_participates=*/true, worker);
+  latch.RethrowIfFailed();
 
   std::vector<std::vector<double>> summaries;
   summaries.reserve(outcomes.size());

@@ -1,0 +1,66 @@
+# Unit-level check of cmake/SanitizeFlags.cmake (ctest
+# `cmake_sanitize_exclusion`): drives the module's script-mode hook through
+# accept and reject cases, asserting that BYTEROBUST_SANITIZE=thread combined
+# with ambient ASan flags (and vice versa) fails the configure with the
+# mutual-exclusion message, while each mode alone resolves cleanly.
+#
+#   cmake -DSANITIZE_MODULE=<path to cmake/SanitizeFlags.cmake> \
+#         -P tools/check_sanitize_config.cmake
+
+if(NOT DEFINED SANITIZE_MODULE)
+  message(FATAL_ERROR "pass -DSANITIZE_MODULE=<path to cmake/SanitizeFlags.cmake>")
+endif()
+
+# resolve_case(<mode> <ambient-flags> <expect>) where <expect> is OK or FAIL;
+# for FAIL, <expect_message> must appear in the error output.
+function(resolve_case mode ambient expect expect_message)
+  execute_process(
+      COMMAND ${CMAKE_COMMAND}
+          "-DBR_SANITIZE_MODE=${mode}"
+          "-DBR_AMBIENT_FLAGS=${ambient}"
+          -P "${SANITIZE_MODULE}"
+      RESULT_VARIABLE rc
+      OUTPUT_VARIABLE out
+      ERROR_VARIABLE err)
+  if(expect STREQUAL "OK")
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+          "mode='${mode}' ambient='${ambient}' should resolve cleanly but "
+          "failed (rc=${rc}):\n${err}")
+    endif()
+    if(NOT "${out}${err}" MATCHES "${expect_message}")
+      message(FATAL_ERROR
+          "mode='${mode}' ambient='${ambient}' resolved but did not report "
+          "'${expect_message}':\n${out}${err}")
+    endif()
+  else()
+    if(rc EQUAL 0)
+      message(FATAL_ERROR
+          "mode='${mode}' ambient='${ambient}' must FAIL the configure but "
+          "succeeded:\n${out}")
+    endif()
+    if(NOT err MATCHES "${expect_message}")
+      message(FATAL_ERROR
+          "mode='${mode}' ambient='${ambient}' failed, but without the "
+          "expected message '${expect_message}':\n${err}")
+    endif()
+  endif()
+endfunction()
+
+# The headline case: TSan mode + ambient ASan flags is rejected with a clear
+# mutual-exclusion message.
+resolve_case(thread "-O2 -fsanitize=address" FAIL "mutually exclusive")
+resolve_case(thread "-fsanitize=undefined,address" FAIL "mutually exclusive")
+# The mirror image: address mode + ambient TSan flags.
+resolve_case(address "-fsanitize=thread" FAIL "mutually exclusive")
+resolve_case(ON "-fsanitize=thread" FAIL "mutually exclusive")
+# Unknown modes are rejected, not silently ignored.
+resolve_case(bogus "" FAIL "not a recognized sanitizer mode")
+# Each mode alone resolves to the right flag set.
+resolve_case(thread "-O2" OK "-fsanitize=thread")
+resolve_case(thread "" OK "mode=thread")
+resolve_case(address "" OK "-fsanitize=address,undefined")
+resolve_case(ON "" OK "mode=address")
+resolve_case(OFF "" OK "mode=off")
+
+message(STATUS "cmake_sanitize_exclusion: all sanitize-mode cases passed")

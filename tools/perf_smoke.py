@@ -22,6 +22,10 @@ accidental return to O(steps) metric growth or O(seeds) run buffering trips
 it just like a speed regression. Gates must be ordered by ascending
 max_rss_mb: ru_maxrss is a monotone high-water across children, so a larger
 earlier peak would mask a later gate's measurement.
+
+Stdlib-only, like every Python tool in CI — tools/ci_python_requirements.txt
+is the shared (deliberately package-free) requirements file CI installs for
+this script, the determinism lint, and the clang-tidy runner.
 """
 
 import argparse

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the project's compile_commands.json and diff the
+warning set against the checked-in baseline (tools/clang_tidy_baseline.txt).
+
+The baseline is empty — the tree is expected to hold zero clang-tidy
+warnings under .clang-tidy's check set — and exists as a file so that any
+future, deliberately accepted exception is a reviewed, versioned change
+rather than a silent accumulation.
+
+    run_clang_tidy.py [--build-dir build] [--jobs N] [--require] [files...]
+
+Behaviour:
+  * Finds clang-tidy (plain or versioned, newest first). Without --require a
+    missing binary is a SKIP (exit 0) so the tier-1 ctest run stays green on
+    GCC-only machines; the dedicated CI job passes --require.
+  * Needs CMAKE_EXPORT_COMPILE_COMMANDS (on by default in CMakeLists.txt).
+  * Runs over every src/ and tools/ translation unit in the compile database
+    (or just the files given), normalizes diagnostics to
+    "relative/path:line: warning-id", and fails on any diagnostic not in the
+    baseline. Stale baseline lines (matching nothing) also fail, so the
+    baseline can only shrink.
+
+Stdlib-only (see tools/ci_python_requirements.txt).
+"""
+
+import argparse
+import json
+import multiprocessing
+import os
+import re
+import shutil
+import subprocess
+import sys
+from multiprocessing.pool import ThreadPool
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE = os.path.join(REPO_ROOT, "tools", "clang_tidy_baseline.txt")
+
+# Newest first; plain name last resort (its version is unknown).
+TIDY_CANDIDATES = [f"clang-tidy-{v}" for v in range(21, 13, -1)] + ["clang-tidy"]
+
+DIAG_RE = re.compile(
+    r"^(?P<path>[^\s:][^:]*):(?P<line>\d+):\d+:\s+(?:warning|error):\s+"
+    r".*\[(?P<check>[\w.,-]+)\]\s*$"
+)
+
+
+def find_clang_tidy():
+    for name in TIDY_CANDIDATES:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def load_compile_db(build_dir):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        sys.exit(f"error: {db_path} not found — configure with CMake first "
+                 "(CMAKE_EXPORT_COMPILE_COMMANDS is on by default)")
+    with open(db_path, encoding="utf-8") as f:
+        return json.load(f), db_path
+
+
+def project_sources(db, only=None):
+    """src/ and tools/ TUs from the compile database, repo-relative."""
+    wanted = set()
+    for entry in db:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"]))
+        rel = os.path.relpath(path, REPO_ROOT).replace(os.sep, "/")
+        if rel.startswith(("src/", "tools/")):
+            wanted.add(rel)
+    if only:
+        requested = {o.replace(os.sep, "/") for o in only}
+        missing = requested - wanted
+        if missing:
+            sys.exit(f"error: not in compile database: {', '.join(sorted(missing))}")
+        wanted = requested
+    return sorted(wanted)
+
+
+def run_tidy(tidy, build_dir, files, jobs):
+    """Returns the normalized set of diagnostics across all files."""
+    diagnostics = set()
+
+    def tidy_one(rel):
+        proc = subprocess.run(
+            [tidy, "-p", build_dir, "--quiet", rel],
+            cwd=REPO_ROOT, capture_output=True, text=True, check=False)
+        found = set()
+        for line in proc.stdout.splitlines():
+            m = DIAG_RE.match(line)
+            if not m:
+                continue
+            path = os.path.relpath(os.path.join(REPO_ROOT, m.group("path")),
+                                   REPO_ROOT).replace(os.sep, "/")
+            if not path.startswith(("src/", "tools/")):
+                continue  # system/third-party headers are not ours to fix
+            found.add(f"{path}:{m.group('line')}: {m.group('check')}")
+        # clang-tidy exits non-zero with WarningsAsErrors; only a crash or
+        # config error (nothing parseable, stderr output) is fatal.
+        if proc.returncode != 0 and not found and "error" in proc.stderr.lower():
+            sys.stderr.write(proc.stderr)
+            sys.exit(f"error: clang-tidy failed on {rel}")
+        return found
+
+    with ThreadPool(jobs) as pool:
+        for found in pool.map(tidy_one, files):
+            diagnostics |= found
+    return diagnostics
+
+
+def load_baseline():
+    accepted = set()
+    if os.path.exists(BASELINE):
+        with open(BASELINE, encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if line and not line.startswith("#"):
+                    accepted.add(line)
+    return accepted
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--build-dir", default=os.path.join(REPO_ROOT, "build"))
+    parser.add_argument("--jobs", type=int, default=max(1, multiprocessing.cpu_count()))
+    parser.add_argument("--require", action="store_true",
+                        help="fail (exit 1) when clang-tidy is not installed "
+                             "instead of skipping")
+    parser.add_argument("files", nargs="*",
+                        help="restrict to these repo-relative sources")
+    args = parser.parse_args(argv)
+
+    tidy = find_clang_tidy()
+    if tidy is None:
+        message = ("run_clang_tidy: clang-tidy not found "
+                   f"(tried {', '.join(TIDY_CANDIDATES)})")
+        if args.require:
+            print(f"{message} and --require was given", file=sys.stderr)
+            return 1
+        print(f"{message}; SKIP — the clang-tidy CI job runs this gate")
+        return 0
+
+    db, _ = load_compile_db(args.build_dir)
+    files = project_sources(db, args.files)
+    if not files:
+        sys.exit("error: no src/ or tools/ sources in the compile database")
+
+    diagnostics = run_tidy(tidy, args.build_dir, files, args.jobs)
+    accepted = load_baseline()
+
+    new = sorted(diagnostics - accepted)
+    stale = sorted(accepted - diagnostics)
+    for diag in new:
+        print(f"NEW: {diag}")
+    for line in stale:
+        print(f"STALE baseline line (fix no longer needed — remove it): {line}")
+    if new or stale:
+        print(f"run_clang_tidy: {len(new)} new diagnostic(s), {len(stale)} "
+              f"stale baseline line(s) over {len(files)} files "
+              f"[{os.path.basename(tidy)}]")
+        return 1
+    print(f"run_clang_tidy: clean ({len(files)} files, "
+          f"{len(accepted)} baselined) [{os.path.basename(tidy)}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
