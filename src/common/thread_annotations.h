@@ -9,7 +9,8 @@
 // annotation violations into build failures.
 //
 // The annotated wrappers that actually carry these attributes live in
-// src/common/sync.h (br::Mutex / br::MutexLock / br::CondVar); libstdc++'s
+// src/common/sync.h (byterobust::Mutex / byterobust::MutexLock /
+// byterobust::CondVar); libstdc++'s
 // std::mutex is not annotated, so raw standard-library locking is invisible
 // to the analysis and should not be used for shared mutable state.
 

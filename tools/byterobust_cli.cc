@@ -724,8 +724,16 @@ class OrderedCommitQueue {
     cv_.NotifyOne();
   }
 
-  // Wakes the committer after the latch recorded a failure.
-  void NotifyFailure() { cv_.NotifyAll(); }
+  // Wakes the committer after the latch recorded a failure. Acquiring mu_
+  // (even briefly) orders the notification after the committer's failed()
+  // check in Pop(): either the committer already observed the failure, or it
+  // has released mu_ inside cv_.Wait() and the NotifyAll cannot be lost.
+  // Notifying without the lock could fire between the check and the wait,
+  // leaving the committer blocked forever once producers stop pushing.
+  void NotifyFailure() {
+    { const MutexLock lock(&mu_); }
+    cv_.NotifyAll();
+  }
 
   // Blocks until element `index` is available (true) or the pool failed
   // before producing it (false).

@@ -77,9 +77,11 @@ WALL_CLOCK = re.compile(
     r"|\b(?:gettimeofday|clock_gettime|localtime(?:_r)?|gmtime(?:_r)?|mktime)\s*\("
 )
 UNSEEDED_RNG = re.compile(
+    # Seeding calls match regardless of how the argument is spelled —
+    # srand(seed) still routes everything through hidden global state.
     r"\bstd\s*::\s*random_device\b"
-    r"|(?<![\w.:>])(?:rand|srand|drand48|lrand48|random)\s*\(\s*"
-    r"(?:unsigned|\d|\))"
+    r"|(?<![\w.:>])(?:srand|srand48|srandom|seed48)\s*\("
+    r"|(?<![\w.:>])(?:rand|drand48|lrand48|mrand48|random)\s*\(\s*\)"
 )
 POINTER_HASH = re.compile(
     r"\bstd\s*::\s*hash\s*<[^<>;]*\*\s*(?:const\s*)?>"
@@ -122,6 +124,19 @@ class Finding:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
 
+RAW_STRING_OPEN = re.compile(r'"(?P<delim>[^()\\\s"]{0,16})\(')
+
+
+def raw_string_prefix_at(source, quote_idx):
+    """True if the `"` at quote_idx carries a raw-literal prefix (R, u8R, LR, ...)."""
+    m = re.search(r"(?:u8|[uUL])?R\Z", source[max(0, quote_idx - 3) : quote_idx])
+    if not m:
+        return False
+    start = max(0, quote_idx - 3) + m.start()
+    prev = source[start - 1] if start > 0 else ""
+    return not (prev.isalnum() or prev == "_")
+
+
 def strip_comments_and_strings(source):
     """Blanks out comments and string/char literals, preserving newlines."""
     out = []
@@ -140,6 +155,21 @@ def strip_comments_and_strings(source):
             chunk = source[i : j + 2]
             out.append("".join(ch if ch == "\n" else " " for ch in chunk))
             i = j + 2
+        elif c == '"' and raw_string_prefix_at(source, i):
+            # Raw string literal R"delim( ... )delim": embedded quotes and
+            # backslashes are literal content, so scan for the closing
+            # )delim" instead of the plain quote scanner.
+            open_m = RAW_STRING_OPEN.match(source, i)
+            if open_m:
+                closer = ")" + open_m.group("delim") + '"'
+                j = source.find(closer, open_m.end())
+                j = n if j < 0 else j + len(closer)
+                chunk = source[i:j]
+                out.append("".join(ch if ch == "\n" else " " for ch in chunk))
+                i = j
+            else:  # malformed open sequence: treat as an ordinary string
+                out.append(c)
+                i += 1
         elif c in "\"'":
             quote = c
             j = i + 1
@@ -455,7 +485,7 @@ def run(root, paths, allowlist_path):
                 f"({entry.rule} | {entry.path_glob} | {entry.needle}) matches "
                 "nothing — remove it"
             )
-    return kept, errors
+    return kept, errors, len(files)
 
 
 def main(argv=None):
@@ -474,7 +504,7 @@ def main(argv=None):
     allowlist = args.allowlist or os.path.join(root, "tools", "determinism_lint_allow.txt")
 
     try:
-        findings, errors = run(root, paths, allowlist)
+        findings, errors, file_count = run(root, paths, allowlist)
     except FileNotFoundError as err:
         print(f"determinism_lint: no such path: {err}", file=sys.stderr)
         return 2
@@ -491,7 +521,7 @@ def main(argv=None):
             "(tools/determinism_lint_allow.txt)."
         )
         return 1
-    print(f"determinism_lint: clean ({len(collect_files(root, paths))} files)")
+    print(f"determinism_lint: clean ({file_count} files)")
     return 0
 
 
