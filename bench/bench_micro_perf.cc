@@ -11,7 +11,9 @@
 #include "src/ckpt/backup_strategy.h"
 #include "src/core/production_presets.h"
 #include "src/core/scenario.h"
+#include "src/faults/domain_injector.h"
 #include "src/fleet/fleet_presets.h"
+#include "src/topology/fault_domains.h"
 #include "src/replay/dual_phase_replay.h"
 #include "src/sim/simulator.h"
 #include "src/tracer/stack_synth.h"
@@ -165,6 +167,30 @@ void BM_DualPhaseReplayLocate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DualPhaseReplayLocate)->Arg(24)->Arg(144)->Arg(1200);
+
+// One correlated fault round-trip over the fault-domain graph at cluster
+// scale: strike a spine (flipping the health of every machine beneath it),
+// force the health-index + congestion refresh a monitor pass would pay, then
+// heal. Bounds the per-event cost of the domain streams in campaign seeds.
+void BM_DomainFaultPropagation(benchmark::State& state) {
+  const int machines = static_cast<int>(state.range(0));
+  Cluster cluster(machines, 8);
+  FaultDomainConfig domains;
+  domains.machines_per_tor = 8;
+  domains.tors_per_spine = 4;
+  cluster.AttachFaultDomains(domains);
+  const DomainId spine = cluster.fault_domains()->DomainIdAt(DomainLevel::kSpine, 0);
+  for (auto _ : state) {
+    const DomainFaultEffect effect = DomainInjector::ApplyToDomain(
+        DomainFaultKind::kSpineFlap, spine, /*degradation_factor=*/1.0, &cluster, 0);
+    benchmark::DoNotOptimize(cluster.SuspectServingMachines().size());
+    benchmark::DoNotOptimize(cluster.CongestionFactor());
+    DomainInjector::HealDomain(DomainFaultKind::kSpineFlap, spine, &cluster, 0);
+    benchmark::DoNotOptimize(effect.affected.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 32);  // machines per spine
+}
+BENCHMARK(BM_DomainFaultPropagation)->Arg(64)->Arg(256)->Arg(1024);
 
 }  // namespace
 }  // namespace byterobust

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/topology/fault_domains.h"
+
 namespace byterobust {
+
+Cluster::Core::~Core() = default;
 
 void Cluster::RegisterWithCore() {
   core_->members.push_back(this);
@@ -161,7 +165,31 @@ MachineId Cluster::AddMachine() {
   core_->machines.push_back(std::make_unique<Machine>(id, core_->gpus_per_machine));
   core_->machines.back()->BindHealthEpoch(&core_->health_epoch);
   core_->machines.back()->set_state(MachineState::kIdle);
+  if (core_->domains != nullptr) {
+    // Late-provisioned machines clamp into the graph's outermost bands.
+    core_->machines.back()->set_domain_path(core_->domains->PathOfMachine(id));
+  }
   return id;
+}
+
+void Cluster::AttachFaultDomains(const FaultDomainConfig& config) {
+  if (!config.enabled) {
+    return;
+  }
+  core_->domains =
+      std::make_unique<FaultDomains>(config, static_cast<int>(core_->machines.size()));
+  core_->domains->BindHealthEpoch(&core_->health_epoch);
+  for (const auto& m : core_->machines) {
+    m->set_domain_path(core_->domains->PathOfMachine(m->id()));
+  }
+}
+
+double Cluster::CongestionFactor() const {
+  if (core_->domains == nullptr) {
+    return 1.0;
+  }
+  RefreshHealthIndex();
+  return congestion_factor_;
 }
 
 std::vector<MachineId> Cluster::IdleMachines() const {
@@ -209,6 +237,9 @@ void Cluster::RefreshHealthIndex() const {
       ++unhealthy_serving_;
     }
   }
+  congestion_factor_ = core_->domains != nullptr && core_->domains->AnyImpaired()
+                           ? core_->domains->CongestionFactorFor(slot_to_machine_)
+                           : 1.0;
   index_epoch_ = core_->health_epoch.value;
 }
 

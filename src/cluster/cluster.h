@@ -35,6 +35,9 @@
 
 namespace byterobust {
 
+class FaultDomains;
+struct FaultDomainConfig;
+
 // Tag type selecting the fleet-pool constructor: all machines start idle and
 // the root owns no training slots (jobs carve views out of it).
 struct FleetPoolTag {};
@@ -149,6 +152,27 @@ class Cluster {
   // Bitmask over the same suspects, for word-parallel membership queries.
   const MachineSet& SuspectServingSet() const;
 
+  // -- hierarchical fault domains -------------------------------------------
+
+  // Builds the NIC -> ToR -> spine -> pod domain graph over the core's
+  // current machine set and assigns every machine its domain path. Call once
+  // on the root/pool cluster before carving views; a no-op when
+  // `config.enabled` is false. Attaching is epoch-neutral (a healthy graph
+  // changes nothing observable), so flat campaigns stay byte-identical.
+  void AttachFaultDomains(const FaultDomainConfig& config);
+
+  // The shared graph, or nullptr on flat-topology clusters. Shared by every
+  // view of the core, like the blacklist.
+  FaultDomains* fault_domains() { return core_->domains.get(); }
+  const FaultDomains* fault_domains() const { return core_->domains.get(); }
+
+  // Congestion term for this view's serving set: the minimum degradation
+  // factor over impaired domains whose machine band the serving set crosses
+  // (see FaultDomains::CongestionFactorFor). 1.0 without a graph or without
+  // impairment. Served from the epoch-keyed health index, so repeated calls
+  // between mutations are O(1).
+  double CongestionFactor() const;
+
  private:
   // State shared by a root cluster and every view carved from it.
   struct Core {
@@ -161,6 +185,10 @@ class Cluster {
     HealthEpoch health_epoch;
     // Root + views sharing this core, in registration order (root first).
     std::vector<Cluster*> members;
+    // Hierarchical fault-domain graph (nullptr = flat legacy topology).
+    std::unique_ptr<FaultDomains> domains;
+
+    ~Core();  // defined in cluster.cc, where FaultDomains is complete
   };
 
   void RegisterWithCore();
@@ -179,6 +207,7 @@ class Cluster {
   mutable std::vector<MachineId> suspect_serving_;
   mutable MachineSet suspect_set_;
   mutable int unhealthy_serving_ = 0;
+  mutable double congestion_factor_ = 1.0;
 };
 
 }  // namespace byterobust

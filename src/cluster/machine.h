@@ -13,6 +13,9 @@
 
 namespace byterobust {
 
+// Index into the cluster's fault-domain table (src/topology/fault_domains.h).
+using DomainId = int;
+
 // Shared mutation channel between a Cluster core and its Machines: a
 // monotonically increasing health epoch plus a permanent dispatch hook. The
 // owning Cluster installs `on_bump` to fire each member view's one-shot
@@ -116,6 +119,13 @@ class Machine {
   // Standalone machines (unit tests) keep nullptr.
   void BindHealthEpoch(HealthEpoch* epoch) { health_epoch_hook_ = epoch; }
 
+  // Fault-domain path, innermost (host NIC) to outermost (pod power domain).
+  // Assigned by Cluster::AttachFaultDomains; empty on flat-topology clusters.
+  // Placement is static wiring, not a health attribute, so setting it neither
+  // dirties health nor bumps the epoch.
+  const std::vector<DomainId>& domain_path() const { return domain_path_; }
+  void set_domain_path(std::vector<DomainId> path) { domain_path_ = std::move(path); }
+
   // Incremented whenever this machine is implicated in an incident; used by
   // campaign reports.
   int incident_count = 0;
@@ -136,6 +146,7 @@ class Machine {
   MachineState state_ = MachineState::kActive;
   std::vector<GpuHealth> gpus_;
   HostHealth host_;
+  std::vector<DomainId> domain_path_;
   bool health_dirty_ = false;
   HealthEpoch* health_epoch_hook_ = nullptr;
 };

@@ -108,6 +108,22 @@ void RobustController::OnAnomaly(const AnomalyReport& report) {
   if (episode_.has_value() && episode_->restart_in_progress) {
     return;  // already mid-recovery; new signals are the same storm
   }
+  if (episode_.has_value() && episode_->debounce_pending &&
+      report.source == AnomalySource::kInspection &&
+      report.symptom_hint == IncidentSymptom::kInfinibandError && !report.high_confidence) {
+    // Sibling alerts of one correlated network event (a domain fault flips
+    // every machine under a spine in the same inspection pass): widen the
+    // pending hold-off to cover them instead of escalating per machine, so
+    // the post-debounce recheck judges — and, if persistent, evicts — the
+    // whole blast radius at once.
+    for (MachineId m : report.machines) {
+      if (std::find(episode_->debounce_machines.begin(), episode_->debounce_machines.end(),
+                    m) == episode_->debounce_machines.end()) {
+        episode_->debounce_machines.push_back(m);
+      }
+    }
+    return;
+  }
   // Any anomaly invalidates outstanding stability checks: the episode is not
   // allowed to close as resolved while new handling is in flight.
   ++stability_epoch_;
@@ -172,25 +188,13 @@ void RobustController::RouteFresh(const AnomalyReport& report) {
     case AnomalySource::kInspection: {
       if (report.symptom_hint == IncidentSymptom::kInfinibandError && !report.high_confidence) {
         // Tolerate network alerts briefly: NIC and switch flaps often
-        // self-recover (Sec. 4.1). Re-check after the debounce hold-off.
-        const std::vector<MachineId> machines = report.machines;
+        // self-recover (Sec. 4.1). Re-check after the debounce hold-off;
+        // sibling alerts arriving meanwhile widen the rechecked set
+        // (OnAnomaly above).
+        episode_->debounce_pending = true;
+        episode_->debounce_machines = report.machines;
         job_->Stop();
-        sim_->Schedule(config_.network_debounce, [this, machines] {
-          bool still_bad = false;
-          for (MachineId m : machines) {
-            const Machine& machine = cluster_->machine(m);
-            if (cluster_->SlotOfMachine(m) >= 0 &&
-                (!machine.host().nic_up || !machine.host().switch_reachable ||
-                 machine.host().packet_loss_rate > 0.1)) {
-              still_bad = true;
-            }
-          }
-          if (still_bad) {
-            EvictAndRestart(machines, ResolutionMechanism::kAutoFtEvictRestart, 0);
-          } else {
-            ReattemptRestart(0);  // the flap healed itself
-          }
-        });
+        sim_->Schedule(config_.network_debounce, [this] { RecheckNetworkDebounce(); });
         return;
       }
       // Machine-pinpointing inspection signals evict directly (step 1), with
@@ -230,6 +234,29 @@ void RobustController::RouteFresh(const AnomalyReport& report) {
     case AnomalySource::kMfuDecline:
       RunFailSlowVoting(0, std::make_shared<FailSlowVoter>(config_.failslow_rounds));
       return;
+  }
+}
+
+void RobustController::RecheckNetworkDebounce() {
+  if (!episode_.has_value() || !episode_->debounce_pending) {
+    return;  // the episode moved on (e.g. closed for a different incident)
+  }
+  episode_->debounce_pending = false;
+  const std::vector<MachineId> machines = std::move(episode_->debounce_machines);
+  episode_->debounce_machines.clear();
+  bool still_bad = false;
+  for (MachineId m : machines) {
+    const Machine& machine = cluster_->machine(m);
+    if (cluster_->SlotOfMachine(m) >= 0 &&
+        (!machine.host().nic_up || !machine.host().switch_reachable ||
+         machine.host().packet_loss_rate > config_.debounce_packet_loss_threshold)) {
+      still_bad = true;
+    }
+  }
+  if (still_bad) {
+    EvictAndRestart(machines, ResolutionMechanism::kAutoFtEvictRestart, 0);
+  } else {
+    ReattemptRestart(0);  // the flap healed itself
   }
 }
 

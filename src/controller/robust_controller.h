@@ -44,6 +44,11 @@ struct ControllerConfig {
   // self-recover, Sec. 4.1); checked again after this hold-off.
   SimDuration network_debounce = Seconds(150);
 
+  // Packet-loss rate above which the post-debounce recheck still considers a
+  // machine network-faulty. Defaults to the monitor's alert threshold so
+  // detection and the recheck agree on what "healed" means.
+  double debounce_packet_loss_threshold = 0.1;
+
   // A restart that survives this long without a recurring anomaly closes the
   // episode as resolved. Must exceed the slowest re-detection path (hang
   // grace + watchdog + detection latency), otherwise recurring failures look
@@ -114,6 +119,13 @@ class RobustController {
     ResolutionMechanism last_mechanism = ResolutionMechanism::kAutoFtEvictRestart;
     SimTime last_restart_time = 0;
     bool restart_in_progress = false;
+    // Network debounce hold-off in flight: sibling alerts (a flapping spine
+    // degrades every machine beneath it in the same inspection pass) fold
+    // into `debounce_machines` instead of escalating, so one correlated
+    // network event is handled as one episode covering its whole blast
+    // radius.
+    bool debounce_pending = false;
+    std::vector<MachineId> debounce_machines;
     bool tried_eviction = false;
     bool tried_stop_time = false;
     bool tried_reattempt = false;
@@ -124,6 +136,7 @@ class RobustController {
   void OnAnomaly(const AnomalyReport& report);
   void RouteFresh(const AnomalyReport& report);
   void Escalate(const AnomalyReport& report);
+  void RecheckNetworkDebounce();
 
   // Fig. 5 actions. Each consumes `localization` sim-time before restarting.
   void EvictAndRestart(std::vector<MachineId> machines, ResolutionMechanism mechanism,

@@ -26,6 +26,7 @@
 #include "src/recovery/hot_update.h"
 #include "src/recovery/warm_standby.h"
 #include "src/sim/simulator.h"
+#include "src/topology/fault_domains.h"
 #include "src/training/train_job.h"
 
 namespace byterobust {
@@ -43,6 +44,11 @@ struct SystemConfig {
   // candidates and reschedule headroom). Ignored in fleet wiring, where the
   // shared pool is sized by FleetConfig.
   int spare_machines = 8;
+  // Hierarchical fault-domain graph attached to the owned root cluster
+  // (self-contained wiring only; fleet members inherit the shared pool's
+  // graph from FleetConfig). Attaching is inert until a domain fault stream
+  // or injector actually impairs a domain.
+  FaultDomainConfig fault_domains;
   // Trailing window for ETTR-span / MFU-sample compaction (0 = unbounded).
   // Campaigns set this so per-run metric memory stays O(window) instead of
   // O(steps); keep 0 when historical sliding-ETTR curves or the full MFU

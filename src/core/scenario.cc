@@ -11,14 +11,18 @@ Scenario::Scenario(const ScenarioConfig& config)
     : config_(config),
       system_(std::make_unique<ByteRobustSystem>(config.system)),
       sys_(system_.get()),
-      rng_(config.system.seed ^ 0xC0FFEEULL) {
+      rng_(config.system.seed ^ 0xC0FFEEULL),
+      domain_rng_(config.system.seed ^ 0xD0AA11ULL) {
   injector_ = std::make_unique<FaultInjector>(config.injector, rng_.Fork());
   sys_->controller().SetRestartListener(
       [this](ResolutionMechanism mechanism) { OnRestart(mechanism); });
 }
 
 Scenario::Scenario(const ScenarioConfig& config, ByteRobustSystem* system)
-    : config_(config), sys_(system), rng_(system->config().seed ^ 0xC0FFEEULL) {
+    : config_(config),
+      sys_(system),
+      rng_(system->config().seed ^ 0xC0FFEEULL),
+      domain_rng_(system->config().seed ^ 0xD0AA11ULL) {
   injector_ = std::make_unique<FaultInjector>(config.injector, rng_.Fork());
   sys_->controller().SetRestartListener(
       [this](ResolutionMechanism mechanism) { OnRestart(mechanism); });
@@ -29,6 +33,9 @@ void Scenario::Begin() {
   ScheduleNextFailure();
   if (config_.planned_updates > 0) {
     ScheduleNextUpdate(0);
+  }
+  if (config_.domain_faults.mean_gap > 0 && sys_->cluster().fault_domains() != nullptr) {
+    ScheduleNextDomainFault();
   }
 }
 
@@ -94,6 +101,94 @@ void Scenario::InjectFailure() {
   TrackIncident(incident);
   ApplyEffect(incident);
   ScheduleNextFailure();
+}
+
+void Scenario::ScheduleNextDomainFault() {
+  const SimDuration delay = static_cast<SimDuration>(
+      domain_rng_.Exponential(static_cast<double>(config_.domain_faults.mean_gap)));
+  sys_->sim().Schedule(delay, [this] { InjectDomainFault(); });
+}
+
+void Scenario::InjectDomainFault() {
+  FaultDomains* domains = sys_->cluster().fault_domains();
+  const DomainFaultStreamConfig& cfg = config_.domain_faults;
+  const DomainLevel level = DomainFaultLevel(cfg.kind);
+  const int count = domains->CountAtLevel(level);
+  const DomainId id =
+      domains->DomainIdAt(level, static_cast<int>(domain_rng_.UniformInt(0, count - 1)));
+  if (domains->domain(id).state != DomainState::kUp) {
+    ScheduleNextDomainFault();  // still faulted from a previous draw; skip
+    return;
+  }
+  const bool transient = domain_rng_.Bernoulli(cfg.transient_fraction);
+  const SimTime now = sys_->sim().Now();
+  const DomainFaultEffect effect = DomainInjector::ApplyToDomain(
+      cfg.kind, id, cfg.degradation_factor, &sys_->cluster(), now);
+  // Ground truth for the per-job incident: only the machines actually serving
+  // this job's slots (idle spares under the domain degrade silently).
+  const std::vector<MachineId> serving = DomainInjector::ServingUnder(sys_->cluster(), id);
+  ++stats_.domain_faults_injected;
+  const int blast_event =
+      domain_blast_.RecordInjection(level, cfg.kind, static_cast<int>(effect.affected.size()),
+                                    serving.empty() ? 0 : 1, transient, now);
+  BR_LOG_INFO("scenario", "domain fault %s on %s #%d: %d machine(s), %d serving%s",
+              DomainFaultKindName(cfg.kind), DomainLevelName(level),
+              domains->domain(id).index, static_cast<int>(effect.affected.size()),
+              static_cast<int>(serving.size()), transient ? " (transient)" : "");
+
+  std::uint64_t incident_id = 0;
+  if (cfg.kind != DomainFaultKind::kLinkFailSlow && !serving.empty()) {
+    Incident inc;
+    // Domain incident ids live above every other generator's range (injector
+    // small ids, buggy updates 1000000+, fleet storms 5000000+).
+    inc.id = 7000000 + next_domain_fault_id_;
+    inc.symptom = DomainFaultSymptom(cfg.kind);
+    inc.root_cause = transient ? RootCause::kTransient : RootCause::kInfrastructure;
+    inc.faulty_machines = serving;
+    inc.inject_time = now;
+    incident_id = inc.id;
+    ++stats_.incidents_injected;
+    ++stats_.injected_by_symptom[static_cast<int>(inc.symptom)];
+    for (MachineId m : serving) {
+      ++sys_->cluster().machine(m).incident_count;
+    }
+    sys_->controller().NotifyIncidentInjected(inc);
+    // Track for refail-on-restart like injector incidents, but *without*
+    // TrackIncident's transient_heal timer: domain faults heal on their own
+    // hold through HealDomainFault, which also restores the domain node.
+    ActiveIncident active;
+    active.incident = inc;
+    active_.push_back(active);
+    if (cfg.kind == DomainFaultKind::kPowerLoss &&
+        sys_->job().state() == JobRunState::kRunning) {
+      // Powered-off machines take their training processes down with them.
+      sys_->job().Crash();
+    }
+    // Spine flaps stay gray: the network inspection sees the packet loss and
+    // the controller's debounce decides eviction vs reattempt.
+  }
+
+  const double ettr_at_inject = sys_->ettr().CumulativeEttr(now);
+  const SimDuration hold = transient ? cfg.transient_hold : cfg.persistent_hold;
+  sys_->sim().Schedule(hold, [this, id, incident_id, blast_event, transient, ettr_at_inject] {
+    HealDomainFault(id, incident_id, transient);
+    domain_blast_.RecordHeal(blast_event,
+                             sys_->ettr().CumulativeEttr(sys_->sim().Now()) - ettr_at_inject);
+  });
+  ++next_domain_fault_id_;
+  ScheduleNextDomainFault();
+}
+
+void Scenario::HealDomainFault(DomainId domain, std::uint64_t incident_id, bool transient) {
+  if (transient && incident_id != 0) {
+    for (ActiveIncident& a : active_) {
+      if (a.incident.id == incident_id) {
+        a.healed = true;  // the flap self-recovered; IsResolved now passes
+      }
+    }
+  }
+  DomainInjector::HealDomain(config_.domain_faults.kind, domain, &sys_->cluster(),
+                             sys_->sim().Now());
 }
 
 void Scenario::TrackIncident(const Incident& incident) {

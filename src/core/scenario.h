@@ -13,7 +13,9 @@
 #include <vector>
 
 #include "src/core/byterobust_system.h"
+#include "src/faults/domain_injector.h"
 #include "src/faults/fault_injector.h"
+#include "src/metrics/domain_blast.h"
 
 namespace byterobust {
 
@@ -35,6 +37,12 @@ struct ScenarioConfig {
   SimDuration refail_delay = Seconds(90);
   // Transient faults self-heal after this long.
   SimDuration transient_heal = Minutes(3);
+
+  // Correlated domain-fault stream (spine flaps / power loss / link
+  // fail-slow). Inactive unless mean_gap > 0 *and* the system's cluster has a
+  // fault-domain graph attached; drawn from a dedicated RNG stream so
+  // enabling it never perturbs the per-machine injector's draws.
+  DomainFaultStreamConfig domain_faults;
 };
 
 struct ScenarioStats {
@@ -43,6 +51,7 @@ struct ScenarioStats {
   int updates_submitted = 0;
   int buggy_updates = 0;
   int refails = 0;
+  int domain_faults_injected = 0;
 };
 
 class Scenario {
@@ -73,6 +82,9 @@ class Scenario {
   ByteRobustSystem& system() { return *sys_; }
   const ScenarioStats& stats() const { return stats_; }
   const ScenarioConfig& config() const { return config_; }
+  // Blast-radius accounting for this scenario's domain-fault stream (empty
+  // when the stream is disabled).
+  const DomainBlastStats& domain_blast() const { return domain_blast_; }
 
  private:
   struct ActiveIncident {
@@ -84,6 +96,9 @@ class Scenario {
   void ScheduleNextFailure();
   void ScheduleNextUpdate(int update_index);
   void InjectFailure();
+  void ScheduleNextDomainFault();
+  void InjectDomainFault();
+  void HealDomainFault(DomainId domain, std::uint64_t incident_id, bool transient);
   void TrackIncident(const Incident& incident);
   void ApplyEffect(const Incident& incident);
   void OnRestart(ResolutionMechanism mechanism);
@@ -95,7 +110,13 @@ class Scenario {
   ByteRobustSystem* sys_ = nullptr;           // the driven system (owned or external)
   std::unique_ptr<FaultInjector> injector_;
   Rng rng_;
+  // Dedicated stream for domain-fault placement/holds: deriving it from a
+  // separate seed constant keeps the legacy injector/update draws untouched
+  // whether or not the stream is enabled.
+  Rng domain_rng_;
   ScenarioStats stats_;
+  DomainBlastStats domain_blast_;
+  std::uint64_t next_domain_fault_id_ = 0;
   std::vector<ActiveIncident> active_;
   // Non-buggy engineering updates that a (possibly spurious) rollback popped;
   // the owning team re-lands them after review (capped attempts per version).

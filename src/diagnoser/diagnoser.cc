@@ -61,8 +61,9 @@ std::vector<MachineId> Diagnoser::RunInterMachineAllGather(const Cluster& cluste
   std::vector<MachineId> suspects;
   for (MachineId id : cluster.SuspectServingMachines()) {
     const Machine& m = cluster.machine(id);
-    const bool net_fault =
-        !m.host().nic_up || m.host().packet_loss_rate > 0.05 || !m.host().switch_reachable;
+    const bool net_fault = !m.host().nic_up ||
+                           m.host().packet_loss_rate > config_.inter_packet_loss_threshold ||
+                           !m.host().switch_reachable;
     if (net_fault && rng_.Bernoulli(config_.inter_recall)) {
       suspects.push_back(id);
     }

@@ -31,6 +31,12 @@ struct DiagnoserConfig {
   double intra_recall_comm_defect = 0.10;  // defective CUDA cores seldom trip it
   double inter_recall = 0.92;         // NIC / switch / link faults
   double bitwise_recall_sdc = 0.90;   // deterministic workload vs golden output
+
+  // Packet-loss rate above which the inter-machine all-gather flags a host.
+  // Tighter than the monitor's alert threshold (kNetworkPacketLossAlert):
+  // the dedicated stop-time collective notices degradation the lightweight
+  // inspection tolerates. Domain-degradation tests tune this.
+  double inter_packet_loss_threshold = 0.05;
 };
 
 // Outcome of one stop-time diagnostic session.

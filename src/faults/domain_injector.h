@@ -1,0 +1,94 @@
+// Correlated fault injection over the hierarchical fault-domain graph
+// (src/topology/fault_domains.h): instead of striking one machine, a domain
+// fault flips the health of every machine beneath a ToR / spine / pod at
+// once, mirroring the paper's correlated infrastructure incidents (switch
+// storms, power events) and the graceful-degradation ladder — transient
+// domain faults heal inside the controller's network debounce without
+// eviction, persistent ones escalate to per-machine incidents exactly like
+// the single-machine injector's.
+
+#ifndef SRC_FAULTS_DOMAIN_INJECTOR_H_
+#define SRC_FAULTS_DOMAIN_INJECTOR_H_
+
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/sim_time.h"
+#include "src/faults/incident.h"
+#include "src/topology/fault_domains.h"
+
+namespace byterobust {
+
+// The correlated fault classes the graph can express.
+enum class DomainFaultKind : int {
+  // Spine switch flapping: every machine under the spine loses switch
+  // reachability and sees packet loss (gray network fault; the network
+  // inspection + debounce path decides eviction vs reattempt).
+  kSpineFlap = 0,
+  // Pod power-domain loss: every machine under the pod hard-fails (kernel
+  // panic signal; high-confidence inspection evicts the whole sub-tree).
+  kPowerLoss,
+  // ToR uplink fail-slow: no per-machine health signal at all — the degraded
+  // link applies congestion backpressure to the step time of every job whose
+  // collectives cross the band, surfacing only as an MFU decline.
+  kLinkFailSlow,
+  // Fleet ToR switch storm (src/fleet): the legacy band storm re-expressed on
+  // the graph; per-machine effects match kSpineFlap but scoped to one rack.
+  kSwitchStorm,
+};
+
+const char* DomainFaultKindName(DomainFaultKind kind);
+
+// Level the kind strikes at.
+DomainLevel DomainFaultLevel(DomainFaultKind kind);
+
+// Symptom the affected jobs' monitors should attribute (kMfuDecline for
+// fail-slow, which never produces an explicit incident).
+IncidentSymptom DomainFaultSymptom(DomainFaultKind kind);
+
+// One Poisson stream of correlated domain faults for a scenario.
+struct DomainFaultStreamConfig {
+  DomainFaultKind kind = DomainFaultKind::kSpineFlap;
+  // Mean gap between domain faults (0 disables the stream).
+  SimDuration mean_gap = 0;
+  // Fraction of faults that self-heal after transient_hold (the rest persist
+  // for persistent_hold and force eviction of the serving sub-tree).
+  double transient_fraction = 0.7;
+  // Must undercut the controller's network debounce (150 s default) for the
+  // graceful no-eviction path to engage.
+  SimDuration transient_hold = Seconds(90);
+  SimDuration persistent_hold = Hours(2);
+  // Congestion factor a fail-slow link applies to crossing collectives.
+  double degradation_factor = 0.55;
+};
+
+// Machines a domain fault touched (non-blacklisted machines under the
+// domain; empty for kLinkFailSlow, which flips no machine health).
+struct DomainFaultEffect {
+  DomainId domain = -1;
+  std::vector<MachineId> affected;
+};
+
+// Stateless apply/heal helpers, unit-testable without a Scenario. The cluster
+// must have a fault-domain graph attached (Cluster::AttachFaultDomains).
+class DomainInjector {
+ public:
+  // Flips the domain's health state and the per-machine health flags of every
+  // non-blacklisted machine beneath it, per kind.
+  static DomainFaultEffect ApplyToDomain(DomainFaultKind kind, DomainId id,
+                                         double degradation_factor, Cluster* cluster,
+                                         SimTime now);
+
+  // Restores the domain to kUp and resets the health of the non-blacklisted
+  // machines beneath it (blacklisted machines stay evicted: a healed domain
+  // does not resurrect eviction decisions).
+  static void HealDomain(DomainFaultKind kind, DomainId id, Cluster* cluster, SimTime now);
+
+  // Machines under `id` currently serving `view`'s training slots, in id
+  // order — the ground-truth faulty set for the per-job incident.
+  static std::vector<MachineId> ServingUnder(const Cluster& view, DomainId id);
+};
+
+}  // namespace byterobust
+
+#endif  // SRC_FAULTS_DOMAIN_INJECTOR_H_

@@ -15,23 +15,39 @@ FaultInjector::FaultInjector(const FaultInjectorConfig& config, Rng rng)
   }
 }
 
+namespace {
+
+// Casting a double above INT64_MAX to SimDuration is undefined behaviour (and
+// in practice wraps negative, which Schedule() clamps to an *immediate* event
+// -- the exact opposite of a huge delay). Saturate instead so extreme MTBF
+// configs mean "effectively never".
+SimDuration SaturatingDuration(double microseconds) {
+  constexpr double kMax = 9.2e18;  // just below INT64_MAX
+  if (microseconds >= kMax) {
+    return static_cast<SimDuration>(kMax);
+  }
+  return static_cast<SimDuration>(microseconds);
+}
+
+}  // namespace
+
 SimDuration FaultInjector::MtbfFor(int num_machines) const {
   if (num_machines <= 0) {
     throw std::invalid_argument("num_machines must be positive");
   }
   const double scale =
       static_cast<double>(config_.reference_machines) / static_cast<double>(num_machines);
-  return static_cast<SimDuration>(static_cast<double>(config_.reference_mtbf) * scale);
+  return SaturatingDuration(static_cast<double>(config_.reference_mtbf) * scale);
 }
 
 SimDuration FaultInjector::NextFailureDelay(int num_machines) {
   const double mean = static_cast<double>(MtbfFor(num_machines));
-  return static_cast<SimDuration>(rng_.Exponential(mean));
+  return SaturatingDuration(rng_.Exponential(mean));
 }
 
 SimDuration FaultInjector::NextManualRestartDelay() {
   const double mean = static_cast<double>(config_.manual_restart_interval);
-  return static_cast<SimDuration>(rng_.Exponential(mean));
+  return SaturatingDuration(rng_.Exponential(mean));
 }
 
 RootCause FaultInjector::SampleRootCause(IncidentSymptom symptom) {

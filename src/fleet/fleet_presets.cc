@@ -88,6 +88,9 @@ FleetConfig FleetSwitchStormConfig(double days, std::uint64_t seed) {
   cfg.storm.mean_gap = Hours(1.5);
   cfg.storm.machines_per_switch = 6;
   cfg.storm.transient_fraction = 0.5;
+  // Keep the graph's ToR bands congruent with the legacy band math above so
+  // storms land on identical machine ranges on both paths.
+  cfg.fault_domains.machines_per_tor = 6;
   for (FleetJobSpec& spec : cfg.jobs) {
     // Storms dominate; keep the per-job background mix sparse, and let
     // transient storms self-heal before the 150 s network debounce expires.

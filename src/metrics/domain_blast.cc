@@ -1,0 +1,43 @@
+#include "src/metrics/domain_blast.h"
+
+namespace byterobust {
+
+int DomainBlastStats::RecordInjection(DomainLevel level, DomainFaultKind kind,
+                                      int machines_affected, int jobs_affected,
+                                      bool transient, SimTime inject_time) {
+  DomainBlastEvent event;
+  event.level = level;
+  event.kind = kind;
+  event.machines_affected = machines_affected;
+  event.jobs_affected = jobs_affected;
+  event.transient = transient;
+  event.inject_time = inject_time;
+  events_.push_back(event);
+  return static_cast<int>(events_.size()) - 1;
+}
+
+void DomainBlastStats::RecordHeal(int event_index, double ettr_delta) {
+  DomainBlastEvent& event = events_.at(static_cast<std::size_t>(event_index));
+  event.healed = true;
+  event.ettr_delta = ettr_delta;
+}
+
+std::map<int, DomainBlastLevelSummary> DomainBlastStats::SummaryByLevel() const {
+  std::map<int, DomainBlastLevelSummary> by_level;
+  for (const DomainBlastEvent& event : events_) {
+    DomainBlastLevelSummary& s = by_level[static_cast<int>(event.level)];
+    ++s.events;
+    if (event.transient) {
+      ++s.transient_events;
+    }
+    ++s.machines_hist[event.machines_affected];
+    ++s.jobs_hist[event.jobs_affected];
+    if (event.healed) {
+      ++s.healed_events;
+      s.ettr_delta_sum += event.ettr_delta;
+    }
+  }
+  return by_level;
+}
+
+}  // namespace byterobust

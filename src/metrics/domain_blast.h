@@ -1,0 +1,68 @@
+// Per-domain blast-radius accounting for correlated fault injection
+// (src/faults/domain_injector.h), generalizing the fleet switch-storm
+// histogram of PR 5: every domain fault records the machines and jobs it
+// touched plus — once it heals — the cumulative-ETTR delta it cost, and the
+// campaign JSON reports histograms of those per domain level.
+
+#ifndef SRC_METRICS_DOMAIN_BLAST_H_
+#define SRC_METRICS_DOMAIN_BLAST_H_
+
+#include <map>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/faults/domain_injector.h"
+
+namespace byterobust {
+
+// One correlated fault event, from injection to (optional) heal.
+struct DomainBlastEvent {
+  DomainLevel level = DomainLevel::kTor;
+  DomainFaultKind kind = DomainFaultKind::kSpineFlap;
+  int machines_affected = 0;
+  int jobs_affected = 0;
+  bool transient = false;
+  SimTime inject_time = 0;
+  bool healed = false;
+  // CumulativeEttr(heal) - CumulativeEttr(inject): the ETTR ground the event
+  // cost (usually negative). 0 until healed.
+  double ettr_delta = 0.0;
+};
+
+// Aggregation of the events at one domain level.
+struct DomainBlastLevelSummary {
+  int events = 0;
+  int transient_events = 0;
+  int healed_events = 0;
+  std::map<int, int> machines_hist;  // machines_affected -> event count
+  std::map<int, int> jobs_hist;      // jobs_affected -> event count
+  double ettr_delta_sum = 0.0;       // over healed events
+
+  double MeanEttrDelta() const {
+    return healed_events > 0 ? ettr_delta_sum / healed_events : 0.0;
+  }
+};
+
+class DomainBlastStats {
+ public:
+  // Records an injection; returns the event's index for RecordHeal.
+  int RecordInjection(DomainLevel level, DomainFaultKind kind, int machines_affected,
+                      int jobs_affected, bool transient, SimTime inject_time);
+
+  // Marks the event healed and stores its ETTR delta.
+  void RecordHeal(int event_index, double ettr_delta);
+
+  bool empty() const { return events_.empty(); }
+  const std::vector<DomainBlastEvent>& events() const { return events_; }
+
+  // Per-level aggregation, keyed by DomainLevel cast to int (ordered map so
+  // JSON emission is deterministic).
+  std::map<int, DomainBlastLevelSummary> SummaryByLevel() const;
+
+ private:
+  std::vector<DomainBlastEvent> events_;
+};
+
+}  // namespace byterobust
+
+#endif  // SRC_METRICS_DOMAIN_BLAST_H_

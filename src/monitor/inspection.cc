@@ -38,7 +38,7 @@ std::vector<InspectionFinding> RunInspection(InspectionCategory category,
     const Machine& m = cluster.machine(id);
     switch (category) {
       case InspectionCategory::kNetwork: {
-        if (!m.host().nic_up || m.host().packet_loss_rate > 0.1) {
+        if (!m.host().nic_up || m.host().packet_loss_rate > kNetworkPacketLossAlert) {
           findings.push_back({IncidentSymptom::kInfinibandError, id, false});
         }
         if (!m.host().switch_reachable) {

@@ -22,6 +22,13 @@ enum class InspectionCategory {
 
 const char* InspectionCategoryName(InspectionCategory category);
 
+// Packet-loss rate above which the network inspection raises an
+// InfinibandError finding. The controller's post-debounce recheck uses the
+// same value (ControllerConfig::debounce_packet_loss_threshold defaults to
+// it), so a flap that drops below this is "healed" consistently in both
+// places.
+inline constexpr double kNetworkPacketLossAlert = 0.1;
+
 // Per-category polling intervals (Table 3: network 30 s, GPU 10 s, host 2 s).
 struct InspectionIntervals {
   SimDuration network = Seconds(30);

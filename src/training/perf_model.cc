@@ -21,6 +21,7 @@ double PerfModel::SlowestClockRatio(const Cluster& cluster) {
 double PerfModel::CachedSlowestClockRatio(const Cluster& cluster) const {
   if (cached_cluster_ != &cluster || clock_epoch_ != cluster.health_epoch()) {
     cached_slowest_ = SlowestClockRatio(cluster);
+    cached_congestion_ = cluster.CongestionFactor();
     cached_cluster_ = &cluster;
     clock_epoch_ = cluster.health_epoch();
     perf_epoch_ = kNoEpoch;  // derived step-time/MFU cache is stale too
@@ -35,6 +36,14 @@ SimDuration PerfModel::StepTime(double code_efficiency, const Cluster& cluster) 
     cached_step_time_ =
         static_cast<SimDuration>(static_cast<double>(config_.base_step_time) / (eff * clock));
     cached_mfu_ = config_.base_mfu * code_efficiency * cached_slowest_;
+    if (cached_congestion_ < 1.0) {
+      // A fail-slow link crossed by the job's collectives stretches every
+      // step (and MFU) by the congestion factor. Guarded so flat topologies
+      // keep the exact pre-domain arithmetic.
+      cached_step_time_ = static_cast<SimDuration>(
+          static_cast<double>(config_.base_step_time) / (eff * clock * cached_congestion_));
+      cached_mfu_ *= cached_congestion_;
+    }
     perf_epoch_ = clock_epoch_;
     perf_efficiency_ = code_efficiency;
   }

@@ -83,6 +83,24 @@ TEST(DiagnoserTest, ZeroRecallFindsNothing) {
   EXPECT_FALSE(diag.RunNanSuite(cluster).HasSuspects());
 }
 
+TEST(DiagnoserTest, InterPacketLossThresholdIsConfigurable) {
+  // The inter-machine test flags lossy-but-up NICs via a named threshold
+  // instead of a hard-coded constant: the same 30% loss rate is a suspect
+  // under the default 5% bar and clean under a relaxed 50% bar.
+  Cluster lossy(4, 8);
+  lossy.machine(1).host().packet_loss_rate = 0.3;
+
+  Diagnoser strict(PerfectRecall(), Rng(1));
+  EXPECT_EQ(strict.RunNcclSuite(lossy).suspects, (std::vector<MachineId>{1}));
+
+  DiagnoserConfig relaxed_cfg = PerfectRecall();
+  relaxed_cfg.inter_packet_loss_threshold = 0.5;
+  Cluster lossy2(4, 8);
+  lossy2.machine(1).host().packet_loss_rate = 0.3;
+  Diagnoser relaxed(relaxed_cfg, Rng(1));
+  EXPECT_FALSE(relaxed.RunNcclSuite(lossy2).HasSuspects());
+}
+
 TEST(DiagnoserTest, ImperfectEudRecallIsStochastic) {
   DiagnoserConfig cfg = PerfectRecall();
   cfg.eud_recall_explicit = 0.7;  // Sec. 9: EUD achieves ~70% recall

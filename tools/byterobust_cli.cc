@@ -42,12 +42,15 @@
 #include "src/common/thread_annotations.h"
 #include "src/core/production_presets.h"
 #include "src/core/scenario.h"
+#include "src/faults/domain_injector.h"
 #include "src/faults/fault_injector.h"
+#include "src/metrics/domain_blast.h"
 #include "src/fleet/fleet.h"
 #include "src/fleet/fleet_presets.h"
 #include "src/metrics/report.h"
 #include "src/recovery/restart_model.h"
 #include "src/recovery/was_model.h"
+#include "src/topology/fault_domains.h"
 
 namespace byterobust {
 namespace {
@@ -185,6 +188,12 @@ struct ScenarioSpec {
   bool targeted;                  // single-symptom campaign vs full mix
   IncidentSymptom symptom;        // targeted only
   double default_days;
+  // Correlated fault-domain campaigns: when set, the scenario's dominant
+  // stream is a Poisson process of *domain* faults of this kind over the
+  // hierarchical topology graph (src/topology/fault_domains.h), with a sparse
+  // background Table 1 mix underneath.
+  bool domain = false;
+  DomainFaultKind domain_kind = DomainFaultKind::kSpineFlap;
 };
 
 const std::vector<ScenarioSpec>& Specs() {
@@ -209,6 +218,12 @@ const std::vector<ScenarioSpec>& Specs() {
        IncidentSymptom::kJobHang, 0.5},
       {"nan-loss", "targeted kNanValue injection campaign", true,
        IncidentSymptom::kNanValue, 0.5},
+      {"spine-flap", "correlated spine flaps: gray network faults over whole sub-trees", false,
+       IncidentSymptom::kInfinibandError, 0.5, true, DomainFaultKind::kSpineFlap},
+      {"power-domain", "pod power-domain losses killing every machine beneath", false,
+       IncidentSymptom::kOsKernelPanic, 0.5, true, DomainFaultKind::kPowerLoss},
+      {"link-failslow", "silent ToR fail-slow: congestion backpressure, MFU-only signal", false,
+       IncidentSymptom::kMfuDecline, 0.5, true, DomainFaultKind::kLinkFailSlow},
   };
   return specs;
 }
@@ -327,6 +342,42 @@ ScenarioConfig MixedConfig(const std::string& name, double days, std::uint64_t s
   return cfg;
 }
 
+// Correlated fault-domain campaigns: the quickstart cluster with the domain
+// stream dominant and the Table 1 background mix throttled way down, so the
+// blast-radius metrics reflect the correlated faults rather than the mix.
+ScenarioConfig DomainConfig(const ScenarioSpec& spec, double days, std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.system = QuickstartSystem(seed);
+  cfg.duration = Days(days);
+  // Quickstart has 20 machines (16 serving + 4 spares); the default 6/4 tree
+  // would collapse to a single spine covering everything. 4 machines per ToR
+  // and 2 ToRs per spine gives 5 ToRs / 3 spines / 2 pods, so domain faults
+  // strike proper sub-trees instead of the whole cluster.
+  cfg.system.fault_domains.machines_per_tor = 4;
+  cfg.system.fault_domains.tors_per_spine = 2;
+  cfg.injector.reference_mtbf = Hours(6.0);
+  cfg.injector.reference_machines = 64;
+  cfg.planned_updates = 0;
+  cfg.domain_faults.kind = spec.domain_kind;
+  cfg.domain_faults.mean_gap = Minutes(45);
+  switch (spec.domain_kind) {
+    case DomainFaultKind::kPowerLoss:
+      // Power loss never self-heals inside a debounce; every event is a
+      // persistent whole-pod outage (shortened so a half-day run recovers).
+      cfg.domain_faults.transient_fraction = 0.0;
+      cfg.domain_faults.persistent_hold = Hours(1);
+      break;
+    case DomainFaultKind::kLinkFailSlow:
+      cfg.domain_faults.transient_fraction = 0.5;
+      cfg.domain_faults.persistent_hold = Hours(1);
+      cfg.domain_faults.degradation_factor = 0.55;
+      break;
+    default:
+      break;  // spine-flap: default 70% transient, healing inside the debounce
+  }
+  return cfg;
+}
+
 // ---------------------------------------------------------------------------
 // One campaign run -> metrics.
 // ---------------------------------------------------------------------------
@@ -360,6 +411,8 @@ struct RunResult {
   double was_byterobust_s = 0.0;
   double was_requeue_s = 0.0;
   std::map<std::string, int> mechanisms;
+  int domain_faults_injected = 0;
+  DomainBlastStats domain_blast;  // empty unless the scenario injects domain faults
 };
 
 LatencyStats Summarize(const std::vector<double>& xs) {
@@ -420,7 +473,8 @@ RunResult RunMixed(const ScenarioSpec& spec, double days, std::uint64_t seed) {
   r.scenario = spec.name;
   r.seed = seed;
   r.days = days;
-  ScenarioConfig cfg = MixedConfig(spec.name, days, seed);
+  ScenarioConfig cfg =
+      spec.domain ? DomainConfig(spec, days, seed) : MixedConfig(spec.name, days, seed);
   cfg.system.job.batched_stepping = StepBatchingEnabled();
   cfg.system.metrics_retention = MetricsRetentionFromEnv();
   Scenario scenario(cfg);
@@ -428,6 +482,8 @@ RunResult RunMixed(const ScenarioSpec& spec, double days, std::uint64_t seed) {
   r.incidents_injected = scenario.stats().incidents_injected;
   r.refails = scenario.stats().refails;
   r.updates_submitted = scenario.stats().updates_submitted;
+  r.domain_faults_injected = scenario.stats().domain_faults_injected;
+  r.domain_blast = scenario.domain_blast();
   CollectSystemMetrics(scenario.system(), &r);
   return r;
 }
@@ -538,6 +594,40 @@ void WriteLatency(JsonWriter* w, const std::string& key, const LatencyStats& s) 
   w->EndObject();
 }
 
+// Per-domain-level blast-radius block, shared by campaign runs and the fleet
+// seed element. Only emitted when at least one domain fault fired, so flat
+// (or BYTEROBUST_FAULT_DOMAINS=0) campaigns keep their PR 6 byte layout.
+void WriteDomainBlast(JsonWriter* w, const std::string& key, const DomainBlastStats& stats) {
+  w->Key(key);
+  w->BeginObject();
+  w->Field("events", static_cast<int>(stats.events().size()));
+  w->Key("levels");
+  w->BeginObject();
+  for (const auto& [level, s] : stats.SummaryByLevel()) {
+    w->Key(DomainLevelName(static_cast<DomainLevel>(level)));
+    w->BeginObject();
+    w->Field("events", s.events);
+    w->Field("transient", s.transient_events);
+    w->Field("healed", s.healed_events);
+    w->Field("mean_ettr_delta", s.MeanEttrDelta());
+    w->Key("machines_hist");
+    w->BeginObject();
+    for (const auto& [machines, count] : s.machines_hist) {
+      w->Field(std::to_string(machines), count);
+    }
+    w->EndObject();
+    w->Key("jobs_hist");
+    w->BeginObject();
+    for (const auto& [jobs, count] : s.jobs_hist) {
+      w->Field(std::to_string(jobs), count);
+    }
+    w->EndObject();
+    w->EndObject();
+  }
+  w->EndObject();
+  w->EndObject();
+}
+
 void WriteRunFields(JsonWriter* w, const RunResult& r) {
   w->Field("scenario", r.scenario);
   w->Field("seed", r.seed);
@@ -576,6 +666,10 @@ void WriteRunFields(JsonWriter* w, const RunResult& r) {
     w->Field(name, count);
   }
   w->EndObject();
+  if (!r.domain_blast.empty()) {
+    w->Field("domain_faults_injected", r.domain_faults_injected);
+    WriteDomainBlast(w, "fault_domains", r.domain_blast);
+  }
 }
 
 void WriteRun(JsonWriter* w, const RunResult& r) {
@@ -1350,6 +1444,9 @@ SeedOutcome RunFleetSeed(const FleetSpec& spec, double days, std::uint64_t seed)
     w.Field(std::to_string(radius), count);
   }
   w.EndObject();
+  if (!fleet.domain_blast().empty()) {
+    WriteDomainBlast(&w, "domain_blast", fleet.domain_blast());
+  }
   const SpareOccupancySummary occ = fleet.OccupancySummary();
   w.Key("spare_pool");
   w.BeginObject();

@@ -1,0 +1,88 @@
+# ctest helper: the correlated fault-domain scenarios must compose with the
+# campaign machinery deterministically —
+#   - `campaign --scenario spine-flap --seeds 8` must emit byte-identical JSON
+#     at --jobs 1 and --jobs 8 (seeds map to fixed output slots, seed-ordered
+#     merge);
+#   - --stream (incremental layout, aggregate trailing) must carry the exact
+#     same runs and aggregate values, compared as parsed JSON when python3 is
+#     available, with a structural fallback otherwise;
+#   - every run must report its per-domain blast-radius block.
+#
+#   cmake -DCLI=<byterobust binary> -DWORK_DIR=<scratch dir> -P check_domain_determinism.cmake
+
+foreach(var CLI WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "${var} is required")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+set(scenario "campaign;--scenario;spine-flap;--seeds;8;--days;2")
+
+foreach(jobs 1 8)
+  execute_process(
+      COMMAND ${CLI} ${scenario} --jobs ${jobs} --out ${WORK_DIR}/domain_jobs${jobs}.json
+      OUTPUT_QUIET
+      RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "spine-flap --jobs ${jobs} failed with ${rc}")
+  endif()
+endforeach()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+        ${WORK_DIR}/domain_jobs1.json ${WORK_DIR}/domain_jobs8.json
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "spine-flap JSON differs between --jobs 1 and --jobs 8")
+endif()
+
+# Every run of a domain scenario must carry the blast-radius block.
+file(READ ${WORK_DIR}/domain_jobs1.json reference)
+string(REGEX MATCHALL "\"fault_domains\":" blast_fields "${reference}")
+list(LENGTH blast_fields blast_count)
+if(NOT blast_count EQUAL 8)
+  message(FATAL_ERROR "expected 8 fault_domains blocks, found ${blast_count}")
+endif()
+
+# --stream: same content, incremental layout.
+execute_process(
+    COMMAND ${CLI} ${scenario} --jobs 2 --stream --out ${WORK_DIR}/domain_stream.json
+    OUTPUT_QUIET
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "spine-flap --stream failed with ${rc}")
+endif()
+
+find_program(PYTHON3 NAMES python3 python)
+if(PYTHON3)
+  execute_process(
+      COMMAND ${PYTHON3} -c "
+import json, sys
+a = json.load(open(sys.argv[1]))
+b = json.load(open(sys.argv[2]))
+assert a['runs'] == b['runs'], 'runs differ between --stream and reference'
+assert a['aggregate'] == b['aggregate'], 'aggregate differs between --stream and reference'
+for k in ('tool', 'command', 'scenario', 'seeds', 'base_seed', 'days'):
+    assert a[k] == b[k], 'header field %s differs' % k
+for run in a['runs']:
+    levels = run['fault_domains']['levels']
+    assert levels, 'run %d has an empty blast-radius block' % run['seed']
+" ${WORK_DIR}/domain_stream.json ${WORK_DIR}/domain_jobs1.json
+      RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR "spine-flap --stream content differs from the reference layout")
+  endif()
+else()
+  file(READ ${WORK_DIR}/domain_stream.json direct)
+  string(REGEX MATCHALL "\"fault_domains\":" blast_fields "${direct}")
+  list(LENGTH blast_fields blast_count)
+  if(NOT blast_count EQUAL 8)
+    message(FATAL_ERROR "--stream output holds ${blast_count} blast blocks, expected 8")
+  endif()
+  string(FIND "${direct}" "\"aggregate\":" agg_pos)
+  if(agg_pos EQUAL -1)
+    message(FATAL_ERROR "--stream output is missing the aggregate block")
+  endif()
+endif()

@@ -1,0 +1,46 @@
+# ctest helper: attaching the fault-domain graph must not perturb flat-topology
+# campaigns. With no correlated domain stream configured, the graph is pure
+# bookkeeping — every RNG draw, event and JSON byte must match the legacy path
+# (BYTEROBUST_FAULT_DOMAINS=0, which skips the graph attach entirely):
+#   - `campaign --scenario dense` byte-identical with the graph on and off;
+#   - `fleet --scenario fleet-mixed` byte-identical with the graph on and off.
+#
+#   cmake -DCLI=<byterobust binary> -DWORK_DIR=<scratch dir> -P check_domain_equivalence.cmake
+
+foreach(var CLI WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "${var} is required")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+set(case_dense "campaign;--scenario;dense;--seeds;4;--days;2")
+set(case_fleet_mixed "fleet;--scenario;fleet-mixed;--seeds;4;--days;0.3")
+
+foreach(name dense fleet_mixed)
+  set(case ${case_${name}})
+  execute_process(
+      COMMAND ${CLI} ${case} --out ${WORK_DIR}/equiv_${name}_graph.json
+      OUTPUT_QUIET
+      RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${name} with fault domains failed with ${rc}")
+  endif()
+  execute_process(
+      COMMAND ${CMAKE_COMMAND} -E env BYTEROBUST_FAULT_DOMAINS=0
+          ${CLI} ${case} --out ${WORK_DIR}/equiv_${name}_legacy.json
+      OUTPUT_QUIET
+      RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${name} with BYTEROBUST_FAULT_DOMAINS=0 failed with ${rc}")
+  endif()
+  execute_process(
+      COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/equiv_${name}_graph.json ${WORK_DIR}/equiv_${name}_legacy.json
+      RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+        "${name} JSON differs between the fault-domain graph and the legacy flat path")
+  endif()
+endforeach()
