@@ -30,6 +30,7 @@
 #ifndef SRC_COMMON_SYNC_H_
 #define SRC_COMMON_SYNC_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -84,6 +85,18 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // the caller still holds the mutex, as annotated
+  }
+
+  // Timed wait: returns false if `seconds` elapsed without a notification.
+  // Same contract as Wait() — mutex held on entry and on return, spurious
+  // wakeups possible, so callers loop on their condition and their own
+  // deadline (see the seed supervisor's watchdog in src/harness/supervisor.cc).
+  bool WaitFor(Mutex* mu, double seconds) BR_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    const std::cv_status status =
+        cv_.wait_for(lock, std::chrono::duration<double>(seconds));
+    lock.release();
+    return status == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

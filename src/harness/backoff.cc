@@ -1,0 +1,37 @@
+#include "src/harness/backoff.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace byterobust {
+
+std::uint64_t HarnessMix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+BackoffPolicy::BackoffPolicy(const BackoffConfig& config, std::uint64_t seed)
+    : config_(config), seed_(seed) {}
+
+double BackoffPolicy::DelayMs(int attempt) const {
+  if (attempt < 1 || config_.base_ms <= 0.0) {
+    return 0.0;
+  }
+  const double growth =
+      std::pow(std::max(config_.multiplier, 1.0), static_cast<double>(attempt - 1));
+  const double capped = std::min(config_.base_ms * growth, config_.max_ms);
+  const double jitter = std::clamp(config_.jitter, 0.0, 1.0);
+  if (jitter == 0.0) {
+    return capped;
+  }
+  // One draw per (seed, attempt): reconstructing the generator keeps the
+  // policy stateless, so concurrent callers never perturb each other.
+  Rng rng(HarnessMix(seed_ ^ (static_cast<std::uint64_t>(attempt) * 0x9E3779B9ULL)));
+  return capped * rng.Uniform(1.0 - jitter, 1.0 + jitter);
+}
+
+}  // namespace byterobust

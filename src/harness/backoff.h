@@ -1,0 +1,45 @@
+// Deterministic exponential backoff with seeded jitter.
+//
+// Retry pacing for the seed supervisor (src/harness/supervisor.h): delays
+// grow geometrically per attempt, are capped, and carry multiplicative
+// jitter drawn from an explicitly seeded Rng — the same (seed, attempt)
+// pair always yields the same delay, so retry schedules are reproducible
+// and unit-testable, while different seeds decorrelate workers that fail
+// together (no thundering-herd retries).
+
+#ifndef SRC_HARNESS_BACKOFF_H_
+#define SRC_HARNESS_BACKOFF_H_
+
+#include <cstdint>
+
+namespace byterobust {
+
+struct BackoffConfig {
+  double base_ms = 5.0;     // delay before the first retry
+  double multiplier = 2.0;  // geometric growth per further retry
+  double max_ms = 250.0;    // cap on the un-jittered delay
+  double jitter = 0.5;      // delay is scaled by U[1 - jitter, 1 + jitter)
+};
+
+class BackoffPolicy {
+ public:
+  // `seed` fixes the jitter stream; mix in a per-task salt so concurrent
+  // tasks retrying in lockstep draw different jitter.
+  BackoffPolicy(const BackoffConfig& config, std::uint64_t seed);
+
+  // Delay in milliseconds before retry `attempt` (1-based: attempt 1 is the
+  // first retry). Pure in (config, seed, attempt).
+  double DelayMs(int attempt) const;
+
+ private:
+  BackoffConfig config_;
+  std::uint64_t seed_;
+};
+
+// SplitMix64-style mixer for deriving independent harness seeds from a
+// campaign seed plus salts (seed index, attempt number, fault kind).
+std::uint64_t HarnessMix(std::uint64_t x);
+
+}  // namespace byterobust
+
+#endif  // SRC_HARNESS_BACKOFF_H_

@@ -1,0 +1,21 @@
+#include "src/harness/wallclock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace byterobust {
+
+double WallSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SleepMs(double ms) {
+  if (ms <= 0.0) {
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace byterobust

@@ -1,0 +1,24 @@
+// Wall-clock and sleep shim for harness supervision code.
+//
+// The simulator itself must never read real time (the determinism lint
+// rejects wall-clock calls on sight), but the harness that *hosts* campaign
+// workers has to: watchdog deadlines, retry backoff pacing and trailing
+// seed-duration estimates are properties of the machine the campaign runs
+// on, not of the simulated world. This file is the single allowlisted
+// wall-clock site (tools/determinism_lint_allow.txt); wall-clock values
+// steer scheduling only and never reach campaign JSON.
+
+#ifndef SRC_HARNESS_WALLCLOCK_H_
+#define SRC_HARNESS_WALLCLOCK_H_
+
+namespace byterobust {
+
+// Monotonic wall-clock seconds since an arbitrary epoch (steady_clock).
+double WallSeconds();
+
+// Blocks the calling thread for roughly `ms` milliseconds (no-op for <= 0).
+void SleepMs(double ms);
+
+}  // namespace byterobust
+
+#endif  // SRC_HARNESS_WALLCLOCK_H_

@@ -19,10 +19,21 @@
 // with a contended spare arbiter (src/fleet). `campaign` and `fleet` share
 // the seed-parallel worker pool and the spill/direct streaming merger, so
 // both are byte-identical across --jobs values and --stream on/off.
+//
+// Campaigns run under the src/harness fault-tolerance layer: every seed is
+// supervised (watchdog + deterministic retry/backoff), persistently failing
+// seeds are quarantined into a "failed_runs" block instead of aborting the
+// campaign, --journal/--resume give crash-safe restartability, and
+// SIGINT/SIGTERM drain in-flight seeds before exiting.
+//
+// Exit codes: 0 success; 1 I/O or worker error; 2 usage/setup error;
+// 20 campaign completed with quarantined seeds; 30 campaign interrupted
+// (signal or injected stop) after a graceful drain.
 
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +42,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -40,6 +52,8 @@
 #include "src/common/rng.h"
 #include "src/common/sync.h"
 #include "src/common/thread_annotations.h"
+#include "src/harness/journal.h"
+#include "src/harness/supervisor.h"
 #include "src/core/production_presets.h"
 #include "src/core/scenario.h"
 #include "src/faults/domain_injector.h"
@@ -696,12 +710,30 @@ void WriteAggregate(JsonWriter* w, const std::string& key, const Aggregate& a) {
 int Emit(JsonWriter* w, const std::string& out_path) {
   std::string text = w->Take();
   text += '\n';
-  std::fputs(text.c_str(), stdout);
+  // SIGPIPE is ignored, so a closed pipe surfaces here as a short write.
+  if (std::fwrite(text.data(), 1, text.size(), stdout) != text.size() ||
+      std::fflush(stdout) != 0) {
+    std::fprintf(stderr, "error: short write on stdout\n");
+    return 1;
+  }
   if (!out_path.empty() && !WriteFile(out_path, text)) {
     std::fprintf(stderr, "error: could not write %s\n", out_path.c_str());
     return 1;
   }
   return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Graceful shutdown: SIGINT/SIGTERM flip one lock-free flag that the worker
+// pool polls between seed claims — in-flight seeds finish, the journal and
+// any partial --stream output are flushed, and the campaign exits 30. A
+// second signal falls through to the default disposition (immediate kill).
+// ---------------------------------------------------------------------------
+std::atomic<bool> g_signal_stop{false};
+
+void HandleStopSignal(int sig) {
+  g_signal_stop.store(true, std::memory_order_release);
+  std::signal(sig, SIG_DFL);
 }
 
 // ---------------------------------------------------------------------------
@@ -723,6 +755,7 @@ int Emit(JsonWriter* w, const std::string& out_path) {
 struct SeedOutcome {
   std::string element;
   std::vector<double> summary;
+  bool failed = false;  // quarantined: no element, no summary slot
 };
 
 struct CampaignEngineSpec {
@@ -730,12 +763,53 @@ struct CampaignEngineSpec {
   int jobs = 1;
   bool stream = false;
   std::string out_path;
+  std::string label;           // "campaign:dense" etc — exception context
+  CampaignIdentity identity;   // what --journal records / --resume verifies
+  std::string journal_path;    // --journal: record committed seeds here
+  std::string resume_path;     // --resume: skip seeds already journaled here
+  int retries_override = -1;   // --retries; < 0 defers to env/default
   // Runs seed index i (workers call this concurrently; every run must bind
   // only thread-local / run-local state).
   std::function<SeedOutcome(int)> run_seed;
   std::function<void(JsonWriter*)> header_fields;
   std::function<void(JsonWriter*, const std::vector<std::vector<double>>&)> aggregates;
 };
+
+// A setup-stage problem (bad env knob, unreadable or mismatched journal):
+// reported before any worker spawns, exit code 2.
+class EngineSetupError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// One quarantined seed, rendered into the document's "failed_runs" block.
+struct FailedRun {
+  int index = 0;
+  std::uint64_t seed = 0;
+  int attempts = 0;
+  bool timed_out = false;
+  std::string error;
+};
+
+// Rendered as a primed depth-1 block so it splices after the closed "runs"
+// array; emitted only when non-empty, so clean campaigns keep their exact
+// byte layout.
+std::string RenderFailedRuns(const std::vector<FailedRun>& failures) {
+  JsonWriter w(/*depth=*/1, /*need_comma=*/true);
+  w.Key("failed_runs");
+  w.BeginArray();
+  for (const FailedRun& f : failures) {
+    w.BeginObject();
+    w.Field("index", f.index);
+    w.Field("seed", f.seed);
+    w.Field("attempts", f.attempts);
+    w.Field("timed_out", f.timed_out);
+    w.Field("error", f.error);
+    w.EndObject();
+  }
+  w.EndArray();
+  return w.Take();
+}
 
 // ---------------------------------------------------------------------------
 // Worker-pool plumbing. All cross-thread mutable state lives in the two small
@@ -752,12 +826,13 @@ struct CampaignEngineSpec {
 // and failed() flips so the other workers stop claiming seeds.
 class FailureLatch {
  public:
-  // Records the in-flight exception; call from a catch block.
-  void Capture() {
+  // Records an exception (usually std::current_exception(), or one re-wrapped
+  // with seed/worker context); the first capture wins.
+  void Capture(std::exception_ptr error) {
     failed_.store(true, std::memory_order_relaxed);
     const MutexLock lock(&mu_);
     if (!first_error_) {
-      first_error_ = std::current_exception();
+      first_error_ = std::move(error);
     }
   }
 
@@ -781,19 +856,34 @@ class FailureLatch {
   std::exception_ptr first_error_ BR_GUARDED_BY(mu_);
 };
 
-// Claims seed indices off the shared ticket until they run out or a worker
-// has failed; runs `run` for each claim, latching the first exception. The
-// optional `on_failure` hook runs after the latch captures (e.g. to wake a
-// committer blocked on a condition variable).
+// Claims seed indices off the shared ticket until they run out, a worker has
+// failed, or `stop` asks for a graceful drain (in-flight seeds finish, no new
+// claims); runs `run` for each claim, latching the first exception wrapped
+// with campaign/seed/worker context. The optional `on_failure` hook runs
+// after the latch captures (e.g. to wake a committer blocked on a condition
+// variable).
 void DrainSeeds(int seeds, std::atomic<int>* next_seed, FailureLatch* latch,
+                const std::string& label, int worker,
+                const std::function<bool()>& stop,
                 const std::function<void(int)>& run,
                 const std::function<void()>& on_failure = {}) {
   for (int i = next_seed->fetch_add(1); i < seeds && !latch->failed();
        i = next_seed->fetch_add(1)) {
+    if (stop && stop()) {
+      return;
+    }
     try {
       run(i);
+    } catch (const std::exception& e) {
+      latch->Capture(std::make_exception_ptr(std::runtime_error(
+          label + ", seed index " + std::to_string(i) + ", worker " +
+          std::to_string(worker) + ": " + e.what())));
+      if (on_failure) {
+        on_failure();
+      }
+      return;
     } catch (...) {
-      latch->Capture();
+      latch->Capture(std::current_exception());
       if (on_failure) {
         on_failure();
       }
@@ -808,7 +898,8 @@ void DrainSeeds(int seeds, std::atomic<int>* next_seed, FailureLatch* latch,
 // resident. A latched failure wakes the committer immediately.
 class OrderedCommitQueue {
  public:
-  explicit OrderedCommitQueue(const FailureLatch* latch) : latch_(latch) {}
+  OrderedCommitQueue(const FailureLatch* latch, int producers)
+      : latch_(latch), active_producers_(producers) {}
 
   void Push(int index, std::string element) {
     {
@@ -816,6 +907,20 @@ class OrderedCommitQueue {
       done_.emplace(index, std::move(element));
     }
     cv_.NotifyOne();
+  }
+
+  // Each producer thread calls this exactly once on exit. When the last one
+  // leaves, any committer still waiting for an unproduced seed (graceful
+  // stop, or a quarantine race) unblocks instead of waiting forever.
+  void ProducerExited() {
+    {
+      const MutexLock lock(&mu_);
+      --active_producers_;
+      if (active_producers_ > 0) {
+        return;
+      }
+    }
+    cv_.NotifyAll();
   }
 
   // Wakes the committer after the latch recorded a failure. Acquiring mu_
@@ -829,8 +934,9 @@ class OrderedCommitQueue {
     cv_.NotifyAll();
   }
 
-  // Blocks until element `index` is available (true) or the pool failed
-  // before producing it (false).
+  // Blocks until element `index` is available (true), or until it can never
+  // arrive — the pool failed, or every producer exited without pushing it
+  // (false).
   bool Pop(int index, std::string* element) {
     const MutexLock lock(&mu_);
     while (true) {
@@ -840,7 +946,7 @@ class OrderedCommitQueue {
         done_.erase(it);
         return true;
       }
-      if (latch_->failed()) {
+      if (latch_->failed() || active_producers_ == 0) {
         return false;
       }
       cv_.Wait(&mu_);
@@ -851,6 +957,7 @@ class OrderedCommitQueue {
   const FailureLatch* latch_;
   Mutex mu_;
   CondVar cv_;
+  int active_producers_ BR_GUARDED_BY(mu_);
   std::map<int, std::string> done_ BR_GUARDED_BY(mu_);
 };
 
@@ -942,6 +1049,9 @@ struct Options {
   double days = -1.0;  // < 0: use the scenario default
   bool stream = false;  // campaign/fleet: fully incremental output (--stream)
   std::string out_path;
+  std::string journal_path;  // --journal: crash-safe manifest of committed seeds
+  std::string resume_path;   // --resume: skip seeds already in this journal
+  int retries = -1;          // --retries; < 0 defers to env/default
 };
 
 // Header fields shared by every seed-campaign document (campaign and fleet).
@@ -961,7 +1071,9 @@ void WriteCampaignHeaderFields(JsonWriter* w, const ScenarioSpec& spec, const Op
 }
 
 // Incremental output: everything goes to stdout and (optionally) to --out,
-// written as produced instead of accumulated in one string.
+// written as produced instead of accumulated in one string. Construct — and
+// check ok() — BEFORE spawning workers, so an unwritable --out fails fast
+// instead of after minutes of simulation.
 class OutputSink {
  public:
   explicit OutputSink(const std::string& out_path) : path_(out_path) {
@@ -980,8 +1092,15 @@ class OutputSink {
   OutputSink(const OutputSink&) = delete;
   OutputSink& operator=(const OutputSink&) = delete;
 
+  // False when --out could not be opened; Finish() reports it.
+  bool ok() const { return ok_; }
+
   void Write(const std::string& text) {
-    std::fwrite(text.data(), 1, text.size(), stdout);
+    // SIGPIPE is ignored, so a reader hanging up surfaces as a short write
+    // here instead of killing the process mid-campaign.
+    if (std::fwrite(text.data(), 1, text.size(), stdout) != text.size()) {
+      stdout_ok_ = false;
+    }
     if (file_ != nullptr && std::fwrite(text.data(), 1, text.size(), file_) != text.size()) {
       ok_ = false;
     }
@@ -989,6 +1108,13 @@ class OutputSink {
 
   // 0 on success, mirroring Emit()'s contract.
   int Finish() {
+    if (std::fflush(stdout) != 0 || std::ferror(stdout) != 0) {
+      stdout_ok_ = false;
+    }
+    if (!stdout_ok_) {
+      std::fprintf(stderr, "error: short write on stdout\n");
+      return 1;
+    }
     if (!ok_) {
       std::fprintf(stderr, "error: could not write %s\n", path_.c_str());
       return 1;
@@ -1000,13 +1126,163 @@ class OutputSink {
   std::string path_;
   std::FILE* file_ = nullptr;
   bool ok_ = true;
+  bool stdout_ok_ = true;
 };
+
+// ---------------------------------------------------------------------------
+// CampaignHarness: the per-seed fault-tolerance wrapper shared by all three
+// engine paths. RunSeed(i) short-circuits seeds already committed in a
+// --resume journal, runs fresh seeds under the SeedSupervisor (watchdog,
+// deterministic retry/backoff, self-fault-injection), journals each success,
+// and converts persistent failures into quarantine outcomes instead of
+// exceptions. Thread-safe: workers call RunSeed concurrently.
+// ---------------------------------------------------------------------------
+class CampaignHarness {
+ public:
+  explicit CampaignHarness(const CampaignEngineSpec& spec) : spec_(spec) {
+    SupervisorConfig config;
+    std::string error;
+    if (!SupervisorConfig::FromEnv(spec.identity.base_seed, &config, &error)) {
+      throw EngineSetupError(error);
+    }
+    if (spec.retries_override >= 0) {
+      config.max_attempts = 1 + spec.retries_override;
+    }
+    config.external_stop = &g_signal_stop;
+    supervisor_.emplace(config);
+    if (!spec.resume_path.empty()) {
+      if (!journal_.OpenForResume(spec.resume_path, spec.identity, &resumed_, &error)) {
+        throw EngineSetupError(error);
+      }
+    } else if (!spec.journal_path.empty()) {
+      if (!journal_.Create(spec.journal_path, spec.identity, &error)) {
+        throw EngineSetupError(error);
+      }
+    }
+  }
+
+  SeedOutcome RunSeed(int i) {
+    // resumed_ is read-only after construction — safe without a lock.
+    const auto it = resumed_.find(i);
+    if (it != resumed_.end()) {
+      return SeedOutcome{it->second.element, it->second.summary, false};
+    }
+    SeedOutcome outcome;
+    SeedFailure failure;
+    const std::function<SeedOutcome(const CancelToken&)> attempt =
+        [this, i](const CancelToken&) { return spec_.run_seed(i); };
+    if (supervisor_->Supervise<SeedOutcome>(i, attempt, &outcome, &failure)) {
+      if (journal_.open() &&
+          !journal_.Append({i, outcome.summary, outcome.element})) {
+        throw std::runtime_error("journal append failed for seed index " +
+                                 std::to_string(i));
+      }
+      supervisor_->NoteCommitted();
+      return outcome;
+    }
+    {
+      const MutexLock lock(&mu_);
+      failures_.push_back({i,
+                           spec_.identity.base_seed + static_cast<std::uint64_t>(i),
+                           failure.attempts, failure.timed_out, failure.error});
+    }
+    outcome.element.clear();
+    outcome.summary.clear();
+    outcome.failed = true;
+    return outcome;
+  }
+
+  bool stop_requested() const { return supervisor_->stop_requested(); }
+
+  // Quarantined seeds in index order. Call after the pool joins.
+  std::vector<FailedRun> failures() const {
+    const MutexLock lock(&mu_);
+    std::vector<FailedRun> sorted = failures_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const FailedRun& a, const FailedRun& b) { return a.index < b.index; });
+    return sorted;
+  }
+
+  // Where to point the user when a run was interrupted mid-campaign.
+  std::string ResumeHint() const {
+    const std::string& path =
+        spec_.resume_path.empty() ? spec_.journal_path : spec_.resume_path;
+    if (path.empty()) {
+      return "; rerun with --journal FILE to make campaigns resumable";
+    }
+    return "; resume with --resume " + path;
+  }
+
+ private:
+  const CampaignEngineSpec& spec_;
+  std::optional<SeedSupervisor> supervisor_;
+  CampaignJournal journal_;
+  std::map<int, JournalEntry> resumed_;
+  mutable Mutex mu_;
+  std::vector<FailedRun> failures_ BR_GUARDED_BY(mu_);
+};
+
+// Reports a graceful interrupt (stderr note + exit 30), shared by the three
+// engine paths.
+int FinishInterrupted(const CampaignHarness& harness, int processed, int seeds) {
+  std::fprintf(stderr, "note: campaign interrupted after %d of %d seeds%s\n",
+               processed, seeds, harness.ResumeHint().c_str());
+  return 30;
+}
+
+// Exit code for a campaign that ran to completion: any I/O error wins, then
+// quarantined seeds map to the distinct completed-with-failures code.
+int FinishCompleted(OutputSink* sink, const std::vector<FailedRun>& failures) {
+  const int io = sink->Finish();
+  if (io != 0) {
+    return io;
+  }
+  return failures.empty() ? 0 : 20;
+}
 
 // Where one rendered seed landed inside its worker's spill file.
 struct SpillLocation {
   std::uint32_t worker = 0;
   long offset = 0;
   std::uint32_t length = 0;
+};
+
+// Owns the per-worker spill tmpfiles; every exit path (success, spill I/O
+// error, worker exception, interrupt) closes them through this one
+// destructor instead of hand-rolled cleanup loops.
+class SpillSet {
+ public:
+  explicit SpillSet(int workers) : files_(static_cast<std::size_t>(workers), nullptr) {
+    for (std::FILE*& f : files_) {
+      f = std::tmpfile();
+      if (f == nullptr) {
+        ok_ = false;
+        return;
+      }
+    }
+  }
+  ~SpillSet() {
+    for (std::FILE* f : files_) {
+      if (f != nullptr) {
+        std::fclose(f);
+      }
+    }
+  }
+  SpillSet(const SpillSet&) = delete;
+  SpillSet& operator=(const SpillSet&) = delete;
+
+  bool ok() const { return ok_; }
+  std::FILE* at(std::size_t worker) const { return files_[worker]; }
+
+  void FlushAll() {
+    for (std::FILE* f : files_) {
+      std::fflush(f);
+    }
+  }
+
+ private:
+  std::vector<std::FILE*> files_;
+  bool ok_ = true;
 };
 
 // Default streaming path: each worker appends its finished seeds' JSON to a
@@ -1016,34 +1292,39 @@ struct SpillLocation {
 int RunEngineSpillStreaming(const CampaignEngineSpec& spec) {
   const int seeds = spec.seeds;
   const int workers = std::max(1, std::min(spec.jobs, seeds));
+  CampaignHarness harness(spec);
+  OutputSink sink(spec.out_path);
+  if (!sink.ok()) {
+    return sink.Finish();  // fail fast: --out unwritable, nothing simulated
+  }
+  SpillSet spills(workers);
+  if (!spills.ok()) {
+    std::fprintf(stderr, "error: could not create campaign spill file\n");
+    return 1;
+  }
   std::vector<std::vector<double>> summaries(static_cast<std::size_t>(seeds));
   std::vector<SpillLocation> index(static_cast<std::size_t>(seeds));
-  std::vector<std::FILE*> spills(static_cast<std::size_t>(workers), nullptr);
-  for (std::FILE*& f : spills) {
-    f = std::tmpfile();
-    if (f == nullptr) {
-      std::fprintf(stderr, "error: could not create campaign spill file\n");
-      for (std::FILE* open : spills) {
-        if (open != nullptr) {
-          std::fclose(open);
-        }
-      }
-      return 1;
-    }
-  }
+  std::vector<unsigned char> failed(static_cast<std::size_t>(seeds), 0);
 
   std::atomic<int> next{0};
+  std::atomic<int> processed{0};
   FailureLatch latch;
   const auto worker = [&](int w) {
     // Each worker appends to its own spill file and writes disjoint
-    // summaries/index slots; only the latch is cross-thread state.
+    // summaries/index/failed slots; only the latch is cross-thread state.
     long offset = 0;
-    DrainSeeds(seeds, &next, &latch, [&](int i) {
-      SeedOutcome outcome = spec.run_seed(i);
+    DrainSeeds(seeds, &next, &latch, spec.label, w,
+               [&] { return harness.stop_requested(); }, [&](int i) {
+      SeedOutcome outcome = harness.RunSeed(i);
+      processed.fetch_add(1, std::memory_order_relaxed);
+      if (outcome.failed) {
+        failed[static_cast<std::size_t>(i)] = 1;
+        return;
+      }
       summaries[static_cast<std::size_t>(i)] = std::move(outcome.summary);
       const std::string element = std::move(outcome.element);
-      if (std::fwrite(element.data(), 1, element.size(), spills[static_cast<std::size_t>(w)]) !=
-          element.size()) {
+      if (std::fwrite(element.data(), 1, element.size(),
+                      spills.at(static_cast<std::size_t>(w))) != element.size()) {
         throw std::runtime_error("campaign spill write failed");
       }
       index[static_cast<std::size_t>(i)] = {static_cast<std::uint32_t>(w), offset,
@@ -1052,47 +1333,54 @@ int RunEngineSpillStreaming(const CampaignEngineSpec& spec) {
     });
   };
   RunWorkerPool(workers, /*caller_participates=*/true, worker);
-  if (latch.failed()) {
-    for (std::FILE* f : spills) {
-      std::fclose(f);
-    }
-    latch.RethrowIfFailed();
+  latch.RethrowIfFailed();
+  if (harness.stop_requested() && processed.load(std::memory_order_relaxed) < seeds) {
+    // Interrupted before every seed finished: nothing merged — the journal
+    // (not a half-document) is the restart artifact.
+    return FinishInterrupted(harness, processed.load(std::memory_order_relaxed), seeds);
   }
 
-  for (std::FILE* f : spills) {
-    std::fflush(f);
+  spills.FlushAll();
+  std::vector<std::vector<double>> folded;
+  folded.reserve(summaries.size());
+  for (int i = 0; i < seeds; ++i) {
+    if (failed[static_cast<std::size_t>(i)] == 0) {
+      folded.push_back(std::move(summaries[static_cast<std::size_t>(i)]));
+    }
   }
-  OutputSink sink(spec.out_path);
   JsonWriter header;
   header.BeginObject();
   spec.header_fields(&header);
-  spec.aggregates(&header, summaries);
+  spec.aggregates(&header, folded);
   header.Key("runs");
   header.BeginArray();
   sink.Write(header.Take());
   std::string element;
+  int emitted = 0;
   for (int i = 0; i < seeds; ++i) {
+    if (failed[static_cast<std::size_t>(i)] != 0) {
+      continue;
+    }
     const SpillLocation& loc = index[static_cast<std::size_t>(i)];
     element.resize(loc.length);
-    std::FILE* f = spills[loc.worker];
+    std::FILE* f = spills.at(loc.worker);
     if (std::fseek(f, loc.offset, SEEK_SET) != 0 ||
         std::fread(element.data(), 1, element.size(), f) != element.size()) {
       std::fprintf(stderr, "error: campaign spill read failed\n");
-      for (std::FILE* open : spills) {
-        std::fclose(open);
-      }
       return 1;
     }
-    if (i > 0) {
+    if (emitted++ > 0) {
       sink.Write(",");
     }
     sink.Write(element);
   }
-  for (std::FILE* f : spills) {
-    std::fclose(f);
+  sink.Write("\n  ]");
+  const std::vector<FailedRun> failures = harness.failures();
+  if (!failures.empty()) {
+    sink.Write(RenderFailedRuns(failures));
   }
-  sink.Write("\n  ]\n}\n");
-  return sink.Finish();
+  sink.Write("\n}\n");
+  return FinishCompleted(&sink, failures);
 }
 
 // --stream: fully incremental document for live consumption. Runs are written
@@ -1101,7 +1389,11 @@ int RunEngineSpillStreaming(const CampaignEngineSpec& spec) {
 // document; all values are identical to the default layout's.
 int RunEngineDirectStreaming(const CampaignEngineSpec& spec) {
   const int seeds = spec.seeds;
+  CampaignHarness harness(spec);
   OutputSink sink(spec.out_path);
+  if (!sink.ok()) {
+    return sink.Finish();  // fail fast: --out unwritable, nothing simulated
+  }
   JsonWriter header;
   header.BeginObject();
   spec.header_fields(&header);
@@ -1110,46 +1402,67 @@ int RunEngineDirectStreaming(const CampaignEngineSpec& spec) {
   sink.Write(header.Take());
 
   std::vector<std::vector<double>> summaries(static_cast<std::size_t>(seeds));
-  const auto commit = [&](int i, const std::string& element) {
-    if (i > 0) {
+  std::vector<unsigned char> failed(static_cast<std::size_t>(seeds), 0);
+  int emitted = 0;
+  // Quarantined seeds travel through the queue as empty sentinels so the
+  // in-order committer advances past them without emitting an element.
+  const auto commit = [&](const std::string& element) {
+    if (element.empty()) {
+      return;
+    }
+    if (emitted++ > 0) {
       sink.Write(",");
     }
     sink.Write(element);
   };
 
   const int workers = std::max(1, std::min(spec.jobs, seeds));
+  int committed = 0;  // seeds whose outcome reached the committer, in order
   if (workers <= 1) {
-    for (int i = 0; i < seeds; ++i) {
-      SeedOutcome outcome = spec.run_seed(i);
-      summaries[static_cast<std::size_t>(i)] = std::move(outcome.summary);
-      commit(i, outcome.element);
+    for (; committed < seeds; ++committed) {
+      if (harness.stop_requested()) {
+        break;
+      }
+      SeedOutcome outcome = harness.RunSeed(committed);
+      if (outcome.failed) {
+        failed[static_cast<std::size_t>(committed)] = 1;
+      } else {
+        summaries[static_cast<std::size_t>(committed)] = std::move(outcome.summary);
+      }
+      commit(outcome.element);
     }
   } else {
     // Workers render out of order; the main thread commits strictly in seed
     // order, holding at most the out-of-order tail in memory.
     std::atomic<int> next{0};
     FailureLatch latch;
-    OrderedCommitQueue queue(&latch);
+    OrderedCommitQueue queue(&latch, workers);
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(workers));
     for (int t = 0; t < workers; ++t) {
-      pool.emplace_back([&] {
+      pool.emplace_back([&, t] {
         DrainSeeds(
-            seeds, &next, &latch,
+            seeds, &next, &latch, spec.label, t,
+            [&] { return harness.stop_requested(); },
             [&](int i) {
-              SeedOutcome outcome = spec.run_seed(i);
-              summaries[static_cast<std::size_t>(i)] = std::move(outcome.summary);
+              SeedOutcome outcome = harness.RunSeed(i);
+              if (outcome.failed) {
+                failed[static_cast<std::size_t>(i)] = 1;
+              } else {
+                summaries[static_cast<std::size_t>(i)] = std::move(outcome.summary);
+              }
               queue.Push(i, std::move(outcome.element));
             },
             /*on_failure=*/[&] { queue.NotifyFailure(); });
+        queue.ProducerExited();
       });
     }
     std::string element;
-    for (int committed = 0; committed < seeds; ++committed) {
+    for (; committed < seeds; ++committed) {
       if (!queue.Pop(committed, &element)) {
-        break;  // a worker failed before producing this seed
+        break;  // failed, or drained out before producing this seed
       }
-      commit(committed, element);
+      commit(element);
     }
     for (std::thread& t : pool) {
       t.join();
@@ -1157,12 +1470,29 @@ int RunEngineDirectStreaming(const CampaignEngineSpec& spec) {
     latch.RethrowIfFailed();
   }
 
+  // Close a valid (possibly partial) document either way: aggregates fold
+  // over exactly the seeds that made it into the runs array.
+  std::vector<std::vector<double>> folded;
+  folded.reserve(static_cast<std::size_t>(committed));
+  for (int i = 0; i < committed; ++i) {
+    if (failed[static_cast<std::size_t>(i)] == 0) {
+      folded.push_back(std::move(summaries[static_cast<std::size_t>(i)]));
+    }
+  }
   sink.Write("\n  ]");
+  const std::vector<FailedRun> failures = harness.failures();
+  if (!failures.empty()) {
+    sink.Write(RenderFailedRuns(failures));
+  }
   JsonWriter tail(/*depth=*/1, /*need_comma=*/true);
-  spec.aggregates(&tail, summaries);
+  spec.aggregates(&tail, folded);
   sink.Write(tail.Take());
   sink.Write("\n}\n");
-  return sink.Finish();
+  if (harness.stop_requested() && committed < seeds) {
+    sink.Finish();
+    return FinishInterrupted(harness, committed, seeds);
+  }
+  return FinishCompleted(&sink, failures);
 }
 
 // Buffered reference path (BYTEROBUST_STREAM_CAMPAIGN=0): every rendered
@@ -1170,23 +1500,36 @@ int RunEngineDirectStreaming(const CampaignEngineSpec& spec) {
 // be byte-identical to this (ctest cli_campaign_streaming_equivalence).
 int RunEngineBuffered(const CampaignEngineSpec& spec) {
   const int seeds = spec.seeds;
+  CampaignHarness harness(spec);
+  OutputSink sink(spec.out_path);
+  if (!sink.ok()) {
+    return sink.Finish();  // fail fast: --out unwritable, nothing simulated
+  }
   std::vector<SeedOutcome> outcomes(static_cast<std::size_t>(seeds));
   std::atomic<int> next{0};
+  std::atomic<int> processed{0};
   FailureLatch latch;
-  const auto worker = [&](int) {
-    DrainSeeds(seeds, &next, &latch,
-               [&](int i) { outcomes[static_cast<std::size_t>(i)] = spec.run_seed(i); });
+  const auto worker = [&](int w) {
+    DrainSeeds(seeds, &next, &latch, spec.label, w,
+               [&] { return harness.stop_requested(); }, [&](int i) {
+                 outcomes[static_cast<std::size_t>(i)] = harness.RunSeed(i);
+                 processed.fetch_add(1, std::memory_order_relaxed);
+               });
   };
   const int workers = std::max(1, std::min(spec.jobs, seeds));
   RunWorkerPool(workers, /*caller_participates=*/true, worker);
   latch.RethrowIfFailed();
+  if (harness.stop_requested() && processed.load(std::memory_order_relaxed) < seeds) {
+    return FinishInterrupted(harness, processed.load(std::memory_order_relaxed), seeds);
+  }
 
   std::vector<std::vector<double>> summaries;
   summaries.reserve(outcomes.size());
   for (const SeedOutcome& o : outcomes) {
-    summaries.push_back(o.summary);
+    if (!o.failed) {
+      summaries.push_back(o.summary);
+    }
   }
-  OutputSink sink(spec.out_path);
   JsonWriter header;
   header.BeginObject();
   spec.header_fields(&header);
@@ -1194,24 +1537,38 @@ int RunEngineBuffered(const CampaignEngineSpec& spec) {
   header.Key("runs");
   header.BeginArray();
   sink.Write(header.Take());
+  int emitted = 0;
   for (int i = 0; i < seeds; ++i) {
-    if (i > 0) {
+    if (outcomes[static_cast<std::size_t>(i)].failed) {
+      continue;
+    }
+    if (emitted++ > 0) {
       sink.Write(",");
     }
     sink.Write(outcomes[static_cast<std::size_t>(i)].element);
   }
-  sink.Write("\n  ]\n}\n");
-  return sink.Finish();
+  sink.Write("\n  ]");
+  const std::vector<FailedRun> failures = harness.failures();
+  if (!failures.empty()) {
+    sink.Write(RenderFailedRuns(failures));
+  }
+  sink.Write("\n}\n");
+  return FinishCompleted(&sink, failures);
 }
 
 int RunCampaignEngine(const CampaignEngineSpec& spec) {
-  if (spec.stream) {
-    return RunEngineDirectStreaming(spec);
+  try {
+    if (spec.stream) {
+      return RunEngineDirectStreaming(spec);
+    }
+    if (StreamCampaignEnabled()) {
+      return RunEngineSpillStreaming(spec);
+    }
+    return RunEngineBuffered(spec);
+  } catch (const EngineSetupError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
   }
-  if (StreamCampaignEnabled()) {
-    return RunEngineSpillStreaming(spec);
-  }
-  return RunEngineBuffered(spec);
 }
 
 // ---------------------------------------------------------------------------
@@ -1223,9 +1580,11 @@ int Usage() {
                "\n"
                "  run          --preset NAME   [--seed S] [--days D] [--out FILE]\n"
                "  campaign     --scenario NAME [--seeds N] [--base-seed S] [--days D]\n"
-               "               [--jobs N] [--stream] [--out FILE]\n"
+               "               [--jobs N] [--stream] [--out FILE] [--retries N]\n"
+               "               [--journal FILE | --resume FILE]\n"
                "  fleet        --scenario NAME [--seeds N] [--base-seed S] [--days D]\n"
-               "               [--jobs N] [--stream] [--out FILE]\n"
+               "               [--jobs N] [--stream] [--out FILE] [--retries N]\n"
+               "               [--journal FILE | --resume FILE]\n"
                "  bench-report [--out FILE]\n"
                "  list\n"
                "\n"
@@ -1233,6 +1592,14 @@ int Usage() {
                "  (the aggregate block then follows the runs array instead of preceding\n"
                "  it); without it, workers spill finished seeds to temp files and the\n"
                "  merger emits the standard layout with O(window) memory.\n"
+               "\n"
+               "  --journal FILE appends each committed seed to a crash-safe manifest;\n"
+               "  --resume FILE skips the seeds that manifest already holds and appends\n"
+               "  the rest, producing byte-identical merged output. --retries N bounds\n"
+               "  per-seed retry attempts (also BYTEROBUST_SEED_RETRIES); seeds that\n"
+               "  still fail are quarantined into a \"failed_runs\" block (exit 20).\n"
+               "  SIGINT/SIGTERM drain in-flight seeds and exit 30. See also\n"
+               "  BYTEROBUST_SEED_TIMEOUT_S / _FACTOR and BYTEROBUST_HARNESS_FAULTS.\n"
                "\nscenarios:\n");
   for (const ScenarioSpec& s : Specs()) {
     std::fprintf(stderr, "  %-12s %s\n", s.name, s.summary);
@@ -1268,7 +1635,8 @@ bool FlagAllowed(const std::string& command, const std::string& flag) {
   if (command == "campaign" || command == "fleet") {
     return flag == "--preset" || flag == "--scenario" || flag == "--seed" ||
            flag == "--base-seed" || flag == "--seeds" || flag == "--days" ||
-           flag == "--jobs" || flag == "--stream";
+           flag == "--jobs" || flag == "--stream" || flag == "--journal" ||
+           flag == "--resume" || flag == "--retries";
   }
   return false;  // bench-report / list take only --out
 }
@@ -1325,10 +1693,29 @@ bool ParseOptions(const std::string& command, int argc, char** argv, Options* op
       opts->stream = true;
     } else if (arg == "--out" && has_value) {
       opts->out_path = argv[++i];
+    } else if (arg == "--journal" && has_value) {
+      opts->journal_path = argv[++i];
+    } else if (arg == "--resume" && has_value) {
+      opts->resume_path = argv[++i];
+    } else if (arg == "--retries" && has_value) {
+      if (!ParseNumber(arg.c_str(), argv[++i], &value)) {
+        return false;
+      }
+      if (value < 0.0 || value > 100.0) {
+        std::fprintf(stderr, "error: --retries must be in [0, 100]\n");
+        return false;
+      }
+      opts->retries = static_cast<int>(value);
     } else {
       std::fprintf(stderr, "error: unknown or incomplete option '%s'\n", arg.c_str());
       return false;
     }
+  }
+  if (!opts->journal_path.empty() && !opts->resume_path.empty()) {
+    std::fprintf(stderr,
+                 "error: --journal and --resume are mutually exclusive "
+                 "(--resume already appends to the journal it resumes)\n");
+    return false;
   }
   return true;
 }
@@ -1369,6 +1756,12 @@ int CmdCampaign(const Options& opts) {
   engine.jobs = opts.jobs;
   engine.stream = opts.stream;
   engine.out_path = opts.out_path;
+  engine.label = std::string("campaign:") + spec->name;
+  engine.identity = {"campaign", spec->name, opts.seeds, opts.seed, days,
+                     BinaryFingerprint()};
+  engine.journal_path = opts.journal_path;
+  engine.resume_path = opts.resume_path;
+  engine.retries_override = opts.retries;
   engine.run_seed = [spec, days, &opts](int i) {
     const RunResult r = RunOne(*spec, days, opts.seed + static_cast<std::uint64_t>(i));
     return SeedOutcome{RenderRunElement(r), CampaignSummaryOf(r)};
@@ -1543,6 +1936,12 @@ int CmdFleet(const Options& opts) {
   engine.jobs = opts.jobs;
   engine.stream = opts.stream;
   engine.out_path = opts.out_path;
+  engine.label = std::string("fleet:") + spec->name;
+  engine.identity = {"fleet", spec->name, opts.seeds, opts.seed, days,
+                     BinaryFingerprint()};
+  engine.journal_path = opts.journal_path;
+  engine.resume_path = opts.resume_path;
+  engine.retries_override = opts.retries;
   engine.run_seed = [spec, days, &opts](int i) {
     return RunFleetSeed(*spec, days, opts.seed + static_cast<std::uint64_t>(i));
   };
@@ -1614,6 +2013,11 @@ int CmdList(const Options& opts) {
 }
 
 int Main(int argc, char** argv) {
+  // A reader hanging up must surface as a short write (checked at every
+  // sink), not a SIGPIPE kill mid-campaign; SIGINT/SIGTERM drain gracefully.
+  std::signal(SIGPIPE, SIG_IGN);
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
   if (argc < 2) {
     return Usage();
   }
@@ -1643,4 +2047,13 @@ int Main(int argc, char** argv) {
 }  // namespace
 }  // namespace byterobust
 
-int main(int argc, char** argv) { return byterobust::Main(argc, argv); }
+int main(int argc, char** argv) {
+  // Single exit funnel: worker-pool exceptions (already wrapped with
+  // campaign/seed/worker context by the failure latch) print exactly once.
+  try {
+    return byterobust::Main(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
