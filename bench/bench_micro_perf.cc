@@ -5,7 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <cstdint>
+#include <string>
 
 #include "src/analyzer/aggregation.h"
 #include "src/ckpt/backup_strategy.h"
@@ -15,6 +18,9 @@
 #include "src/fleet/fleet_presets.h"
 #include "src/topology/fault_domains.h"
 #include "src/replay/dual_phase_replay.h"
+#include "src/serve/client.h"
+#include "src/serve/protocol.h"
+#include "src/serve/server.h"
 #include "src/sim/simulator.h"
 #include "src/tracer/stack_synth.h"
 #include "src/training/train_job.h"
@@ -105,6 +111,57 @@ void BM_FleetCampaignSeed(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FleetCampaignSeed)->Unit(benchmark::kMillisecond);
+
+// One request/response roundtrip against a live serve daemon on a local
+// socket: connect, send, one-seed quickstart campaign (0.02 simulated days),
+// receive + decode. This is the service-layer overhead a client pays on top
+// of the engine itself (BM_DenseCampaignSeed et al. measure the engine).
+void BM_ServeRequestRoundtrip(benchmark::State& state) {
+  // One daemon per process, torn down at exit: function-local static so the
+  // benchmark registers cheaply and the socket path is per-process unique.
+  struct Fixture {
+    ServeDaemon daemon;
+    std::string socket_path;
+    bool ok;
+    Fixture()
+        : daemon([] {
+            ServeOptions opts;
+            opts.socket_path =
+                "/tmp/byterobust_bench_" + std::to_string(getpid()) + ".sock";
+            opts.workers = 1;
+            opts.jobs = 1;
+            return opts;
+          }()),
+          socket_path("/tmp/byterobust_bench_" + std::to_string(getpid()) + ".sock") {
+      std::string error;
+      ok = daemon.Start(&error);
+    }
+    ~Fixture() { daemon.Drain(); }
+  };
+  static Fixture fixture;
+  if (!fixture.ok) {
+    state.SkipWithError("serve daemon failed to start");
+    return;
+  }
+  const std::string request =
+      "{\"op\":\"campaign\",\"scenario\":\"quickstart\",\"seeds\":1,\"days\":0.02}";
+  for (auto _ : state) {
+    std::string response;
+    std::string error;
+    if (!ServeRoundtrip(fixture.socket_path, request, /*connect_wait_s=*/5.0,
+                        /*io_timeout_s=*/60.0, &response, &error)) {
+      state.SkipWithError("roundtrip failed");
+      return;
+    }
+    std::string body;
+    if (!ExtractJsonStringField(response, "body", &body) || body.empty()) {
+      state.SkipWithError("response carried no body");
+      return;
+    }
+    benchmark::DoNotOptimize(body.size());
+  }
+}
+BENCHMARK(BM_ServeRequestRoundtrip)->Unit(benchmark::kMillisecond);
 
 Topology MakeTopo(int dp) {
   ParallelismConfig cfg;

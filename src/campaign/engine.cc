@@ -1,0 +1,762 @@
+#include "src/campaign/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <map>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "src/common/sync.h"
+#include "src/common/thread_annotations.h"
+#include "src/harness/exit_codes.h"
+#include "src/harness/supervisor.h"
+
+namespace byterobust {
+
+bool StreamCampaignEnabled() {
+  const char* env = std::getenv("BYTEROBUST_STREAM_CAMPAIGN");
+  return env == nullptr || std::string(env) != "0";
+}
+
+void WriteAggregate(JsonWriter* w, const std::string& key, const Aggregate& a) {
+  w->Key(key);
+  w->BeginObject();
+  w->Field("mean", a.mean);
+  w->Field("min", a.min);
+  w->Field("max", a.max);
+  w->EndObject();
+}
+
+Aggregate FoldAggregateAt(const std::vector<std::vector<double>>& summaries, std::size_t slot) {
+  Aggregate a;
+  if (summaries.empty()) {
+    return a;
+  }
+  a.min = a.max = summaries.front().at(slot);
+  for (const std::vector<double>& s : summaries) {
+    const double v = s.at(slot);
+    a.mean += v;
+    a.min = std::min(a.min, v);
+    a.max = std::max(a.max, v);
+  }
+  a.mean /= static_cast<double>(summaries.size());
+  return a;
+}
+
+namespace {
+
+// Rendered as a primed depth-1 block so it splices after the closed "runs"
+// array; emitted only when non-empty, so clean campaigns keep their exact
+// byte layout.
+std::string RenderFailedRuns(const std::vector<FailedRun>& failures) {
+  JsonWriter w(/*depth=*/1, /*need_comma=*/true);
+  w.Key("failed_runs");
+  w.BeginArray();
+  for (const FailedRun& f : failures) {
+    w.BeginObject();
+    w.Field("index", f.index);
+    w.Field("seed", f.seed);
+    w.Field("attempts", f.attempts);
+    w.Field("timed_out", f.timed_out);
+    w.Field("error", f.error);
+    w.EndObject();
+  }
+  w.EndArray();
+  return w.Take();
+}
+
+// ---------------------------------------------------------------------------
+// Worker-pool plumbing. All cross-thread mutable state lives in the two small
+// classes below with BR_GUARDED_BY-annotated members, so the clang
+// `-Wthread-safety` CI job statically proves every access holds the right
+// lock. (Annotations only attach to members and globals — lambda-captured
+// locals are invisible to the analysis — which is why this state is hoisted
+// out of the engine functions.) Per-seed slots such as `summaries[i]` and the
+// spill index are written by exactly one worker each (disjoint indices of
+// pre-sized vectors) and read only after the pool joins; they need no lock.
+// ---------------------------------------------------------------------------
+
+// First-failure latch for a worker pool: the first captured exception wins,
+// and failed() flips so the other workers stop claiming seeds.
+class FailureLatch {
+ public:
+  // Records an exception (usually std::current_exception(), or one re-wrapped
+  // with seed/worker context); the first capture wins.
+  void Capture(std::exception_ptr error) {
+    failed_.store(true, std::memory_order_relaxed);
+    const MutexLock lock(&mu_);
+    if (!first_error_) {
+      first_error_ = std::move(error);
+    }
+  }
+
+  bool failed() const { return failed_.load(std::memory_order_relaxed); }
+
+  // Rethrows the first captured exception, if any. Call after the pool joined.
+  void RethrowIfFailed() {
+    std::exception_ptr error;
+    {
+      const MutexLock lock(&mu_);
+      error = first_error_;
+    }
+    if (error) {
+      std::rethrow_exception(error);
+    }
+  }
+
+ private:
+  Mutex mu_;
+  std::atomic<bool> failed_{false};
+  std::exception_ptr first_error_ BR_GUARDED_BY(mu_);
+};
+
+// Claims seed indices off the shared ticket until they run out, a worker has
+// failed, or `stop` asks for a graceful drain (in-flight seeds finish, no new
+// claims); runs `run` for each claim, latching the first exception wrapped
+// with campaign/seed/worker context. The optional `on_failure` hook runs
+// after the latch captures (e.g. to wake a committer blocked on a condition
+// variable).
+void DrainSeeds(int seeds, std::atomic<int>* next_seed, FailureLatch* latch,
+                const std::string& label, int worker,
+                const std::function<bool()>& stop,
+                const std::function<void(int)>& run,
+                const std::function<void()>& on_failure = {}) {
+  for (int i = next_seed->fetch_add(1); i < seeds && !latch->failed();
+       i = next_seed->fetch_add(1)) {
+    if (stop && stop()) {
+      return;
+    }
+    try {
+      run(i);
+    } catch (const std::exception& e) {
+      latch->Capture(std::make_exception_ptr(std::runtime_error(
+          label + ", seed index " + std::to_string(i) + ", worker " +
+          std::to_string(worker) + ": " + e.what())));
+      if (on_failure) {
+        on_failure();
+      }
+      return;
+    } catch (...) {
+      latch->Capture(std::current_exception());
+      if (on_failure) {
+        on_failure();
+      }
+      return;
+    }
+  }
+}
+
+// Out-of-order producers, strictly seed-ordered consumer: workers Push each
+// rendered element as it finishes; the committer Pops 0, 1, 2, ... so the
+// document is written in seed order while only the out-of-order tail is ever
+// resident. A latched failure wakes the committer immediately.
+class OrderedCommitQueue {
+ public:
+  OrderedCommitQueue(const FailureLatch* latch, int producers)
+      : latch_(latch), active_producers_(producers) {}
+
+  void Push(int index, std::string element) {
+    {
+      const MutexLock lock(&mu_);
+      done_.emplace(index, std::move(element));
+    }
+    cv_.NotifyOne();
+  }
+
+  // Each producer thread calls this exactly once on exit. When the last one
+  // leaves, any committer still waiting for an unproduced seed (graceful
+  // stop, or a quarantine race) unblocks instead of waiting forever.
+  void ProducerExited() {
+    {
+      const MutexLock lock(&mu_);
+      --active_producers_;
+      if (active_producers_ > 0) {
+        return;
+      }
+    }
+    cv_.NotifyAll();
+  }
+
+  // Wakes the committer after the latch recorded a failure. Acquiring mu_
+  // (even briefly) orders the notification after the committer's failed()
+  // check in Pop(): either the committer already observed the failure, or it
+  // has released mu_ inside cv_.Wait() and the NotifyAll cannot be lost.
+  // Notifying without the lock could fire between the check and the wait,
+  // leaving the committer blocked forever once producers stop pushing.
+  void NotifyFailure() {
+    { const MutexLock lock(&mu_); }
+    cv_.NotifyAll();
+  }
+
+  // Blocks until element `index` is available (true), or until it can never
+  // arrive — the pool failed, or every producer exited without pushing it
+  // (false).
+  bool Pop(int index, std::string* element) {
+    const MutexLock lock(&mu_);
+    while (true) {
+      const auto it = done_.find(index);
+      if (it != done_.end()) {
+        *element = std::move(it->second);
+        done_.erase(it);
+        return true;
+      }
+      if (latch_->failed() || active_producers_ == 0) {
+        return false;
+      }
+      cv_.Wait(&mu_);
+    }
+  }
+
+ private:
+  const FailureLatch* latch_;
+  Mutex mu_;
+  CondVar cv_;
+  int active_producers_ BR_GUARDED_BY(mu_);
+  std::map<int, std::string> done_ BR_GUARDED_BY(mu_);
+};
+
+// Runs `body(worker_index)` on `workers` threads — the calling thread doubles
+// as worker 0 unless `caller_participates` is false — and joins them all.
+void RunWorkerPool(int workers, bool caller_participates,
+                   const std::function<void(int)>& body) {
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int t = caller_participates ? 1 : 0; t < workers; ++t) {
+    pool.emplace_back(body, t);
+  }
+  if (caller_participates) {
+    body(0);
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+}
+
+// Incremental output: everything goes to stdout — or the spec's capture
+// string — and (optionally) to --out, written as produced instead of
+// accumulated in one string. Construct — and check ok() — BEFORE spawning
+// workers, so an unwritable --out fails fast instead of after minutes of
+// simulation.
+class OutputSink {
+ public:
+  OutputSink(const std::string& out_path, std::string* capture)
+      : path_(out_path), capture_(capture) {
+    if (!path_.empty()) {
+      file_ = std::fopen(path_.c_str(), "wb");
+      if (file_ == nullptr) {
+        ok_ = false;
+      }
+    }
+  }
+  ~OutputSink() {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+    }
+  }
+  OutputSink(const OutputSink&) = delete;
+  OutputSink& operator=(const OutputSink&) = delete;
+
+  // False when --out could not be opened; Finish() reports it.
+  bool ok() const { return ok_; }
+
+  void Write(const std::string& text) {
+    if (capture_ != nullptr) {
+      capture_->append(text);
+    } else if (std::fwrite(text.data(), 1, text.size(), stdout) != text.size()) {
+      // SIGPIPE is ignored, so a reader hanging up surfaces as a short write
+      // here instead of killing the process mid-campaign.
+      stdout_ok_ = false;
+    }
+    if (file_ != nullptr && std::fwrite(text.data(), 1, text.size(), file_) != text.size()) {
+      ok_ = false;
+    }
+  }
+
+  // kExitOk on success, mirroring the CLI Emit() contract.
+  int Finish() {
+    if (capture_ == nullptr && (std::fflush(stdout) != 0 || std::ferror(stdout) != 0)) {
+      stdout_ok_ = false;
+    }
+    if (!stdout_ok_) {
+      std::fprintf(stderr, "error: short write on stdout\n");
+      return kExitIoError;
+    }
+    if (!ok_) {
+      std::fprintf(stderr, "error: could not write %s\n", path_.c_str());
+      return kExitIoError;
+    }
+    return kExitOk;
+  }
+
+ private:
+  std::string path_;
+  std::string* capture_ = nullptr;
+  std::FILE* file_ = nullptr;
+  bool ok_ = true;
+  bool stdout_ok_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// CampaignHarness: the per-seed fault-tolerance wrapper shared by all three
+// engine paths. RunSeed(i) short-circuits seeds already committed in a
+// --resume journal, runs fresh seeds under the SeedSupervisor (watchdog,
+// deterministic retry/backoff, self-fault-injection), journals each success,
+// and converts persistent failures into quarantine outcomes instead of
+// exceptions. Thread-safe: workers call RunSeed concurrently.
+// ---------------------------------------------------------------------------
+class CampaignHarness {
+ public:
+  explicit CampaignHarness(const CampaignEngineSpec& spec) : spec_(spec) {
+    SupervisorConfig config;
+    std::string error;
+    if (!SupervisorConfig::FromEnv(spec.identity.base_seed, &config, &error)) {
+      throw EngineSetupError(error);
+    }
+    if (spec.retries_override >= 0) {
+      config.max_attempts = 1 + spec.retries_override;
+    }
+    config.external_stop = spec.external_stop;
+    supervisor_.emplace(config);
+    if (!spec.resume_path.empty()) {
+      if (!journal_.OpenForResume(spec.resume_path, spec.identity, &resumed_, &error,
+                                  spec.journal_sync)) {
+        throw EngineSetupError(error);
+      }
+    } else if (!spec.journal_path.empty()) {
+      if (!journal_.Create(spec.journal_path, spec.identity, &error, spec.journal_sync)) {
+        throw EngineSetupError(error);
+      }
+    }
+  }
+
+  SeedOutcome RunSeed(int i) {
+    // resumed_ is read-only after construction — safe without a lock.
+    const auto it = resumed_.find(i);
+    if (it != resumed_.end()) {
+      NoteSeedDone();
+      return SeedOutcome{it->second.element, it->second.summary, false};
+    }
+    SeedOutcome outcome;
+    SeedFailure failure;
+    const std::function<SeedOutcome(const CancelToken&)> attempt =
+        [this, i](const CancelToken&) { return spec_.run_seed(i); };
+    if (supervisor_->Supervise<SeedOutcome>(i, attempt, &outcome, &failure)) {
+      if (journal_.open() &&
+          !journal_.Append({i, outcome.summary, outcome.element})) {
+        throw std::runtime_error("journal append failed for seed index " +
+                                 std::to_string(i));
+      }
+      supervisor_->NoteCommitted();
+      NoteSeedDone();
+      return outcome;
+    }
+    {
+      const MutexLock lock(&mu_);
+      failures_.push_back({i,
+                           spec_.identity.base_seed + static_cast<std::uint64_t>(i),
+                           failure.attempts, failure.timed_out, failure.error});
+    }
+    outcome.element.clear();
+    outcome.summary.clear();
+    outcome.failed = true;
+    NoteSeedDone();
+    return outcome;
+  }
+
+  bool stop_requested() const { return supervisor_->stop_requested(); }
+
+  // Quarantined seeds in index order. Call after the pool joins.
+  std::vector<FailedRun> failures() const {
+    const MutexLock lock(&mu_);
+    std::vector<FailedRun> sorted = failures_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const FailedRun& a, const FailedRun& b) { return a.index < b.index; });
+    return sorted;
+  }
+
+  // Where to point the user when a run was interrupted mid-campaign.
+  std::string ResumeHint() const {
+    const std::string& path =
+        spec_.resume_path.empty() ? spec_.journal_path : spec_.resume_path;
+    if (path.empty()) {
+      return "; rerun with --journal FILE to make campaigns resumable";
+    }
+    return "; resume with --resume " + path;
+  }
+
+ private:
+  void NoteSeedDone() {
+    if (spec_.seeds_done != nullptr) {
+      spec_.seeds_done->fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  const CampaignEngineSpec& spec_;
+  std::optional<SeedSupervisor> supervisor_;
+  CampaignJournal journal_;
+  std::map<int, JournalEntry> resumed_;
+  mutable Mutex mu_;
+  std::vector<FailedRun> failures_ BR_GUARDED_BY(mu_);
+};
+
+// Reports a graceful interrupt (stderr note + kExitInterrupted), shared by
+// the three engine paths.
+int FinishInterrupted(const CampaignHarness& harness, int processed, int seeds) {
+  std::fprintf(stderr, "note: campaign interrupted after %d of %d seeds%s\n",
+               processed, seeds, harness.ResumeHint().c_str());
+  return kExitInterrupted;
+}
+
+// Exit code for a campaign that ran to completion: any I/O error wins, then
+// quarantined seeds map to the distinct completed-with-failures code.
+int FinishCompleted(OutputSink* sink, const std::vector<FailedRun>& failures) {
+  const int io = sink->Finish();
+  if (io != kExitOk) {
+    return io;
+  }
+  return failures.empty() ? kExitOk : kExitQuarantine;
+}
+
+// Where one rendered seed landed inside its worker's spill file.
+struct SpillLocation {
+  std::uint32_t worker = 0;
+  long offset = 0;
+  std::uint32_t length = 0;
+};
+
+// Owns the per-worker spill tmpfiles; every exit path (success, spill I/O
+// error, worker exception, interrupt) closes them through this one
+// destructor instead of hand-rolled cleanup loops.
+class SpillSet {
+ public:
+  explicit SpillSet(int workers) : files_(static_cast<std::size_t>(workers), nullptr) {
+    for (std::FILE*& f : files_) {
+      f = std::tmpfile();
+      if (f == nullptr) {
+        ok_ = false;
+        return;
+      }
+    }
+  }
+  ~SpillSet() {
+    for (std::FILE* f : files_) {
+      if (f != nullptr) {
+        std::fclose(f);
+      }
+    }
+  }
+  SpillSet(const SpillSet&) = delete;
+  SpillSet& operator=(const SpillSet&) = delete;
+
+  bool ok() const { return ok_; }
+  std::FILE* at(std::size_t worker) const { return files_[worker]; }
+
+  void FlushAll() {
+    for (std::FILE* f : files_) {
+      std::fflush(f);
+    }
+  }
+
+ private:
+  std::vector<std::FILE*> files_;
+  bool ok_ = true;
+};
+
+// Default streaming path: each worker appends its finished seeds' JSON to a
+// private tmpfile; the merger then concatenates the elements in seed order
+// (seeking by the per-seed index) while the aggregate block folds from the
+// per-seed summaries. Peak memory: one rendered element per worker.
+int RunEngineSpillStreaming(const CampaignEngineSpec& spec) {
+  const int seeds = spec.seeds;
+  const int workers = std::max(1, std::min(spec.jobs, seeds));
+  CampaignHarness harness(spec);
+  OutputSink sink(spec.out_path, spec.capture);
+  if (!sink.ok()) {
+    return sink.Finish();  // fail fast: --out unwritable, nothing simulated
+  }
+  SpillSet spills(workers);
+  if (!spills.ok()) {
+    std::fprintf(stderr, "error: could not create campaign spill file\n");
+    return kExitIoError;
+  }
+  std::vector<std::vector<double>> summaries(static_cast<std::size_t>(seeds));
+  std::vector<SpillLocation> index(static_cast<std::size_t>(seeds));
+  std::vector<unsigned char> failed(static_cast<std::size_t>(seeds), 0);
+
+  std::atomic<int> next{0};
+  std::atomic<int> processed{0};
+  FailureLatch latch;
+  const auto worker = [&](int w) {
+    // Each worker appends to its own spill file and writes disjoint
+    // summaries/index/failed slots; only the latch is cross-thread state.
+    long offset = 0;
+    DrainSeeds(seeds, &next, &latch, spec.label, w,
+               [&] { return harness.stop_requested(); }, [&](int i) {
+      SeedOutcome outcome = harness.RunSeed(i);
+      processed.fetch_add(1, std::memory_order_relaxed);
+      if (outcome.failed) {
+        failed[static_cast<std::size_t>(i)] = 1;
+        return;
+      }
+      summaries[static_cast<std::size_t>(i)] = std::move(outcome.summary);
+      const std::string element = std::move(outcome.element);
+      if (std::fwrite(element.data(), 1, element.size(),
+                      spills.at(static_cast<std::size_t>(w))) != element.size()) {
+        throw std::runtime_error("campaign spill write failed");
+      }
+      index[static_cast<std::size_t>(i)] = {static_cast<std::uint32_t>(w), offset,
+                                            static_cast<std::uint32_t>(element.size())};
+      offset += static_cast<long>(element.size());
+    });
+  };
+  RunWorkerPool(workers, /*caller_participates=*/true, worker);
+  latch.RethrowIfFailed();
+  if (harness.stop_requested() && processed.load(std::memory_order_relaxed) < seeds) {
+    // Interrupted before every seed finished: nothing merged — the journal
+    // (not a half-document) is the restart artifact.
+    return FinishInterrupted(harness, processed.load(std::memory_order_relaxed), seeds);
+  }
+
+  spills.FlushAll();
+  std::vector<std::vector<double>> folded;
+  folded.reserve(summaries.size());
+  for (int i = 0; i < seeds; ++i) {
+    if (failed[static_cast<std::size_t>(i)] == 0) {
+      folded.push_back(std::move(summaries[static_cast<std::size_t>(i)]));
+    }
+  }
+  JsonWriter header;
+  header.BeginObject();
+  spec.header_fields(&header);
+  spec.aggregates(&header, folded);
+  header.Key("runs");
+  header.BeginArray();
+  sink.Write(header.Take());
+  std::string element;
+  int emitted = 0;
+  for (int i = 0; i < seeds; ++i) {
+    if (failed[static_cast<std::size_t>(i)] != 0) {
+      continue;
+    }
+    const SpillLocation& loc = index[static_cast<std::size_t>(i)];
+    element.resize(loc.length);
+    std::FILE* f = spills.at(loc.worker);
+    if (std::fseek(f, loc.offset, SEEK_SET) != 0 ||
+        std::fread(element.data(), 1, element.size(), f) != element.size()) {
+      std::fprintf(stderr, "error: campaign spill read failed\n");
+      return kExitIoError;
+    }
+    if (emitted++ > 0) {
+      sink.Write(",");
+    }
+    sink.Write(element);
+  }
+  sink.Write("\n  ]");
+  const std::vector<FailedRun> failures = harness.failures();
+  if (!failures.empty()) {
+    sink.Write(RenderFailedRuns(failures));
+  }
+  sink.Write("\n}\n");
+  return FinishCompleted(&sink, failures);
+}
+
+// --stream: fully incremental document for live consumption. Runs are written
+// the moment their seed is next in order (nothing is spilled), so the
+// "aggregate" block — which needs every seed — moves to the end of the
+// document; all values are identical to the default layout's.
+int RunEngineDirectStreaming(const CampaignEngineSpec& spec) {
+  const int seeds = spec.seeds;
+  CampaignHarness harness(spec);
+  OutputSink sink(spec.out_path, spec.capture);
+  if (!sink.ok()) {
+    return sink.Finish();  // fail fast: --out unwritable, nothing simulated
+  }
+  JsonWriter header;
+  header.BeginObject();
+  spec.header_fields(&header);
+  header.Key("runs");
+  header.BeginArray();
+  sink.Write(header.Take());
+
+  std::vector<std::vector<double>> summaries(static_cast<std::size_t>(seeds));
+  std::vector<unsigned char> failed(static_cast<std::size_t>(seeds), 0);
+  int emitted = 0;
+  // Quarantined seeds travel through the queue as empty sentinels so the
+  // in-order committer advances past them without emitting an element.
+  const auto commit = [&](const std::string& element) {
+    if (element.empty()) {
+      return;
+    }
+    if (emitted++ > 0) {
+      sink.Write(",");
+    }
+    sink.Write(element);
+  };
+
+  const int workers = std::max(1, std::min(spec.jobs, seeds));
+  int committed = 0;  // seeds whose outcome reached the committer, in order
+  if (workers <= 1) {
+    for (; committed < seeds; ++committed) {
+      if (harness.stop_requested()) {
+        break;
+      }
+      SeedOutcome outcome = harness.RunSeed(committed);
+      if (outcome.failed) {
+        failed[static_cast<std::size_t>(committed)] = 1;
+      } else {
+        summaries[static_cast<std::size_t>(committed)] = std::move(outcome.summary);
+      }
+      commit(outcome.element);
+    }
+  } else {
+    // Workers render out of order; the main thread commits strictly in seed
+    // order, holding at most the out-of-order tail in memory.
+    std::atomic<int> next{0};
+    FailureLatch latch;
+    OrderedCommitQueue queue(&latch, workers);
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int t = 0; t < workers; ++t) {
+      pool.emplace_back([&, t] {
+        DrainSeeds(
+            seeds, &next, &latch, spec.label, t,
+            [&] { return harness.stop_requested(); },
+            [&](int i) {
+              SeedOutcome outcome = harness.RunSeed(i);
+              if (outcome.failed) {
+                failed[static_cast<std::size_t>(i)] = 1;
+              } else {
+                summaries[static_cast<std::size_t>(i)] = std::move(outcome.summary);
+              }
+              queue.Push(i, std::move(outcome.element));
+            },
+            /*on_failure=*/[&] { queue.NotifyFailure(); });
+        queue.ProducerExited();
+      });
+    }
+    std::string element;
+    for (; committed < seeds; ++committed) {
+      if (!queue.Pop(committed, &element)) {
+        break;  // failed, or drained out before producing this seed
+      }
+      commit(element);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+    latch.RethrowIfFailed();
+  }
+
+  // Close a valid (possibly partial) document either way: aggregates fold
+  // over exactly the seeds that made it into the runs array.
+  std::vector<std::vector<double>> folded;
+  folded.reserve(static_cast<std::size_t>(committed));
+  for (int i = 0; i < committed; ++i) {
+    if (failed[static_cast<std::size_t>(i)] == 0) {
+      folded.push_back(std::move(summaries[static_cast<std::size_t>(i)]));
+    }
+  }
+  sink.Write("\n  ]");
+  const std::vector<FailedRun> failures = harness.failures();
+  if (!failures.empty()) {
+    sink.Write(RenderFailedRuns(failures));
+  }
+  JsonWriter tail(/*depth=*/1, /*need_comma=*/true);
+  spec.aggregates(&tail, folded);
+  sink.Write(tail.Take());
+  sink.Write("\n}\n");
+  if (harness.stop_requested() && committed < seeds) {
+    sink.Finish();
+    return FinishInterrupted(harness, committed, seeds);
+  }
+  return FinishCompleted(&sink, failures);
+}
+
+// Buffered reference path (BYTEROBUST_STREAM_CAMPAIGN=0): every rendered
+// element held in memory, emitted in one pass. The streaming paths above must
+// be byte-identical to this (ctest cli_campaign_streaming_equivalence).
+int RunEngineBuffered(const CampaignEngineSpec& spec) {
+  const int seeds = spec.seeds;
+  CampaignHarness harness(spec);
+  OutputSink sink(spec.out_path, spec.capture);
+  if (!sink.ok()) {
+    return sink.Finish();  // fail fast: --out unwritable, nothing simulated
+  }
+  std::vector<SeedOutcome> outcomes(static_cast<std::size_t>(seeds));
+  std::atomic<int> next{0};
+  std::atomic<int> processed{0};
+  FailureLatch latch;
+  const auto worker = [&](int w) {
+    DrainSeeds(seeds, &next, &latch, spec.label, w,
+               [&] { return harness.stop_requested(); }, [&](int i) {
+                 outcomes[static_cast<std::size_t>(i)] = harness.RunSeed(i);
+                 processed.fetch_add(1, std::memory_order_relaxed);
+               });
+  };
+  const int workers = std::max(1, std::min(spec.jobs, seeds));
+  RunWorkerPool(workers, /*caller_participates=*/true, worker);
+  latch.RethrowIfFailed();
+  if (harness.stop_requested() && processed.load(std::memory_order_relaxed) < seeds) {
+    return FinishInterrupted(harness, processed.load(std::memory_order_relaxed), seeds);
+  }
+
+  std::vector<std::vector<double>> summaries;
+  summaries.reserve(outcomes.size());
+  for (const SeedOutcome& o : outcomes) {
+    if (!o.failed) {
+      summaries.push_back(o.summary);
+    }
+  }
+  JsonWriter header;
+  header.BeginObject();
+  spec.header_fields(&header);
+  spec.aggregates(&header, summaries);
+  header.Key("runs");
+  header.BeginArray();
+  sink.Write(header.Take());
+  int emitted = 0;
+  for (int i = 0; i < seeds; ++i) {
+    if (outcomes[static_cast<std::size_t>(i)].failed) {
+      continue;
+    }
+    if (emitted++ > 0) {
+      sink.Write(",");
+    }
+    sink.Write(outcomes[static_cast<std::size_t>(i)].element);
+  }
+  sink.Write("\n  ]");
+  const std::vector<FailedRun> failures = harness.failures();
+  if (!failures.empty()) {
+    sink.Write(RenderFailedRuns(failures));
+  }
+  sink.Write("\n}\n");
+  return FinishCompleted(&sink, failures);
+}
+
+}  // namespace
+
+int RunCampaignEngine(const CampaignEngineSpec& spec, std::string* setup_error) {
+  try {
+    if (spec.stream) {
+      return RunEngineDirectStreaming(spec);
+    }
+    if (StreamCampaignEnabled()) {
+      return RunEngineSpillStreaming(spec);
+    }
+    return RunEngineBuffered(spec);
+  } catch (const EngineSetupError& e) {
+    if (setup_error != nullptr) {
+      *setup_error = e.what();
+    } else {
+      std::fprintf(stderr, "error: %s\n", e.what());
+    }
+    return kExitUsage;
+  }
+}
+
+}  // namespace byterobust

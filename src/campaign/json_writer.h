@@ -1,0 +1,141 @@
+// Minimal JSON writer: enough for flat objects, nested objects and arrays,
+// with the exact two-space indentation every byterobust document uses. The
+// byte layout this class produces is pinned by the CLI determinism ctests —
+// change it and every equivalence gate fails.
+
+#ifndef SRC_CAMPAIGN_JSON_WRITER_H_
+#define SRC_CAMPAIGN_JSON_WRITER_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace byterobust {
+
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  // Primed writer: emits text as if `depth` scopes were already open, with
+  // `need_comma` saying whether the enclosing scope already holds a value.
+  // Lets workers render one "runs" array element (depth 2) byte-identically
+  // to an element written inline by the full-document writer.
+  JsonWriter(int depth, bool need_comma) : depth_(depth) { need_comma_.push_back(need_comma); }
+
+  std::string Take() { return out_.str(); }
+
+  void BeginObject() { Open('{'); }
+  void EndObject() { Close('}'); }
+  void BeginArray() { Open('['); }
+  void EndArray() { Close(']'); }
+
+  void Key(const std::string& k) {
+    Comma();
+    Indent();
+    out_ << '"' << Escape(k) << "\": ";
+    pending_value_ = true;
+  }
+
+  void Value(const std::string& v) { Scalar('"' + Escape(v) + '"'); }
+  void Value(const char* v) { Value(std::string(v)); }
+  void Value(double v) {
+    if (!std::isfinite(v)) {
+      Scalar("null");
+      return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    Scalar(buf);
+  }
+  void Value(std::int64_t v) { Scalar(std::to_string(v)); }
+  void Value(int v) { Scalar(std::to_string(v)); }
+  void Value(std::uint64_t v) { Scalar(std::to_string(v)); }
+  void Value(bool v) { Scalar(v ? "true" : "false"); }
+
+  template <typename T>
+  void Field(const std::string& k, T v) {
+    Key(k);
+    Value(v);
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string r;
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        r += '\\';
+        r += c;
+      } else if (c == '\n') {
+        r += "\\n";
+      } else {
+        r += c;
+      }
+    }
+    return r;
+  }
+
+  void Open(char c) {
+    if (!pending_value_) {
+      Comma();
+      Indent();
+    }
+    pending_value_ = false;
+    out_ << c;
+    ++depth_;
+    need_comma_.push_back(false);
+  }
+
+  void Close(char c) {
+    --depth_;
+    need_comma_.pop_back();
+    out_ << '\n';
+    Indent();
+    out_ << c;
+    if (!need_comma_.empty()) {
+      need_comma_.back() = true;
+    }
+    pending_value_ = false;
+  }
+
+  void Scalar(const std::string& text) {
+    if (!pending_value_) {
+      Comma();
+      Indent();
+    }
+    pending_value_ = false;
+    out_ << text;
+    if (!need_comma_.empty()) {
+      need_comma_.back() = true;
+    }
+  }
+
+  void Comma() {
+    if (!need_comma_.empty() && need_comma_.back()) {
+      out_ << ',';
+    }
+    if (depth_ > 0) {
+      out_ << '\n';
+    }
+    if (!need_comma_.empty()) {
+      need_comma_.back() = false;
+    }
+  }
+
+  void Indent() {
+    for (int i = 0; i < depth_; ++i) {
+      out_ << "  ";
+    }
+  }
+
+  std::ostringstream out_;
+  int depth_ = 0;
+  bool pending_value_ = false;
+  std::vector<bool> need_comma_;
+};
+
+}  // namespace byterobust
+
+#endif  // SRC_CAMPAIGN_JSON_WRITER_H_

@@ -232,7 +232,7 @@ void CampaignJournal::Close() {
 }
 
 bool CampaignJournal::Create(const std::string& path, const CampaignIdentity& identity,
-                             std::string* error) {
+                             std::string* error, bool sync) {
   if (!IdentityValueSafe(identity.command) || !IdentityValueSafe(identity.scenario) ||
       !IdentityValueSafe(identity.fingerprint)) {
     *error = "journal identity fields must not contain '|' or newlines";
@@ -252,12 +252,13 @@ bool CampaignJournal::Create(const std::string& path, const CampaignIdentity& id
   }
   const MutexLock lock(&mu_);
   file_ = f;
+  sync_ = sync;
   return true;
 }
 
 bool CampaignJournal::OpenForResume(const std::string& path, const CampaignIdentity& expect,
                                     std::map<int, JournalEntry>* completed,
-                                    std::string* error) {
+                                    std::string* error, bool sync) {
   CampaignIdentity recorded;
   long valid_end = 0;
   if (!Load(path, &recorded, completed, &valid_end, error)) {
@@ -281,6 +282,7 @@ bool CampaignJournal::OpenForResume(const std::string& path, const CampaignIdent
   }
   const MutexLock lock(&mu_);
   file_ = f;
+  sync_ = sync;
   return true;
 }
 
@@ -295,8 +297,13 @@ bool CampaignJournal::Append(const JournalEntry& entry) {
   if (file_ == nullptr) {
     return false;
   }
-  return std::fwrite(record.data(), 1, record.size(), file_) == record.size() &&
-         std::fflush(file_) == 0;
+  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size() ||
+      std::fflush(file_) != 0) {
+    return false;
+  }
+  // --journal-sync: push the flushed record through the page cache so a
+  // machine crash (not just a process crash) loses at most this record.
+  return !sync_ || fdatasync(fileno(file_)) == 0;
 }
 
 bool CampaignJournal::Load(const std::string& path, CampaignIdentity* identity,

@@ -73,18 +73,22 @@ class CampaignJournal {
   CampaignJournal& operator=(const CampaignJournal&) = delete;
 
   // Starts a fresh journal at `path` (truncating any existing file) and
-  // writes the identity header. False + *error on I/O failure.
+  // writes the identity header. False + *error on I/O failure. `sync` makes
+  // every committed record durable with fdatasync (--journal-sync): a machine
+  // crash then loses at most the record being written, not the page cache.
   bool Create(const std::string& path, const CampaignIdentity& identity,
-              std::string* error);
+              std::string* error, bool sync = false);
 
   // Resumes from an existing journal: parses it (see Load), verifies the
   // recorded identity matches `expect`, fills *completed with the committed
   // seeds, truncates any incomplete trailing record, and reopens the file
   // for appending. False + *error on parse/identity/I/O failure.
   bool OpenForResume(const std::string& path, const CampaignIdentity& expect,
-                     std::map<int, JournalEntry>* completed, std::string* error);
+                     std::map<int, JournalEntry>* completed, std::string* error,
+                     bool sync = false);
 
-  // Appends one committed seed and flushes. Thread-safe. False on I/O error.
+  // Appends one committed seed and flushes (and, when the journal was opened
+  // with sync, fdatasyncs). Thread-safe. False on I/O error.
   bool Append(const JournalEntry& entry);
 
   bool open() const;
@@ -102,6 +106,7 @@ class CampaignJournal {
  private:
   mutable Mutex mu_;  // mutable: open() is logically const
   std::FILE* file_ BR_GUARDED_BY(mu_) = nullptr;
+  bool sync_ BR_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace byterobust

@@ -1,0 +1,116 @@
+#include "src/serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/harness/wallclock.h"
+
+namespace byterobust {
+namespace {
+
+int ConnectWithRetry(const std::string& socket_path, double connect_wait_s,
+                     std::string* error) {
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    *error = "bad socket path";
+    return -1;
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size());
+  const double give_up = WallSeconds() + connect_wait_s;
+  while (true) {
+    const int fd = socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      *error = std::string("could not create socket: ") + std::strerror(errno);
+      return -1;
+    }
+    if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return fd;
+    }
+    const int saved = errno;
+    close(fd);
+    if (WallSeconds() >= give_up) {
+      *error = "could not connect to " + socket_path + ": " + std::strerror(saved);
+      return -1;
+    }
+    SleepMs(50.0);  // daemon still binding; retry inside the wait window
+  }
+}
+
+bool SetIoTimeout(int fd, double seconds) {
+  if (seconds <= 0.0) {
+    return true;
+  }
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  return setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0 &&
+         setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) == 0;
+}
+
+}  // namespace
+
+bool ServeRoundtrip(const std::string& socket_path, const std::string& request_line,
+                    double connect_wait_s, double io_timeout_s,
+                    std::string* response_line, std::string* error) {
+  response_line->clear();
+  const int fd = ConnectWithRetry(socket_path, connect_wait_s, error);
+  if (fd < 0) {
+    return false;
+  }
+  if (!SetIoTimeout(fd, io_timeout_s)) {
+    close(fd);
+    *error = "could not set socket timeouts";
+    return false;
+  }
+  std::string line = request_line;
+  if (line.empty() || line.back() != '\n') {
+    line += '\n';
+  }
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = send(fd, line.data() + off, line.size() - off, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      close(fd);
+      *error = std::string("send failed: ") + std::strerror(errno);
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  char chunk[1 << 16];
+  while (true) {
+    const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n < 0) {
+      close(fd);
+      *error = std::string("recv failed (response timeout?): ") + std::strerror(errno);
+      return false;
+    }
+    if (n == 0) {
+      close(fd);
+      *error = "daemon closed the connection before a full response line";
+      return false;
+    }
+    response_line->append(chunk, static_cast<std::size_t>(n));
+    const std::size_t nl = response_line->find('\n');
+    if (nl != std::string::npos) {
+      response_line->resize(nl);
+      break;
+    }
+  }
+  close(fd);
+  return true;
+}
+
+}  // namespace byterobust

@@ -1,0 +1,24 @@
+// Minimal blocking client for the serve daemon: one request line in, one
+// response line out, with a bounded connect-retry window so callers can
+// point it at a daemon that is still starting up. Used by the `byterobust
+// request` subcommand, the serve tests and the roundtrip benchmark.
+
+#ifndef SRC_SERVE_CLIENT_H_
+#define SRC_SERVE_CLIENT_H_
+
+#include <string>
+
+namespace byterobust {
+
+// Sends `request_line` (a '\n' is appended if missing) to the daemon at
+// `socket_path` and reads one '\n'-terminated response line into
+// *response_line (terminator stripped). Retries the connect for up to
+// `connect_wait_s` seconds (daemon still binding); `io_timeout_s` bounds the
+// send and the response wait. False + *error on failure.
+bool ServeRoundtrip(const std::string& socket_path, const std::string& request_line,
+                    double connect_wait_s, double io_timeout_s,
+                    std::string* response_line, std::string* error);
+
+}  // namespace byterobust
+
+#endif  // SRC_SERVE_CLIENT_H_

@@ -180,6 +180,49 @@ TEST_F(JournalTest, TruncatedTrailingRecordIsDroppedAndResumable) {
   EXPECT_EQ(completed.at(1).element, "second element");
 }
 
+TEST_F(JournalTest, SyncModeSurvivesTornTailAndResumesSynced) {
+  // --journal-sync path: every committed record is fdatasync'd, but the
+  // torn-tail contract is unchanged — a partial record after the last synced
+  // one is dropped on load and truncated away by a (still-synced) resume.
+  CampaignJournal journal;
+  std::string error;
+  ASSERT_TRUE(journal.Create(path_, Identity(), &error, /*sync=*/true)) << error;
+  ASSERT_TRUE(journal.Append({0, {1.0}, "synced element"}));
+  journal.Close();
+
+  long complete_size = 0;
+  {
+    CampaignIdentity id;
+    std::map<int, JournalEntry> completed;
+    ASSERT_TRUE(CampaignJournal::Load(path_, &id, &completed, &complete_size, &error));
+  }
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const std::string partial =
+        "seed|index=1|summary=-|bytes=500|digest=fnv1a:0000000000000000\ntorn";
+    std::fwrite(partial.data(), 1, partial.size(), f);
+    std::fclose(f);
+  }
+  CampaignIdentity id;
+  std::map<int, JournalEntry> completed;
+  long valid_end = 0;
+  ASSERT_TRUE(CampaignJournal::Load(path_, &id, &completed, &valid_end, &error)) << error;
+  EXPECT_EQ(completed.size(), 1u);
+  EXPECT_EQ(valid_end, complete_size);
+
+  CampaignJournal resumed;
+  std::map<int, JournalEntry> prior;
+  ASSERT_TRUE(resumed.OpenForResume(path_, Identity(), &prior, &error, /*sync=*/true))
+      << error;
+  EXPECT_EQ(prior.size(), 1u);
+  ASSERT_TRUE(resumed.Append({1, {2.0}, "second synced element"}));
+  resumed.Close();
+  ASSERT_TRUE(CampaignJournal::Load(path_, &id, &completed, &valid_end, &error)) << error;
+  EXPECT_EQ(completed.size(), 2u);
+  EXPECT_EQ(completed.at(1).element, "second synced element");
+}
+
 TEST_F(JournalTest, CorruptedElementIsRejected) {
   CampaignJournal journal;
   std::string error;

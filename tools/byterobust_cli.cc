@@ -4,21 +4,23 @@
 //   run          run one named scenario for one seed, emit a JSON summary
 //   campaign     run a scenario across N seeds, emit per-seed + aggregate JSON
 //   fleet        run a named multi-job fleet scenario across N seeds
+//   serve        host campaigns as a service on a local socket (src/serve)
+//   request      send one request line to a serve daemon and print the reply
 //   bench-report emit the restart-cost / WAS model as JSON across scales
 //   list         list the named scenarios (single-job and fleet)
 //
 //   ./build/tools/byterobust run --preset quickstart --seed 2024
 //   ./build/tools/byterobust campaign --scenario gpu-fault --seeds 8
 //   ./build/tools/byterobust fleet --scenario fleet-contention --seeds 4
-//   ./build/tools/byterobust bench-report
+//   ./build/tools/byterobust serve --socket /tmp/br.sock --workers 2 --jobs 8
+//   ./build/tools/byterobust request --socket /tmp/br.sock
+//       --body '{"op":"campaign","scenario":"quickstart","seeds":2}'
 //
-// Mixed scenarios drive the full Scenario engine (Table 1 fault mix, hot
-// updates, re-fail ground truth); targeted scenarios inject a single symptom
-// at exponential intervals to isolate one detection/resolution pipeline;
-// fleet scenarios host several concurrent jobs on one shared machine pool
-// with a contended spare arbiter (src/fleet). `campaign` and `fleet` share
-// the seed-parallel worker pool and the spill/direct streaming merger, so
-// both are byte-identical across --jobs values and --stream on/off.
+// The scenario registries and per-seed runners live in src/campaign/
+// (scenarios.{h,cc}); the seed-parallel worker pool and streaming merger in
+// src/campaign/engine.{h,cc}; the serve daemon in src/serve/. `campaign`,
+// `fleet` and every serve request share the engine, so output is
+// byte-identical across --jobs values, --stream on/off, and CLI vs service.
 //
 // Campaigns run under the src/harness fault-tolerance layer: every seed is
 // supervised (watchdog + deterministic retry/backoff), persistently failing
@@ -26,686 +28,38 @@
 // campaign, --journal/--resume give crash-safe restartability, and
 // SIGINT/SIGTERM drain in-flight seeds before exiting.
 //
-// Exit codes: 0 success; 1 I/O or worker error; 2 usage/setup error;
-// 20 campaign completed with quarantined seeds; 30 campaign interrupted
-// (signal or injected stop) after a graceful drain.
+// Exit codes (src/harness/exit_codes.h): kExitOk 0 success; kExitIoError 1
+// I/O or worker error; kExitUsage 2 usage/setup error; kExitQuarantine 20
+// campaign completed with quarantined seeds; kExitInterrupted 30 campaign or
+// daemon interrupted (signal, deadline or injected stop) after a graceful
+// drain; kExitShed 75 a serve request was load-shed.
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
-#include <cmath>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <exception>
-#include <functional>
-#include <map>
-#include <memory>
-#include <optional>
-#include <sstream>
-#include <stdexcept>
 #include <string>
-#include <thread>
 #include <vector>
 
-#include "src/common/rng.h"
-#include "src/common/sync.h"
-#include "src/common/thread_annotations.h"
-#include "src/harness/journal.h"
-#include "src/harness/supervisor.h"
-#include "src/core/production_presets.h"
-#include "src/core/scenario.h"
-#include "src/faults/domain_injector.h"
-#include "src/faults/fault_injector.h"
-#include "src/metrics/domain_blast.h"
-#include "src/fleet/fleet.h"
-#include "src/fleet/fleet_presets.h"
+#include "src/campaign/engine.h"
+#include "src/campaign/json_writer.h"
+#include "src/campaign/scenarios.h"
+#include "src/common/sim_time.h"
+#include "src/harness/exit_codes.h"
 #include "src/metrics/report.h"
 #include "src/recovery/restart_model.h"
 #include "src/recovery/was_model.h"
-#include "src/topology/fault_domains.h"
+#include "src/serve/client.h"
+#include "src/serve/protocol.h"
+#include "src/serve/server.h"
 
 namespace byterobust {
 namespace {
-
-// ---------------------------------------------------------------------------
-// Minimal JSON writer: enough for flat objects, nested objects and arrays.
-// ---------------------------------------------------------------------------
-class JsonWriter {
- public:
-  JsonWriter() = default;
-
-  // Primed writer: emits text as if `depth` scopes were already open, with
-  // `need_comma` saying whether the enclosing scope already holds a value.
-  // Lets workers render one "runs" array element (depth 2) byte-identically
-  // to an element written inline by the full-document writer.
-  JsonWriter(int depth, bool need_comma) : depth_(depth) { need_comma_.push_back(need_comma); }
-
-  std::string Take() { return out_.str(); }
-
-  void BeginObject() { Open('{'); }
-  void EndObject() { Close('}'); }
-  void BeginArray() { Open('['); }
-  void EndArray() { Close(']'); }
-
-  void Key(const std::string& k) {
-    Comma();
-    Indent();
-    out_ << '"' << Escape(k) << "\": ";
-    pending_value_ = true;
-  }
-
-  void Value(const std::string& v) { Scalar('"' + Escape(v) + '"'); }
-  void Value(const char* v) { Value(std::string(v)); }
-  void Value(double v) {
-    if (!std::isfinite(v)) {
-      Scalar("null");
-      return;
-    }
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.6g", v);
-    Scalar(buf);
-  }
-  void Value(std::int64_t v) { Scalar(std::to_string(v)); }
-  void Value(int v) { Scalar(std::to_string(v)); }
-  void Value(std::uint64_t v) { Scalar(std::to_string(v)); }
-  void Value(bool v) { Scalar(v ? "true" : "false"); }
-
-  template <typename T>
-  void Field(const std::string& k, T v) {
-    Key(k);
-    Value(v);
-  }
-
- private:
-  static std::string Escape(const std::string& s) {
-    std::string r;
-    for (char c : s) {
-      if (c == '"' || c == '\\') {
-        r += '\\';
-        r += c;
-      } else if (c == '\n') {
-        r += "\\n";
-      } else {
-        r += c;
-      }
-    }
-    return r;
-  }
-
-  void Open(char c) {
-    if (!pending_value_) {
-      Comma();
-      Indent();
-    }
-    pending_value_ = false;
-    out_ << c;
-    ++depth_;
-    need_comma_.push_back(false);
-  }
-
-  void Close(char c) {
-    --depth_;
-    need_comma_.pop_back();
-    out_ << '\n';
-    Indent();
-    out_ << c;
-    if (!need_comma_.empty()) {
-      need_comma_.back() = true;
-    }
-    pending_value_ = false;
-  }
-
-  void Scalar(const std::string& text) {
-    if (!pending_value_) {
-      Comma();
-      Indent();
-    }
-    pending_value_ = false;
-    out_ << text;
-    if (!need_comma_.empty()) {
-      need_comma_.back() = true;
-    }
-  }
-
-  void Comma() {
-    if (!need_comma_.empty() && need_comma_.back()) {
-      out_ << ',';
-    }
-    if (depth_ > 0) {
-      out_ << '\n';
-    }
-    if (!need_comma_.empty()) {
-      need_comma_.back() = false;
-    }
-  }
-
-  void Indent() {
-    for (int i = 0; i < depth_; ++i) {
-      out_ << "  ";
-    }
-  }
-
-  std::ostringstream out_;
-  int depth_ = 0;
-  bool pending_value_ = false;
-  std::vector<bool> need_comma_;
-};
-
-// ---------------------------------------------------------------------------
-// Named scenarios.
-// ---------------------------------------------------------------------------
-struct ScenarioSpec {
-  const char* name;
-  const char* summary;
-  bool targeted;                  // single-symptom campaign vs full mix
-  IncidentSymptom symptom;        // targeted only
-  double default_days;
-  // Correlated fault-domain campaigns: when set, the scenario's dominant
-  // stream is a Poisson process of *domain* faults of this kind over the
-  // hierarchical topology graph (src/topology/fault_domains.h), with a sparse
-  // background Table 1 mix underneath.
-  bool domain = false;
-  DomainFaultKind domain_kind = DomainFaultKind::kSpineFlap;
-};
-
-const std::vector<ScenarioSpec>& Specs() {
-  static const std::vector<ScenarioSpec> specs = {
-      {"quickstart", "16-machine 7B job with the full Table 1 fault mix", false,
-       IncidentSymptom::kCudaError, 0.5},
-      {"dense", "9,600-GPU dense 70+B production campaign (Sec. 8.1)", false,
-       IncidentSymptom::kCudaError, 7.0},
-      {"dense-month", "30-day 9,600-GPU dense robustness campaign (month scale)", false,
-       IncidentSymptom::kCudaError, 30.0},
-      {"moe", "9,600-GPU MoE 200+B production campaign (Sec. 8.1)", false,
-       IncidentSymptom::kCudaError, 7.0},
-      {"fig2", "1,000-GPU job with heavy manual adjustment (Fig. 2)", false,
-       IncidentSymptom::kCudaError, 10.0},
-      {"gpu-fault", "targeted kGpuUnavailable injection campaign", true,
-       IncidentSymptom::kGpuUnavailable, 0.5},
-      {"nic-fault", "targeted kInfinibandError injection campaign", true,
-       IncidentSymptom::kInfinibandError, 0.5},
-      {"cuda-error", "targeted kCudaError injection campaign", true,
-       IncidentSymptom::kCudaError, 0.5},
-      {"job-hang", "targeted kJobHang injection campaign", true,
-       IncidentSymptom::kJobHang, 0.5},
-      {"nan-loss", "targeted kNanValue injection campaign", true,
-       IncidentSymptom::kNanValue, 0.5},
-      {"spine-flap", "correlated spine flaps: gray network faults over whole sub-trees", false,
-       IncidentSymptom::kInfinibandError, 0.5, true, DomainFaultKind::kSpineFlap},
-      {"power-domain", "pod power-domain losses killing every machine beneath", false,
-       IncidentSymptom::kOsKernelPanic, 0.5, true, DomainFaultKind::kPowerLoss},
-      {"link-failslow", "silent ToR fail-slow: congestion backpressure, MFU-only signal", false,
-       IncidentSymptom::kMfuDecline, 0.5, true, DomainFaultKind::kLinkFailSlow},
-  };
-  return specs;
-}
-
-const ScenarioSpec* FindSpec(const std::string& name) {
-  for (const ScenarioSpec& s : Specs()) {
-    if (name == s.name) {
-      return &s;
-    }
-  }
-  return nullptr;
-}
-
-// Named fleet scenarios (multi-job, shared spare pool; see src/fleet).
-struct FleetSpec {
-  const char* name;
-  const char* summary;
-  FleetConfig (*make)(double days, std::uint64_t seed);
-  double default_days;
-};
-
-const std::vector<FleetSpec>& FleetSpecs() {
-  static const std::vector<FleetSpec> specs = {
-      {"fleet-mixed",
-       "three heterogeneous jobs (priorities, staggered starts) on one shared spare pool",
-       &FleetMixedConfig, 0.5},
-      {"fleet-contention",
-       "four jobs, one shared spare, accelerated faults: claims preempt and queue",
-       &FleetContentionConfig, 0.5},
-      {"fleet-switch-storm",
-       "two rack-adjacent jobs under ToR switch storms whose bands span both",
-       &FleetSwitchStormConfig, 1.0},
-  };
-  return specs;
-}
-
-const FleetSpec* FindFleetSpec(const std::string& name) {
-  for (const FleetSpec& s : FleetSpecs()) {
-    if (name == s.name) {
-      return &s;
-    }
-  }
-  return nullptr;
-}
-
-// Escape hatch for the batched-stepping equivalence ctest: BYTEROBUST_STEP_BATCHING=0
-// pins the per-step reference path. Output must be byte-identical either way.
-bool StepBatchingEnabled() {
-  const char* env = std::getenv("BYTEROBUST_STEP_BATCHING");
-  return env == nullptr || std::string(env) != "0";
-}
-
-// BYTEROBUST_STREAM_CAMPAIGN=0 pins the buffered reference path (all
-// RunResults held in memory before emission) so the streaming merger can be
-// byte-compared against it. The default streams per-seed JSON through
-// per-worker spill files, bounding campaign memory at O(window) per worker
-// regardless of --seeds.
-bool StreamCampaignEnabled() {
-  const char* env = std::getenv("BYTEROBUST_STREAM_CAMPAIGN");
-  return env == nullptr || std::string(env) != "0";
-}
-
-// Trailing retention window for per-run ETTR-span / MFU-sample compaction.
-// BYTEROBUST_METRIC_WINDOW gives seconds (0 = unbounded); the default keeps
-// two hours, comfortably above the 1 h sliding-ETTR window, so campaign
-// metrics are bit-identical windowed or not while month-scale runs hold
-// O(window) metric state instead of O(steps).
-SimDuration MetricsRetentionFromEnv() {
-  static const SimDuration retention = [] {
-    const char* env = std::getenv("BYTEROBUST_METRIC_WINDOW");
-    if (env == nullptr) {
-      return Hours(2);
-    }
-    const double seconds = std::strtod(env, nullptr);
-    return seconds <= 0.0 ? SimDuration{0} : Seconds(seconds);
-  }();
-  return retention;
-}
-
-SystemConfig QuickstartSystem(std::uint64_t seed) {
-  SystemConfig config;
-  config.job.name = "quickstart-7B";
-  config.job.model_params_b = 7.0;
-  config.job.parallelism.tp = 2;
-  config.job.parallelism.pp = 4;
-  config.job.parallelism.dp = 4;
-  config.job.parallelism.gpus_per_machine = 2;
-  config.job.base_step_time = Seconds(10);
-  config.seed = seed;
-  config.spare_machines = 4;
-  config.job.batched_stepping = StepBatchingEnabled();
-  config.metrics_retention = MetricsRetentionFromEnv();
-  return config;
-}
-
-ScenarioConfig MixedConfig(const std::string& name, double days, std::uint64_t seed) {
-  if (name == "dense" || name == "dense-month") {
-    return DenseCampaignConfig(days, seed);
-  }
-  if (name == "moe") {
-    return MoeCampaignConfig(days, seed);
-  }
-  if (name == "fig2") {
-    ScenarioConfig cfg = Fig2CampaignConfig(seed);
-    cfg.duration = Days(days);
-    return cfg;
-  }
-  // quickstart: small cluster, accelerated fault clock so a half-day run
-  // still sees a handful of incidents.
-  ScenarioConfig cfg;
-  cfg.system = QuickstartSystem(seed);
-  cfg.duration = Days(days);
-  cfg.injector.reference_mtbf = Hours(1.0);
-  cfg.injector.reference_machines = 64;
-  cfg.planned_updates = 2;
-  return cfg;
-}
-
-// Correlated fault-domain campaigns: the quickstart cluster with the domain
-// stream dominant and the Table 1 background mix throttled way down, so the
-// blast-radius metrics reflect the correlated faults rather than the mix.
-ScenarioConfig DomainConfig(const ScenarioSpec& spec, double days, std::uint64_t seed) {
-  ScenarioConfig cfg;
-  cfg.system = QuickstartSystem(seed);
-  cfg.duration = Days(days);
-  // Quickstart has 20 machines (16 serving + 4 spares); the default 6/4 tree
-  // would collapse to a single spine covering everything. 4 machines per ToR
-  // and 2 ToRs per spine gives 5 ToRs / 3 spines / 2 pods, so domain faults
-  // strike proper sub-trees instead of the whole cluster.
-  cfg.system.fault_domains.machines_per_tor = 4;
-  cfg.system.fault_domains.tors_per_spine = 2;
-  cfg.injector.reference_mtbf = Hours(6.0);
-  cfg.injector.reference_machines = 64;
-  cfg.planned_updates = 0;
-  cfg.domain_faults.kind = spec.domain_kind;
-  cfg.domain_faults.mean_gap = Minutes(45);
-  switch (spec.domain_kind) {
-    case DomainFaultKind::kPowerLoss:
-      // Power loss never self-heals inside a debounce; every event is a
-      // persistent whole-pod outage (shortened so a half-day run recovers).
-      cfg.domain_faults.transient_fraction = 0.0;
-      cfg.domain_faults.persistent_hold = Hours(1);
-      break;
-    case DomainFaultKind::kLinkFailSlow:
-      cfg.domain_faults.transient_fraction = 0.5;
-      cfg.domain_faults.persistent_hold = Hours(1);
-      cfg.domain_faults.degradation_factor = 0.55;
-      break;
-    default:
-      break;  // spine-flap: default 70% transient, healing inside the debounce
-  }
-  return cfg;
-}
-
-// ---------------------------------------------------------------------------
-// One campaign run -> metrics.
-// ---------------------------------------------------------------------------
-struct LatencyStats {
-  double mean_s = 0.0;
-  double max_s = 0.0;
-  int count = 0;
-};
-
-struct RunResult {
-  std::string scenario;
-  std::uint64_t seed = 0;
-  double days = 0.0;
-  int machines = 0;
-  int world_size = 0;
-  std::int64_t steps = 0;
-  int runs = 0;
-  int evictions = 0;
-  int incidents_injected = 0;
-  int incidents_resolved = 0;
-  int refails = 0;
-  int updates_submitted = 0;
-  double ettr_cumulative = 0.0;
-  double productive_s = 0.0;
-  double recompute_s = 0.0;
-  double final_mfu = 0.0;
-  LatencyStats detection;
-  LatencyStats localization;
-  LatencyStats failover;
-  LatencyStats resolution;  // total unproductive time per incident
-  double was_byterobust_s = 0.0;
-  double was_requeue_s = 0.0;
-  std::map<std::string, int> mechanisms;
-  int domain_faults_injected = 0;
-  DomainBlastStats domain_blast;  // empty unless the scenario injects domain faults
-};
-
-LatencyStats Summarize(const std::vector<double>& xs) {
-  LatencyStats s;
-  s.count = static_cast<int>(xs.size());
-  for (double x : xs) {
-    s.mean_s += x;
-    s.max_s = std::max(s.max_s, x);
-  }
-  if (s.count > 0) {
-    s.mean_s /= s.count;
-  }
-  return s;
-}
-
-// Weighted-average scheduling time at this scale under the Sec. 6.2 binomial
-// failure model (the Fig. 12 methodology, src/recovery/was_model.h).
-void ComputeWas(int machines, RunResult* r) {
-  const WasEstimate est = EstimateWas(machines);
-  r->was_byterobust_s = est.byterobust_s;
-  r->was_requeue_s = est.requeue_s;
-}
-
-void CollectSystemMetrics(ByteRobustSystem& sys, RunResult* r) {
-  r->machines = sys.config().job.parallelism.num_machines();
-  r->world_size = sys.config().job.parallelism.world_size();
-  r->steps = sys.job().max_step_reached();
-  r->runs = sys.job().run_count();
-  r->evictions = sys.controller().evictions_total();
-  r->ettr_cumulative = sys.ettr().CumulativeEttr(sys.sim().Now());
-  r->productive_s = ToSeconds(sys.ettr().productive_time());
-  r->recompute_s = ToSeconds(sys.ettr().recompute_time());
-  r->final_mfu = sys.job().CurrentMfu();
-
-  std::vector<double> detect;
-  std::vector<double> localize;
-  std::vector<double> failover;
-  std::vector<double> total;
-  for (const IncidentResolution& res : sys.controller().log().entries()) {
-    detect.push_back(ToSeconds(res.DetectionTime()));
-    localize.push_back(ToSeconds(res.LocalizationTime()));
-    failover.push_back(ToSeconds(res.FailoverTime()));
-    total.push_back(ToSeconds(res.TotalUnproductive()));
-    if (res.resolved) {
-      ++r->incidents_resolved;
-    }
-    ++r->mechanisms[MechanismName(res.mechanism)];
-  }
-  r->detection = Summarize(detect);
-  r->localization = Summarize(localize);
-  r->failover = Summarize(failover);
-  r->resolution = Summarize(total);
-  ComputeWas(r->machines, r);
-}
-
-RunResult RunMixed(const ScenarioSpec& spec, double days, std::uint64_t seed) {
-  RunResult r;
-  r.scenario = spec.name;
-  r.seed = seed;
-  r.days = days;
-  ScenarioConfig cfg =
-      spec.domain ? DomainConfig(spec, days, seed) : MixedConfig(spec.name, days, seed);
-  cfg.system.job.batched_stepping = StepBatchingEnabled();
-  cfg.system.metrics_retention = MetricsRetentionFromEnv();
-  Scenario scenario(cfg);
-  scenario.Run();
-  r.incidents_injected = scenario.stats().incidents_injected;
-  r.refails = scenario.stats().refails;
-  r.updates_submitted = scenario.stats().updates_submitted;
-  r.domain_faults_injected = scenario.stats().domain_faults_injected;
-  r.domain_blast = scenario.domain_blast();
-  CollectSystemMetrics(scenario.system(), &r);
-  return r;
-}
-
-// A targeted campaign: one symptom, injected at exponential intervals onto a
-// random serving machine, with the infrastructure root cause (the controller
-// must evict the machine to clear it).
-class TargetedCampaign {
- public:
-  TargetedCampaign(const ScenarioSpec& spec, double days, std::uint64_t seed)
-      : spec_(spec),
-        sys_(QuickstartSystem(seed)),
-        rng_(seed ^ 0xF00DULL),
-        duration_(Days(days)),
-        mean_gap_(Minutes(40)) {}
-
-  int Run() {
-    sys_.Start();
-    ScheduleNext();
-    sys_.sim().RunUntil(duration_);
-    return injected_;
-  }
-
-  ByteRobustSystem& system() { return sys_; }
-
- private:
-  void ScheduleNext() {
-    const SimDuration delay =
-        static_cast<SimDuration>(rng_.Exponential(static_cast<double>(mean_gap_)));
-    sys_.sim().Schedule(delay, [this] { Inject(); });
-  }
-
-  void Inject() {
-    if (sys_.job().state() != JobRunState::kRunning) {
-      sys_.sim().Schedule(Minutes(2), [this] { Inject(); });
-      return;
-    }
-    // Same slot-ordered membership as ServingMachines(), without the
-    // per-incident copy.
-    const std::vector<MachineId>& serving = sys_.cluster().serving_slots();
-    if (serving.empty()) {
-      return;
-    }
-    Incident inc;
-    inc.id = static_cast<std::uint64_t>(++injected_);
-    inc.symptom = spec_.symptom;
-    inc.root_cause = RootCause::kInfrastructure;
-    inc.faulty_machines = {serving[static_cast<std::size_t>(
-        rng_.UniformInt(0, static_cast<std::int64_t>(serving.size()) - 1))]};
-    inc.gpu_index = spec_.symptom == IncidentSymptom::kGpuUnavailable
-                        ? static_cast<int>(rng_.UniformInt(
-                              0, sys_.config().job.parallelism.gpus_per_machine - 1))
-                        : -1;
-    inc.inject_time = sys_.sim().Now();
-    FaultInjector::ApplyToCluster(inc, &sys_.cluster());
-    sys_.controller().NotifyIncidentInjected(inc);
-    switch (inc.symptom) {
-      case IncidentSymptom::kJobHang: {
-        const Topology& topo = sys_.job().topology();
-        const int slot = sys_.cluster().SlotOfMachine(inc.faulty_machines.front());
-        sys_.job().Hang(std::max(slot, 0) * topo.config().gpus_per_machine);
-        break;
-      }
-      case IncidentSymptom::kNanValue:
-        sys_.job().SetNanLoss(true);
-        break;
-      case IncidentSymptom::kMfuDecline:
-        break;  // monitor picks up the degraded clock on the next step
-      default:
-        sys_.job().Crash();
-        break;
-    }
-    ScheduleNext();
-  }
-
-  ScenarioSpec spec_;
-  ByteRobustSystem sys_;
-  Rng rng_;
-  SimDuration duration_;
-  SimDuration mean_gap_;
-  int injected_ = 0;
-};
-
-RunResult RunTargeted(const ScenarioSpec& spec, double days, std::uint64_t seed) {
-  RunResult r;
-  r.scenario = spec.name;
-  r.seed = seed;
-  r.days = days;
-  TargetedCampaign campaign(spec, days, seed);
-  r.incidents_injected = campaign.Run();
-  CollectSystemMetrics(campaign.system(), &r);
-  return r;
-}
-
-RunResult RunOne(const ScenarioSpec& spec, double days, std::uint64_t seed) {
-  return spec.targeted ? RunTargeted(spec, days, seed) : RunMixed(spec, days, seed);
-}
-
-// ---------------------------------------------------------------------------
-// JSON emission.
-// ---------------------------------------------------------------------------
-void WriteLatency(JsonWriter* w, const std::string& key, const LatencyStats& s) {
-  w->Key(key);
-  w->BeginObject();
-  w->Field("mean_s", s.mean_s);
-  w->Field("max_s", s.max_s);
-  w->Field("count", s.count);
-  w->EndObject();
-}
-
-// Per-domain-level blast-radius block, shared by campaign runs and the fleet
-// seed element. Only emitted when at least one domain fault fired, so flat
-// (or BYTEROBUST_FAULT_DOMAINS=0) campaigns keep their PR 6 byte layout.
-void WriteDomainBlast(JsonWriter* w, const std::string& key, const DomainBlastStats& stats) {
-  w->Key(key);
-  w->BeginObject();
-  w->Field("events", static_cast<int>(stats.events().size()));
-  w->Key("levels");
-  w->BeginObject();
-  for (const auto& [level, s] : stats.SummaryByLevel()) {
-    w->Key(DomainLevelName(static_cast<DomainLevel>(level)));
-    w->BeginObject();
-    w->Field("events", s.events);
-    w->Field("transient", s.transient_events);
-    w->Field("healed", s.healed_events);
-    w->Field("mean_ettr_delta", s.MeanEttrDelta());
-    w->Key("machines_hist");
-    w->BeginObject();
-    for (const auto& [machines, count] : s.machines_hist) {
-      w->Field(std::to_string(machines), count);
-    }
-    w->EndObject();
-    w->Key("jobs_hist");
-    w->BeginObject();
-    for (const auto& [jobs, count] : s.jobs_hist) {
-      w->Field(std::to_string(jobs), count);
-    }
-    w->EndObject();
-    w->EndObject();
-  }
-  w->EndObject();
-  w->EndObject();
-}
-
-void WriteRunFields(JsonWriter* w, const RunResult& r) {
-  w->Field("scenario", r.scenario);
-  w->Field("seed", r.seed);
-  w->Field("days", r.days);
-  w->Field("machines", r.machines);
-  w->Field("world_size", r.world_size);
-  w->Field("steps", r.steps);
-  w->Field("runs", r.runs);
-  w->Field("evictions", r.evictions);
-  w->Key("incidents");
-  w->BeginObject();
-  w->Field("injected", r.incidents_injected);
-  w->Field("resolved", r.incidents_resolved);
-  w->Field("refails", r.refails);
-  w->Field("updates_submitted", r.updates_submitted);
-  w->EndObject();
-  w->Key("ettr");
-  w->BeginObject();
-  w->Field("cumulative", r.ettr_cumulative);
-  w->Field("productive_s", r.productive_s);
-  w->Field("recompute_s", r.recompute_s);
-  w->EndObject();
-  WriteLatency(w, "detection_s", r.detection);
-  WriteLatency(w, "localization_s", r.localization);
-  WriteLatency(w, "failover_s", r.failover);
-  WriteLatency(w, "resolution_s", r.resolution);
-  w->Key("was_s");
-  w->BeginObject();
-  w->Field("byterobust", r.was_byterobust_s);
-  w->Field("requeue", r.was_requeue_s);
-  w->EndObject();
-  w->Field("final_mfu", r.final_mfu);
-  w->Key("mechanisms");
-  w->BeginObject();
-  for (const auto& [name, count] : r.mechanisms) {
-    w->Field(name, count);
-  }
-  w->EndObject();
-  if (!r.domain_blast.empty()) {
-    w->Field("domain_faults_injected", r.domain_faults_injected);
-    WriteDomainBlast(w, "fault_domains", r.domain_blast);
-  }
-}
-
-void WriteRun(JsonWriter* w, const RunResult& r) {
-  w->BeginObject();
-  WriteRunFields(w, r);
-  w->EndObject();
-}
-
-struct Aggregate {
-  double mean = 0.0;
-  double min = 0.0;
-  double max = 0.0;
-};
-
-void WriteAggregate(JsonWriter* w, const std::string& key, const Aggregate& a) {
-  w->Key(key);
-  w->BeginObject();
-  w->Field("mean", a.mean);
-  w->Field("min", a.min);
-  w->Field("max", a.max);
-  w->EndObject();
-}
 
 int Emit(JsonWriter* w, const std::string& out_path) {
   std::string text = w->Take();
@@ -714,330 +68,27 @@ int Emit(JsonWriter* w, const std::string& out_path) {
   if (std::fwrite(text.data(), 1, text.size(), stdout) != text.size() ||
       std::fflush(stdout) != 0) {
     std::fprintf(stderr, "error: short write on stdout\n");
-    return 1;
+    return kExitIoError;
   }
   if (!out_path.empty() && !WriteFile(out_path, text)) {
     std::fprintf(stderr, "error: could not write %s\n", out_path.c_str());
-    return 1;
+    return kExitIoError;
   }
-  return 0;
+  return kExitOk;
 }
 
 // ---------------------------------------------------------------------------
 // Graceful shutdown: SIGINT/SIGTERM flip one lock-free flag that the worker
-// pool polls between seed claims — in-flight seeds finish, the journal and
-// any partial --stream output are flushed, and the campaign exits 30. A
-// second signal falls through to the default disposition (immediate kill).
+// pool (and the serve supervision loop) polls — in-flight seeds finish, the
+// journal and any partial --stream output are flushed, and the process exits
+// kExitInterrupted. A second signal falls through to the default disposition
+// (immediate kill).
 // ---------------------------------------------------------------------------
 std::atomic<bool> g_signal_stop{false};
 
 void HandleStopSignal(int sig) {
   g_signal_stop.store(true, std::memory_order_release);
   std::signal(sig, SIG_DFL);
-}
-
-// ---------------------------------------------------------------------------
-// Campaign engine, generic over the per-seed runner so `campaign` (one
-// RunResult per seed) and `fleet` (a whole multi-job fleet per seed) share
-// the worker pool and the streaming merger byte-identically.
-//
-// Workers render each finished seed's JSON and hand it off (spill file or
-// in-order committer) instead of buffering results, so campaign memory is
-// O(window), not O(seeds). The aggregate block folds from tiny per-seed
-// summary vectors in seed order — the identical arithmetic, in the identical
-// order, as the buffered reference path, so output is byte-equal.
-// ---------------------------------------------------------------------------
-
-// What one seed contributes to the document: its rendered "runs" array
-// element (depth 2, byte-identical to the same element written inline by a
-// full-document writer) and the numbers the aggregate block consumes, in a
-// fixed per-command order.
-struct SeedOutcome {
-  std::string element;
-  std::vector<double> summary;
-  bool failed = false;  // quarantined: no element, no summary slot
-};
-
-struct CampaignEngineSpec {
-  int seeds = 0;
-  int jobs = 1;
-  bool stream = false;
-  std::string out_path;
-  std::string label;           // "campaign:dense" etc — exception context
-  CampaignIdentity identity;   // what --journal records / --resume verifies
-  std::string journal_path;    // --journal: record committed seeds here
-  std::string resume_path;     // --resume: skip seeds already journaled here
-  int retries_override = -1;   // --retries; < 0 defers to env/default
-  // Runs seed index i (workers call this concurrently; every run must bind
-  // only thread-local / run-local state).
-  std::function<SeedOutcome(int)> run_seed;
-  std::function<void(JsonWriter*)> header_fields;
-  std::function<void(JsonWriter*, const std::vector<std::vector<double>>&)> aggregates;
-};
-
-// A setup-stage problem (bad env knob, unreadable or mismatched journal):
-// reported before any worker spawns, exit code 2.
-class EngineSetupError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
-
-// One quarantined seed, rendered into the document's "failed_runs" block.
-struct FailedRun {
-  int index = 0;
-  std::uint64_t seed = 0;
-  int attempts = 0;
-  bool timed_out = false;
-  std::string error;
-};
-
-// Rendered as a primed depth-1 block so it splices after the closed "runs"
-// array; emitted only when non-empty, so clean campaigns keep their exact
-// byte layout.
-std::string RenderFailedRuns(const std::vector<FailedRun>& failures) {
-  JsonWriter w(/*depth=*/1, /*need_comma=*/true);
-  w.Key("failed_runs");
-  w.BeginArray();
-  for (const FailedRun& f : failures) {
-    w.BeginObject();
-    w.Field("index", f.index);
-    w.Field("seed", f.seed);
-    w.Field("attempts", f.attempts);
-    w.Field("timed_out", f.timed_out);
-    w.Field("error", f.error);
-    w.EndObject();
-  }
-  w.EndArray();
-  return w.Take();
-}
-
-// ---------------------------------------------------------------------------
-// Worker-pool plumbing. All cross-thread mutable state lives in the two small
-// classes below with BR_GUARDED_BY-annotated members, so the clang
-// `-Wthread-safety` CI job statically proves every access holds the right
-// lock. (Annotations only attach to members and globals — lambda-captured
-// locals are invisible to the analysis — which is why this state is hoisted
-// out of the engine functions.) Per-seed slots such as `summaries[i]` and the
-// spill index are written by exactly one worker each (disjoint indices of
-// pre-sized vectors) and read only after the pool joins; they need no lock.
-// ---------------------------------------------------------------------------
-
-// First-failure latch for a worker pool: the first captured exception wins,
-// and failed() flips so the other workers stop claiming seeds.
-class FailureLatch {
- public:
-  // Records an exception (usually std::current_exception(), or one re-wrapped
-  // with seed/worker context); the first capture wins.
-  void Capture(std::exception_ptr error) {
-    failed_.store(true, std::memory_order_relaxed);
-    const MutexLock lock(&mu_);
-    if (!first_error_) {
-      first_error_ = std::move(error);
-    }
-  }
-
-  bool failed() const { return failed_.load(std::memory_order_relaxed); }
-
-  // Rethrows the first captured exception, if any. Call after the pool joined.
-  void RethrowIfFailed() {
-    std::exception_ptr error;
-    {
-      const MutexLock lock(&mu_);
-      error = first_error_;
-    }
-    if (error) {
-      std::rethrow_exception(error);
-    }
-  }
-
- private:
-  Mutex mu_;
-  std::atomic<bool> failed_{false};
-  std::exception_ptr first_error_ BR_GUARDED_BY(mu_);
-};
-
-// Claims seed indices off the shared ticket until they run out, a worker has
-// failed, or `stop` asks for a graceful drain (in-flight seeds finish, no new
-// claims); runs `run` for each claim, latching the first exception wrapped
-// with campaign/seed/worker context. The optional `on_failure` hook runs
-// after the latch captures (e.g. to wake a committer blocked on a condition
-// variable).
-void DrainSeeds(int seeds, std::atomic<int>* next_seed, FailureLatch* latch,
-                const std::string& label, int worker,
-                const std::function<bool()>& stop,
-                const std::function<void(int)>& run,
-                const std::function<void()>& on_failure = {}) {
-  for (int i = next_seed->fetch_add(1); i < seeds && !latch->failed();
-       i = next_seed->fetch_add(1)) {
-    if (stop && stop()) {
-      return;
-    }
-    try {
-      run(i);
-    } catch (const std::exception& e) {
-      latch->Capture(std::make_exception_ptr(std::runtime_error(
-          label + ", seed index " + std::to_string(i) + ", worker " +
-          std::to_string(worker) + ": " + e.what())));
-      if (on_failure) {
-        on_failure();
-      }
-      return;
-    } catch (...) {
-      latch->Capture(std::current_exception());
-      if (on_failure) {
-        on_failure();
-      }
-      return;
-    }
-  }
-}
-
-// Out-of-order producers, strictly seed-ordered consumer: workers Push each
-// rendered element as it finishes; the committer Pops 0, 1, 2, ... so the
-// document is written in seed order while only the out-of-order tail is ever
-// resident. A latched failure wakes the committer immediately.
-class OrderedCommitQueue {
- public:
-  OrderedCommitQueue(const FailureLatch* latch, int producers)
-      : latch_(latch), active_producers_(producers) {}
-
-  void Push(int index, std::string element) {
-    {
-      const MutexLock lock(&mu_);
-      done_.emplace(index, std::move(element));
-    }
-    cv_.NotifyOne();
-  }
-
-  // Each producer thread calls this exactly once on exit. When the last one
-  // leaves, any committer still waiting for an unproduced seed (graceful
-  // stop, or a quarantine race) unblocks instead of waiting forever.
-  void ProducerExited() {
-    {
-      const MutexLock lock(&mu_);
-      --active_producers_;
-      if (active_producers_ > 0) {
-        return;
-      }
-    }
-    cv_.NotifyAll();
-  }
-
-  // Wakes the committer after the latch recorded a failure. Acquiring mu_
-  // (even briefly) orders the notification after the committer's failed()
-  // check in Pop(): either the committer already observed the failure, or it
-  // has released mu_ inside cv_.Wait() and the NotifyAll cannot be lost.
-  // Notifying without the lock could fire between the check and the wait,
-  // leaving the committer blocked forever once producers stop pushing.
-  void NotifyFailure() {
-    { const MutexLock lock(&mu_); }
-    cv_.NotifyAll();
-  }
-
-  // Blocks until element `index` is available (true), or until it can never
-  // arrive — the pool failed, or every producer exited without pushing it
-  // (false).
-  bool Pop(int index, std::string* element) {
-    const MutexLock lock(&mu_);
-    while (true) {
-      const auto it = done_.find(index);
-      if (it != done_.end()) {
-        *element = std::move(it->second);
-        done_.erase(it);
-        return true;
-      }
-      if (latch_->failed() || active_producers_ == 0) {
-        return false;
-      }
-      cv_.Wait(&mu_);
-    }
-  }
-
- private:
-  const FailureLatch* latch_;
-  Mutex mu_;
-  CondVar cv_;
-  int active_producers_ BR_GUARDED_BY(mu_);
-  std::map<int, std::string> done_ BR_GUARDED_BY(mu_);
-};
-
-// Runs `body(worker_index)` on `workers` threads — the calling thread doubles
-// as worker 0 unless `caller_participates` is false — and joins them all.
-void RunWorkerPool(int workers, bool caller_participates,
-                   const std::function<void(int)>& body) {
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(workers));
-  for (int t = caller_participates ? 1 : 0; t < workers; ++t) {
-    pool.emplace_back(body, t);
-  }
-  if (caller_participates) {
-    body(0);
-  }
-  for (std::thread& t : pool) {
-    t.join();
-  }
-}
-
-// Seed-order fold over one summary slot, shared by the buffered and
-// streaming paths — one implementation, so byte-identity cannot drift.
-Aggregate FoldAggregateAt(const std::vector<std::vector<double>>& summaries, std::size_t slot) {
-  Aggregate a;
-  if (summaries.empty()) {
-    return a;
-  }
-  a.min = a.max = summaries.front().at(slot);
-  for (const std::vector<double>& s : summaries) {
-    const double v = s.at(slot);
-    a.mean += v;
-    a.min = std::min(a.min, v);
-    a.max = std::max(a.max, v);
-  }
-  a.mean /= static_cast<double>(summaries.size());
-  return a;
-}
-
-// Campaign aggregate slots: one source of truth for the pairing between the
-// per-seed summary vector (CampaignSummaryOf) and the emitted labels
-// (WriteCampaignAggregates) — reordering one without the other cannot happen.
-enum CampaignAggSlot : std::size_t {
-  kCampaignAggEttr = 0,
-  kCampaignAggDetection,
-  kCampaignAggResolution,
-  kCampaignAggFailover,
-  kCampaignAggIncidents,
-  kCampaignAggEvictions,
-  kCampaignAggCount,
-};
-
-std::vector<double> CampaignSummaryOf(const RunResult& r) {
-  std::vector<double> s(kCampaignAggCount);
-  s[kCampaignAggEttr] = r.ettr_cumulative;
-  s[kCampaignAggDetection] = r.detection.mean_s;
-  s[kCampaignAggResolution] = r.resolution.mean_s;
-  s[kCampaignAggFailover] = r.failover.mean_s;
-  s[kCampaignAggIncidents] = static_cast<double>(r.incidents_injected);
-  s[kCampaignAggEvictions] = static_cast<double>(r.evictions);
-  return s;
-}
-
-// One "runs" array element, byte-identical to the same element rendered
-// inline by the full-document writer (leading newline + indent, no comma).
-std::string RenderRunElement(const RunResult& r) {
-  JsonWriter w(/*depth=*/2, /*need_comma=*/false);
-  WriteRun(&w, r);
-  return w.Take();
-}
-
-void WriteCampaignAggregates(JsonWriter* w, const std::vector<std::vector<double>>& summaries) {
-  w->Key("aggregate");
-  w->BeginObject();
-  WriteAggregate(w, "ettr_cumulative", FoldAggregateAt(summaries, kCampaignAggEttr));
-  WriteAggregate(w, "detection_mean_s", FoldAggregateAt(summaries, kCampaignAggDetection));
-  WriteAggregate(w, "resolution_mean_s", FoldAggregateAt(summaries, kCampaignAggResolution));
-  WriteAggregate(w, "failover_mean_s", FoldAggregateAt(summaries, kCampaignAggFailover));
-  WriteAggregate(w, "incidents_injected", FoldAggregateAt(summaries, kCampaignAggIncidents));
-  WriteAggregate(w, "evictions", FoldAggregateAt(summaries, kCampaignAggEvictions));
-  w->EndObject();
 }
 
 // Options shared by every subcommand (parsed below).
@@ -1052,539 +103,37 @@ struct Options {
   std::string journal_path;  // --journal: crash-safe manifest of committed seeds
   std::string resume_path;   // --resume: skip seeds already in this journal
   int retries = -1;          // --retries; < 0 defers to env/default
+  bool journal_sync = false; // --journal-sync: fdatasync per committed record
+  // serve
+  std::string socket_path;   // --socket (also used by request)
+  int workers = 2;           // --workers: concurrent requests executing
+  int max_queue = 16;        // --max-queue: waiting slots beyond the workers' (0 = none)
+  int max_seeds = 4096;      // --max-seeds: per-request seed cap
+  std::string pid_file;      // --pid-file
+  // request
+  std::string body;          // --body: one request line
+  std::string body_file;     // --body-file: read the request line from a file
+  bool raw = false;          // --raw: print the whole response envelope
+  double wait_s = 10.0;      // --wait-s: connect-retry window (daemon starting)
+  double timeout_s = 300.0;  // --timeout-s: response wait bound
 };
 
-// Header fields shared by every seed-campaign document (campaign and fleet).
-void WriteRunSetHeaderFields(JsonWriter* w, const char* command, const char* scenario,
-                             const Options& opts, double days) {
-  w->Field("tool", "byterobust");
-  w->Field("command", command);
-  w->Field("scenario", scenario);
-  w->Field("seeds", opts.seeds);
-  w->Field("base_seed", opts.seed);
-  w->Field("days", days);
-}
-
-void WriteCampaignHeaderFields(JsonWriter* w, const ScenarioSpec& spec, const Options& opts,
-                               double days) {
-  WriteRunSetHeaderFields(w, "campaign", spec.name, opts, days);
-}
-
-// Incremental output: everything goes to stdout and (optionally) to --out,
-// written as produced instead of accumulated in one string. Construct — and
-// check ok() — BEFORE spawning workers, so an unwritable --out fails fast
-// instead of after minutes of simulation.
-class OutputSink {
- public:
-  explicit OutputSink(const std::string& out_path) : path_(out_path) {
-    if (!path_.empty()) {
-      file_ = std::fopen(path_.c_str(), "wb");
-      if (file_ == nullptr) {
-        ok_ = false;
-      }
-    }
-  }
-  ~OutputSink() {
-    if (file_ != nullptr) {
-      std::fclose(file_);
-    }
-  }
-  OutputSink(const OutputSink&) = delete;
-  OutputSink& operator=(const OutputSink&) = delete;
-
-  // False when --out could not be opened; Finish() reports it.
-  bool ok() const { return ok_; }
-
-  void Write(const std::string& text) {
-    // SIGPIPE is ignored, so a reader hanging up surfaces as a short write
-    // here instead of killing the process mid-campaign.
-    if (std::fwrite(text.data(), 1, text.size(), stdout) != text.size()) {
-      stdout_ok_ = false;
-    }
-    if (file_ != nullptr && std::fwrite(text.data(), 1, text.size(), file_) != text.size()) {
-      ok_ = false;
-    }
-  }
-
-  // 0 on success, mirroring Emit()'s contract.
-  int Finish() {
-    if (std::fflush(stdout) != 0 || std::ferror(stdout) != 0) {
-      stdout_ok_ = false;
-    }
-    if (!stdout_ok_) {
-      std::fprintf(stderr, "error: short write on stdout\n");
-      return 1;
-    }
-    if (!ok_) {
-      std::fprintf(stderr, "error: could not write %s\n", path_.c_str());
-      return 1;
-    }
-    return 0;
-  }
-
- private:
-  std::string path_;
-  std::FILE* file_ = nullptr;
-  bool ok_ = true;
-  bool stdout_ok_ = true;
-};
-
-// ---------------------------------------------------------------------------
-// CampaignHarness: the per-seed fault-tolerance wrapper shared by all three
-// engine paths. RunSeed(i) short-circuits seeds already committed in a
-// --resume journal, runs fresh seeds under the SeedSupervisor (watchdog,
-// deterministic retry/backoff, self-fault-injection), journals each success,
-// and converts persistent failures into quarantine outcomes instead of
-// exceptions. Thread-safe: workers call RunSeed concurrently.
-// ---------------------------------------------------------------------------
-class CampaignHarness {
- public:
-  explicit CampaignHarness(const CampaignEngineSpec& spec) : spec_(spec) {
-    SupervisorConfig config;
-    std::string error;
-    if (!SupervisorConfig::FromEnv(spec.identity.base_seed, &config, &error)) {
-      throw EngineSetupError(error);
-    }
-    if (spec.retries_override >= 0) {
-      config.max_attempts = 1 + spec.retries_override;
-    }
-    config.external_stop = &g_signal_stop;
-    supervisor_.emplace(config);
-    if (!spec.resume_path.empty()) {
-      if (!journal_.OpenForResume(spec.resume_path, spec.identity, &resumed_, &error)) {
-        throw EngineSetupError(error);
-      }
-    } else if (!spec.journal_path.empty()) {
-      if (!journal_.Create(spec.journal_path, spec.identity, &error)) {
-        throw EngineSetupError(error);
-      }
-    }
-  }
-
-  SeedOutcome RunSeed(int i) {
-    // resumed_ is read-only after construction — safe without a lock.
-    const auto it = resumed_.find(i);
-    if (it != resumed_.end()) {
-      return SeedOutcome{it->second.element, it->second.summary, false};
-    }
-    SeedOutcome outcome;
-    SeedFailure failure;
-    const std::function<SeedOutcome(const CancelToken&)> attempt =
-        [this, i](const CancelToken&) { return spec_.run_seed(i); };
-    if (supervisor_->Supervise<SeedOutcome>(i, attempt, &outcome, &failure)) {
-      if (journal_.open() &&
-          !journal_.Append({i, outcome.summary, outcome.element})) {
-        throw std::runtime_error("journal append failed for seed index " +
-                                 std::to_string(i));
-      }
-      supervisor_->NoteCommitted();
-      return outcome;
-    }
-    {
-      const MutexLock lock(&mu_);
-      failures_.push_back({i,
-                           spec_.identity.base_seed + static_cast<std::uint64_t>(i),
-                           failure.attempts, failure.timed_out, failure.error});
-    }
-    outcome.element.clear();
-    outcome.summary.clear();
-    outcome.failed = true;
-    return outcome;
-  }
-
-  bool stop_requested() const { return supervisor_->stop_requested(); }
-
-  // Quarantined seeds in index order. Call after the pool joins.
-  std::vector<FailedRun> failures() const {
-    const MutexLock lock(&mu_);
-    std::vector<FailedRun> sorted = failures_;
-    std::sort(sorted.begin(), sorted.end(),
-              [](const FailedRun& a, const FailedRun& b) { return a.index < b.index; });
-    return sorted;
-  }
-
-  // Where to point the user when a run was interrupted mid-campaign.
-  std::string ResumeHint() const {
-    const std::string& path =
-        spec_.resume_path.empty() ? spec_.journal_path : spec_.resume_path;
-    if (path.empty()) {
-      return "; rerun with --journal FILE to make campaigns resumable";
-    }
-    return "; resume with --resume " + path;
-  }
-
- private:
-  const CampaignEngineSpec& spec_;
-  std::optional<SeedSupervisor> supervisor_;
-  CampaignJournal journal_;
-  std::map<int, JournalEntry> resumed_;
-  mutable Mutex mu_;
-  std::vector<FailedRun> failures_ BR_GUARDED_BY(mu_);
-};
-
-// Reports a graceful interrupt (stderr note + exit 30), shared by the three
-// engine paths.
-int FinishInterrupted(const CampaignHarness& harness, int processed, int seeds) {
-  std::fprintf(stderr, "note: campaign interrupted after %d of %d seeds%s\n",
-               processed, seeds, harness.ResumeHint().c_str());
-  return 30;
-}
-
-// Exit code for a campaign that ran to completion: any I/O error wins, then
-// quarantined seeds map to the distinct completed-with-failures code.
-int FinishCompleted(OutputSink* sink, const std::vector<FailedRun>& failures) {
-  const int io = sink->Finish();
-  if (io != 0) {
-    return io;
-  }
-  return failures.empty() ? 0 : 20;
-}
-
-// Where one rendered seed landed inside its worker's spill file.
-struct SpillLocation {
-  std::uint32_t worker = 0;
-  long offset = 0;
-  std::uint32_t length = 0;
-};
-
-// Owns the per-worker spill tmpfiles; every exit path (success, spill I/O
-// error, worker exception, interrupt) closes them through this one
-// destructor instead of hand-rolled cleanup loops.
-class SpillSet {
- public:
-  explicit SpillSet(int workers) : files_(static_cast<std::size_t>(workers), nullptr) {
-    for (std::FILE*& f : files_) {
-      f = std::tmpfile();
-      if (f == nullptr) {
-        ok_ = false;
-        return;
-      }
-    }
-  }
-  ~SpillSet() {
-    for (std::FILE* f : files_) {
-      if (f != nullptr) {
-        std::fclose(f);
-      }
-    }
-  }
-  SpillSet(const SpillSet&) = delete;
-  SpillSet& operator=(const SpillSet&) = delete;
-
-  bool ok() const { return ok_; }
-  std::FILE* at(std::size_t worker) const { return files_[worker]; }
-
-  void FlushAll() {
-    for (std::FILE* f : files_) {
-      std::fflush(f);
-    }
-  }
-
- private:
-  std::vector<std::FILE*> files_;
-  bool ok_ = true;
-};
-
-// Default streaming path: each worker appends its finished seeds' JSON to a
-// private tmpfile; the merger then concatenates the elements in seed order
-// (seeking by the per-seed index) while the aggregate block folds from the
-// per-seed summaries. Peak memory: one rendered element per worker.
-int RunEngineSpillStreaming(const CampaignEngineSpec& spec) {
-  const int seeds = spec.seeds;
-  const int workers = std::max(1, std::min(spec.jobs, seeds));
-  CampaignHarness harness(spec);
-  OutputSink sink(spec.out_path);
-  if (!sink.ok()) {
-    return sink.Finish();  // fail fast: --out unwritable, nothing simulated
-  }
-  SpillSet spills(workers);
-  if (!spills.ok()) {
-    std::fprintf(stderr, "error: could not create campaign spill file\n");
-    return 1;
-  }
-  std::vector<std::vector<double>> summaries(static_cast<std::size_t>(seeds));
-  std::vector<SpillLocation> index(static_cast<std::size_t>(seeds));
-  std::vector<unsigned char> failed(static_cast<std::size_t>(seeds), 0);
-
-  std::atomic<int> next{0};
-  std::atomic<int> processed{0};
-  FailureLatch latch;
-  const auto worker = [&](int w) {
-    // Each worker appends to its own spill file and writes disjoint
-    // summaries/index/failed slots; only the latch is cross-thread state.
-    long offset = 0;
-    DrainSeeds(seeds, &next, &latch, spec.label, w,
-               [&] { return harness.stop_requested(); }, [&](int i) {
-      SeedOutcome outcome = harness.RunSeed(i);
-      processed.fetch_add(1, std::memory_order_relaxed);
-      if (outcome.failed) {
-        failed[static_cast<std::size_t>(i)] = 1;
-        return;
-      }
-      summaries[static_cast<std::size_t>(i)] = std::move(outcome.summary);
-      const std::string element = std::move(outcome.element);
-      if (std::fwrite(element.data(), 1, element.size(),
-                      spills.at(static_cast<std::size_t>(w))) != element.size()) {
-        throw std::runtime_error("campaign spill write failed");
-      }
-      index[static_cast<std::size_t>(i)] = {static_cast<std::uint32_t>(w), offset,
-                                            static_cast<std::uint32_t>(element.size())};
-      offset += static_cast<long>(element.size());
-    });
-  };
-  RunWorkerPool(workers, /*caller_participates=*/true, worker);
-  latch.RethrowIfFailed();
-  if (harness.stop_requested() && processed.load(std::memory_order_relaxed) < seeds) {
-    // Interrupted before every seed finished: nothing merged — the journal
-    // (not a half-document) is the restart artifact.
-    return FinishInterrupted(harness, processed.load(std::memory_order_relaxed), seeds);
-  }
-
-  spills.FlushAll();
-  std::vector<std::vector<double>> folded;
-  folded.reserve(summaries.size());
-  for (int i = 0; i < seeds; ++i) {
-    if (failed[static_cast<std::size_t>(i)] == 0) {
-      folded.push_back(std::move(summaries[static_cast<std::size_t>(i)]));
-    }
-  }
-  JsonWriter header;
-  header.BeginObject();
-  spec.header_fields(&header);
-  spec.aggregates(&header, folded);
-  header.Key("runs");
-  header.BeginArray();
-  sink.Write(header.Take());
-  std::string element;
-  int emitted = 0;
-  for (int i = 0; i < seeds; ++i) {
-    if (failed[static_cast<std::size_t>(i)] != 0) {
-      continue;
-    }
-    const SpillLocation& loc = index[static_cast<std::size_t>(i)];
-    element.resize(loc.length);
-    std::FILE* f = spills.at(loc.worker);
-    if (std::fseek(f, loc.offset, SEEK_SET) != 0 ||
-        std::fread(element.data(), 1, element.size(), f) != element.size()) {
-      std::fprintf(stderr, "error: campaign spill read failed\n");
-      return 1;
-    }
-    if (emitted++ > 0) {
-      sink.Write(",");
-    }
-    sink.Write(element);
-  }
-  sink.Write("\n  ]");
-  const std::vector<FailedRun> failures = harness.failures();
-  if (!failures.empty()) {
-    sink.Write(RenderFailedRuns(failures));
-  }
-  sink.Write("\n}\n");
-  return FinishCompleted(&sink, failures);
-}
-
-// --stream: fully incremental document for live consumption. Runs are written
-// the moment their seed is next in order (nothing is spilled), so the
-// "aggregate" block — which needs every seed — moves to the end of the
-// document; all values are identical to the default layout's.
-int RunEngineDirectStreaming(const CampaignEngineSpec& spec) {
-  const int seeds = spec.seeds;
-  CampaignHarness harness(spec);
-  OutputSink sink(spec.out_path);
-  if (!sink.ok()) {
-    return sink.Finish();  // fail fast: --out unwritable, nothing simulated
-  }
-  JsonWriter header;
-  header.BeginObject();
-  spec.header_fields(&header);
-  header.Key("runs");
-  header.BeginArray();
-  sink.Write(header.Take());
-
-  std::vector<std::vector<double>> summaries(static_cast<std::size_t>(seeds));
-  std::vector<unsigned char> failed(static_cast<std::size_t>(seeds), 0);
-  int emitted = 0;
-  // Quarantined seeds travel through the queue as empty sentinels so the
-  // in-order committer advances past them without emitting an element.
-  const auto commit = [&](const std::string& element) {
-    if (element.empty()) {
-      return;
-    }
-    if (emitted++ > 0) {
-      sink.Write(",");
-    }
-    sink.Write(element);
-  };
-
-  const int workers = std::max(1, std::min(spec.jobs, seeds));
-  int committed = 0;  // seeds whose outcome reached the committer, in order
-  if (workers <= 1) {
-    for (; committed < seeds; ++committed) {
-      if (harness.stop_requested()) {
-        break;
-      }
-      SeedOutcome outcome = harness.RunSeed(committed);
-      if (outcome.failed) {
-        failed[static_cast<std::size_t>(committed)] = 1;
-      } else {
-        summaries[static_cast<std::size_t>(committed)] = std::move(outcome.summary);
-      }
-      commit(outcome.element);
-    }
-  } else {
-    // Workers render out of order; the main thread commits strictly in seed
-    // order, holding at most the out-of-order tail in memory.
-    std::atomic<int> next{0};
-    FailureLatch latch;
-    OrderedCommitQueue queue(&latch, workers);
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(workers));
-    for (int t = 0; t < workers; ++t) {
-      pool.emplace_back([&, t] {
-        DrainSeeds(
-            seeds, &next, &latch, spec.label, t,
-            [&] { return harness.stop_requested(); },
-            [&](int i) {
-              SeedOutcome outcome = harness.RunSeed(i);
-              if (outcome.failed) {
-                failed[static_cast<std::size_t>(i)] = 1;
-              } else {
-                summaries[static_cast<std::size_t>(i)] = std::move(outcome.summary);
-              }
-              queue.Push(i, std::move(outcome.element));
-            },
-            /*on_failure=*/[&] { queue.NotifyFailure(); });
-        queue.ProducerExited();
-      });
-    }
-    std::string element;
-    for (; committed < seeds; ++committed) {
-      if (!queue.Pop(committed, &element)) {
-        break;  // failed, or drained out before producing this seed
-      }
-      commit(element);
-    }
-    for (std::thread& t : pool) {
-      t.join();
-    }
-    latch.RethrowIfFailed();
-  }
-
-  // Close a valid (possibly partial) document either way: aggregates fold
-  // over exactly the seeds that made it into the runs array.
-  std::vector<std::vector<double>> folded;
-  folded.reserve(static_cast<std::size_t>(committed));
-  for (int i = 0; i < committed; ++i) {
-    if (failed[static_cast<std::size_t>(i)] == 0) {
-      folded.push_back(std::move(summaries[static_cast<std::size_t>(i)]));
-    }
-  }
-  sink.Write("\n  ]");
-  const std::vector<FailedRun> failures = harness.failures();
-  if (!failures.empty()) {
-    sink.Write(RenderFailedRuns(failures));
-  }
-  JsonWriter tail(/*depth=*/1, /*need_comma=*/true);
-  spec.aggregates(&tail, folded);
-  sink.Write(tail.Take());
-  sink.Write("\n}\n");
-  if (harness.stop_requested() && committed < seeds) {
-    sink.Finish();
-    return FinishInterrupted(harness, committed, seeds);
-  }
-  return FinishCompleted(&sink, failures);
-}
-
-// Buffered reference path (BYTEROBUST_STREAM_CAMPAIGN=0): every rendered
-// element held in memory, emitted in one pass. The streaming paths above must
-// be byte-identical to this (ctest cli_campaign_streaming_equivalence).
-int RunEngineBuffered(const CampaignEngineSpec& spec) {
-  const int seeds = spec.seeds;
-  CampaignHarness harness(spec);
-  OutputSink sink(spec.out_path);
-  if (!sink.ok()) {
-    return sink.Finish();  // fail fast: --out unwritable, nothing simulated
-  }
-  std::vector<SeedOutcome> outcomes(static_cast<std::size_t>(seeds));
-  std::atomic<int> next{0};
-  std::atomic<int> processed{0};
-  FailureLatch latch;
-  const auto worker = [&](int w) {
-    DrainSeeds(seeds, &next, &latch, spec.label, w,
-               [&] { return harness.stop_requested(); }, [&](int i) {
-                 outcomes[static_cast<std::size_t>(i)] = harness.RunSeed(i);
-                 processed.fetch_add(1, std::memory_order_relaxed);
-               });
-  };
-  const int workers = std::max(1, std::min(spec.jobs, seeds));
-  RunWorkerPool(workers, /*caller_participates=*/true, worker);
-  latch.RethrowIfFailed();
-  if (harness.stop_requested() && processed.load(std::memory_order_relaxed) < seeds) {
-    return FinishInterrupted(harness, processed.load(std::memory_order_relaxed), seeds);
-  }
-
-  std::vector<std::vector<double>> summaries;
-  summaries.reserve(outcomes.size());
-  for (const SeedOutcome& o : outcomes) {
-    if (!o.failed) {
-      summaries.push_back(o.summary);
-    }
-  }
-  JsonWriter header;
-  header.BeginObject();
-  spec.header_fields(&header);
-  spec.aggregates(&header, summaries);
-  header.Key("runs");
-  header.BeginArray();
-  sink.Write(header.Take());
-  int emitted = 0;
-  for (int i = 0; i < seeds; ++i) {
-    if (outcomes[static_cast<std::size_t>(i)].failed) {
-      continue;
-    }
-    if (emitted++ > 0) {
-      sink.Write(",");
-    }
-    sink.Write(outcomes[static_cast<std::size_t>(i)].element);
-  }
-  sink.Write("\n  ]");
-  const std::vector<FailedRun> failures = harness.failures();
-  if (!failures.empty()) {
-    sink.Write(RenderFailedRuns(failures));
-  }
-  sink.Write("\n}\n");
-  return FinishCompleted(&sink, failures);
-}
-
-int RunCampaignEngine(const CampaignEngineSpec& spec) {
-  try {
-    if (spec.stream) {
-      return RunEngineDirectStreaming(spec);
-    }
-    if (StreamCampaignEnabled()) {
-      return RunEngineSpillStreaming(spec);
-    }
-    return RunEngineBuffered(spec);
-  } catch (const EngineSetupError& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 2;
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Subcommands.
-// ---------------------------------------------------------------------------
 int Usage() {
   std::fprintf(stderr,
-               "usage: byterobust <run|campaign|fleet|bench-report|list> [options]\n"
+               "usage: byterobust <run|campaign|fleet|serve|request|bench-report|list> "
+               "[options]\n"
                "\n"
                "  run          --preset NAME   [--seed S] [--days D] [--out FILE]\n"
                "  campaign     --scenario NAME [--seeds N] [--base-seed S] [--days D]\n"
                "               [--jobs N] [--stream] [--out FILE] [--retries N]\n"
-               "               [--journal FILE | --resume FILE]\n"
+               "               [--journal FILE [--journal-sync] | --resume FILE]\n"
                "  fleet        --scenario NAME [--seeds N] [--base-seed S] [--days D]\n"
                "               [--jobs N] [--stream] [--out FILE] [--retries N]\n"
-               "               [--journal FILE | --resume FILE]\n"
+               "               [--journal FILE [--journal-sync] | --resume FILE]\n"
+               "  serve        --socket PATH   [--workers N] [--jobs N] [--max-queue N]\n"
+               "               [--max-seeds N] [--pid-file FILE]\n"
+               "  request      --socket PATH   (--body JSON | --body-file FILE) [--raw]\n"
+               "               [--wait-s S] [--timeout-s S] [--out FILE]\n"
                "  bench-report [--out FILE]\n"
                "  list\n"
                "\n"
@@ -1593,13 +142,23 @@ int Usage() {
                "  it); without it, workers spill finished seeds to temp files and the\n"
                "  merger emits the standard layout with O(window) memory.\n"
                "\n"
-               "  --journal FILE appends each committed seed to a crash-safe manifest;\n"
-               "  --resume FILE skips the seeds that manifest already holds and appends\n"
-               "  the rest, producing byte-identical merged output. --retries N bounds\n"
-               "  per-seed retry attempts (also BYTEROBUST_SEED_RETRIES); seeds that\n"
-               "  still fail are quarantined into a \"failed_runs\" block (exit 20).\n"
-               "  SIGINT/SIGTERM drain in-flight seeds and exit 30. See also\n"
-               "  BYTEROBUST_SEED_TIMEOUT_S / _FACTOR and BYTEROBUST_HARNESS_FAULTS.\n"
+               "  --journal FILE appends each committed seed to a crash-safe manifest\n"
+               "  (--journal-sync additionally fdatasyncs every record, surviving\n"
+               "  machine crashes, not just process crashes); --resume FILE skips the\n"
+               "  seeds that manifest already holds and appends the rest, producing\n"
+               "  byte-identical merged output. --retries N bounds per-seed retry\n"
+               "  attempts (also BYTEROBUST_SEED_RETRIES); seeds that still fail are\n"
+               "  quarantined into a \"failed_runs\" block (exit 20). SIGINT/SIGTERM\n"
+               "  drain in-flight seeds and exit 30. See also BYTEROBUST_SEED_TIMEOUT_S\n"
+               "  / _FACTOR and BYTEROBUST_HARNESS_FAULTS.\n"
+               "\n"
+               "  serve hosts campaigns as a service: newline-delimited JSON requests\n"
+               "  (ops campaign / fleet / status / shutdown) over a local socket, each\n"
+               "  run as a supervised campaign. Admission control sheds structured\n"
+               "  responses when the queue or seed cap is exceeded; per-request\n"
+               "  deadline_s (or a client disconnect) cancels cooperatively into a\n"
+               "  valid partial document; SIGTERM drains the daemon and exits 30.\n"
+               "  request sends one body and exits with the response's exit_code.\n"
                "\nscenarios:\n");
   for (const ScenarioSpec& s : Specs()) {
     std::fprintf(stderr, "  %-12s %s\n", s.name, s.summary);
@@ -1608,7 +167,7 @@ int Usage() {
   for (const FleetSpec& s : FleetSpecs()) {
     std::fprintf(stderr, "  %-18s %s\n", s.name, s.summary);
   }
-  return 2;
+  return kExitUsage;
 }
 
 bool ParseNumber(const char* flag, const char* text, double* out) {
@@ -1636,7 +195,15 @@ bool FlagAllowed(const std::string& command, const std::string& flag) {
     return flag == "--preset" || flag == "--scenario" || flag == "--seed" ||
            flag == "--base-seed" || flag == "--seeds" || flag == "--days" ||
            flag == "--jobs" || flag == "--stream" || flag == "--journal" ||
-           flag == "--resume" || flag == "--retries";
+           flag == "--resume" || flag == "--retries" || flag == "--journal-sync";
+  }
+  if (command == "serve") {
+    return flag == "--socket" || flag == "--workers" || flag == "--jobs" ||
+           flag == "--max-queue" || flag == "--max-seeds" || flag == "--pid-file";
+  }
+  if (command == "request") {
+    return flag == "--socket" || flag == "--body" || flag == "--body-file" ||
+           flag == "--raw" || flag == "--wait-s" || flag == "--timeout-s";
   }
   return false;  // bench-report / list take only --out
 }
@@ -1697,6 +264,8 @@ bool ParseOptions(const std::string& command, int argc, char** argv, Options* op
       opts->journal_path = argv[++i];
     } else if (arg == "--resume" && has_value) {
       opts->resume_path = argv[++i];
+    } else if (arg == "--journal-sync") {
+      opts->journal_sync = true;
     } else if (arg == "--retries" && has_value) {
       if (!ParseNumber(arg.c_str(), argv[++i], &value)) {
         return false;
@@ -1706,6 +275,55 @@ bool ParseOptions(const std::string& command, int argc, char** argv, Options* op
         return false;
       }
       opts->retries = static_cast<int>(value);
+    } else if (arg == "--socket" && has_value) {
+      opts->socket_path = argv[++i];
+    } else if (arg == "--workers" && has_value) {
+      if (!ParseNumber(arg.c_str(), argv[++i], &value)) {
+        return false;
+      }
+      if (value < 1.0 || value > 64.0) {
+        std::fprintf(stderr, "error: --workers must be in [1, 64]\n");
+        return false;
+      }
+      opts->workers = static_cast<int>(value);
+    } else if (arg == "--max-queue" && has_value) {
+      if (!ParseNumber(arg.c_str(), argv[++i], &value)) {
+        return false;
+      }
+      if (value < 0.0 || value > 1024.0) {
+        std::fprintf(stderr, "error: --max-queue must be in [0, 1024]\n");
+        return false;
+      }
+      opts->max_queue = static_cast<int>(value);
+    } else if (arg == "--max-seeds" && has_value) {
+      if (!ParseNumber(arg.c_str(), argv[++i], &value)) {
+        return false;
+      }
+      if (value < 1.0 || value > 100000.0) {
+        std::fprintf(stderr, "error: --max-seeds must be in [1, 100000]\n");
+        return false;
+      }
+      opts->max_seeds = static_cast<int>(value);
+    } else if (arg == "--pid-file" && has_value) {
+      opts->pid_file = argv[++i];
+    } else if (arg == "--body" && has_value) {
+      opts->body = argv[++i];
+    } else if (arg == "--body-file" && has_value) {
+      opts->body_file = argv[++i];
+    } else if (arg == "--raw") {
+      opts->raw = true;
+    } else if (arg == "--wait-s" && has_value) {
+      if (!ParseNumber(arg.c_str(), argv[++i], &value) || value < 0.0) {
+        std::fprintf(stderr, "error: --wait-s must be >= 0\n");
+        return false;
+      }
+      opts->wait_s = value;
+    } else if (arg == "--timeout-s" && has_value) {
+      if (!ParseNumber(arg.c_str(), argv[++i], &value) || value < 0.0) {
+        std::fprintf(stderr, "error: --timeout-s must be >= 0\n");
+        return false;
+      }
+      opts->timeout_s = value;
     } else {
       std::fprintf(stderr, "error: unknown or incomplete option '%s'\n", arg.c_str());
       return false;
@@ -1725,7 +343,7 @@ int CmdRun(const Options& opts) {
   if (spec == nullptr) {
     std::fprintf(stderr, "error: unknown scenario '%s' (try: byterobust list)\n",
                  opts.scenario.c_str());
-    return 2;
+    return kExitUsage;
   }
   const double days = opts.days > 0.0 ? opts.days : spec->default_days;
   const RunResult r = RunOne(*spec, days, opts.seed);
@@ -1739,219 +357,136 @@ int CmdRun(const Options& opts) {
   return Emit(&w, opts.out_path);
 }
 
-int CmdCampaign(const Options& opts) {
-  const ScenarioSpec* spec = FindSpec(opts.scenario);
-  if (spec == nullptr) {
-    std::fprintf(stderr, "error: unknown scenario '%s' (try: byterobust list)\n",
-                 opts.scenario.c_str());
-    return 2;
-  }
-  if (opts.seeds < 1) {
-    std::fprintf(stderr, "error: --seeds must be >= 1\n");
-    return 2;
-  }
-  const double days = opts.days > 0.0 ? opts.days : spec->default_days;
+// campaign / fleet: one shared body, differing only in the registry the
+// request resolves against (src/campaign/scenarios.cc).
+int RunCampaignCommand(const char* command, const Options& opts) {
+  CampaignRequest req;
+  req.command = command;
+  req.scenario = opts.scenario;
+  req.seeds = opts.seeds;
+  req.base_seed = opts.seed;
+  req.days = opts.days;
+  req.jobs = opts.jobs;
+  req.stream = opts.stream;
+  req.out_path = opts.out_path;
+  req.journal_path = opts.journal_path;
+  req.resume_path = opts.resume_path;
+  req.retries = opts.retries;
+  req.journal_sync = opts.journal_sync;
   CampaignEngineSpec engine;
-  engine.seeds = opts.seeds;
-  engine.jobs = opts.jobs;
-  engine.stream = opts.stream;
-  engine.out_path = opts.out_path;
-  engine.label = std::string("campaign:") + spec->name;
-  engine.identity = {"campaign", spec->name, opts.seeds, opts.seed, days,
-                     BinaryFingerprint()};
-  engine.journal_path = opts.journal_path;
-  engine.resume_path = opts.resume_path;
-  engine.retries_override = opts.retries;
-  engine.run_seed = [spec, days, &opts](int i) {
-    const RunResult r = RunOne(*spec, days, opts.seed + static_cast<std::uint64_t>(i));
-    return SeedOutcome{RenderRunElement(r), CampaignSummaryOf(r)};
-  };
-  engine.header_fields = [spec, &opts, days](JsonWriter* w) {
-    WriteCampaignHeaderFields(w, *spec, opts, days);
-  };
-  engine.aggregates = [](JsonWriter* w, const std::vector<std::vector<double>>& summaries) {
-    WriteCampaignAggregates(w, summaries);
-  };
+  std::string error;
+  if (!BuildCampaignEngineSpec(req, &engine, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return kExitUsage;
+  }
+  engine.external_stop = &g_signal_stop;
   return RunCampaignEngine(engine);
 }
 
-// ---------------------------------------------------------------------------
-// Fleet emission: N concurrent jobs on one shared pool (src/fleet).
-// ---------------------------------------------------------------------------
-
-// Fleet aggregate slots: same single-sourcing as the campaign slots above.
-enum FleetAggSlot : std::size_t {
-  kFleetAggGpuRatio = 0,
-  kFleetAggPreemptions,
-  kFleetAggQueuedClaims,
-  kFleetAggStorms,
-  kFleetAggCrossJobStorms,
-  kFleetAggIncidents,
-  kFleetAggEvictions,
-  kFleetAggCount,
-};
-
-void WriteFleetAggregates(JsonWriter* w, const std::vector<std::vector<double>>& summaries) {
-  w->Key("aggregate");
-  w->BeginObject();
-  WriteAggregate(w, "effective_gpu_time_ratio", FoldAggregateAt(summaries, kFleetAggGpuRatio));
-  WriteAggregate(w, "preemptions", FoldAggregateAt(summaries, kFleetAggPreemptions));
-  WriteAggregate(w, "queued_claims", FoldAggregateAt(summaries, kFleetAggQueuedClaims));
-  WriteAggregate(w, "storms_injected", FoldAggregateAt(summaries, kFleetAggStorms));
-  WriteAggregate(w, "cross_job_storms", FoldAggregateAt(summaries, kFleetAggCrossJobStorms));
-  WriteAggregate(w, "incidents_injected", FoldAggregateAt(summaries, kFleetAggIncidents));
-  WriteAggregate(w, "evictions", FoldAggregateAt(summaries, kFleetAggEvictions));
-  w->EndObject();
-}
-
-// Runs one fleet seed and renders its "runs" element: fleet-level metrics
-// (effective GPU-time ratio, spare-pool occupancy timeline, blast radius)
-// plus one per-job block reusing the campaign RunResult schema extended with
-// priority / start time / spare-claim counters.
-SeedOutcome RunFleetSeed(const FleetSpec& spec, double days, std::uint64_t seed) {
-  FleetConfig cfg = spec.make(days, seed);
-  for (FleetJobSpec& job : cfg.jobs) {
-    job.scenario.system.job.batched_stepping = StepBatchingEnabled();
-    job.scenario.system.metrics_retention = MetricsRetentionFromEnv();
+int CmdServe(const Options& opts) {
+  if (opts.socket_path.empty()) {
+    std::fprintf(stderr, "error: serve requires --socket PATH\n");
+    return kExitUsage;
   }
-  Fleet fleet(cfg);
-  fleet.Run();
-
-  int incidents_total = 0;
-  int evictions_total = 0;
-  JsonWriter w(/*depth=*/2, /*need_comma=*/false);
-  w.BeginObject();
-  w.Field("scenario", spec.name);
-  w.Field("seed", seed);
-  w.Field("days", days);
-  w.Field("num_jobs", fleet.num_jobs());
-  w.Key("fleet");
-  w.BeginObject();
-  w.Field("machines_total", static_cast<int>(fleet.pool().total_machines()));
-  w.Field("effective_gpu_time_ratio", fleet.EffectiveGpuTimeRatio());
-  w.Field("storms_injected", fleet.storms_injected());
-  w.Field("cross_job_storms", fleet.cross_job_storms());
-  w.Key("blast_radius");
-  w.BeginObject();
-  for (const auto& [radius, count] : fleet.blast_radius_counts()) {
-    w.Field(std::to_string(radius), count);
+  ServeOptions sopts;
+  sopts.socket_path = opts.socket_path;
+  sopts.workers = opts.workers;
+  sopts.jobs = opts.jobs;
+  sopts.max_queue = opts.max_queue;
+  sopts.max_seeds = opts.max_seeds;
+  ServeDaemon daemon(sopts);
+  std::string error;
+  if (!daemon.Start(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return kExitIoError;
   }
-  w.EndObject();
-  if (!fleet.domain_blast().empty()) {
-    WriteDomainBlast(&w, "domain_blast", fleet.domain_blast());
-  }
-  const SpareOccupancySummary occ = fleet.OccupancySummary();
-  w.Key("spare_pool");
-  w.BeginObject();
-  w.Field("preemptions", fleet.arbiter().preemptions_total());
-  w.Field("queued_claims", fleet.arbiter().queued_claims_total());
-  w.Field("ready_mean", occ.mean_ready);
-  w.Field("ready_min", occ.min_ready);
-  w.Field("ready_max", occ.max_ready);
-  w.Field("occupancy_samples", occ.samples);
-  // Occupancy timeline: every pool mutation up to a fixed emission cap.
-  const std::vector<SpareOccupancySample>& timeline = fleet.arbiter().occupancy();
-  constexpr std::size_t kTimelineCap = 256;
-  w.Field("timeline_truncated", timeline.size() > kTimelineCap);
-  w.Key("timeline");
-  w.BeginArray();
-  for (std::size_t i = 0; i < timeline.size() && i < kTimelineCap; ++i) {
-    w.BeginObject();
-    w.Field("t_s", ToSeconds(timeline[i].time));
-    w.Field("ready", timeline[i].ready);
-    w.Field("provisioning", timeline[i].provisioning);
-    w.EndObject();
-  }
-  w.EndArray();
-  w.EndObject();  // spare_pool
-  w.EndObject();  // fleet
-  w.Key("jobs");
-  w.BeginArray();
-  for (int i = 0; i < fleet.num_jobs(); ++i) {
-    const FleetJobSpec& job_spec = fleet.spec(i);
-    RunResult r;
-    r.scenario = spec.name;
-    r.seed = fleet.system(i).config().seed;
-    r.days = ToDays(std::max<SimDuration>(cfg.duration - job_spec.start_time, 0));
-    r.incidents_injected = fleet.scenario(i).stats().incidents_injected;
-    r.refails = fleet.scenario(i).stats().refails;
-    r.updates_submitted = fleet.scenario(i).stats().updates_submitted;
-    CollectSystemMetrics(fleet.system(i), &r);
-    if (fleet.system(i).job().run_count() == 0) {
-      // A job that never launched inside the campaign window has no
-      // availability to report; CumulativeEttr's zero-wall convention would
-      // otherwise claim a perfect 1.0 for it.
-      r.ettr_cumulative = 0.0;
+  if (!opts.pid_file.empty()) {
+    std::FILE* f = std::fopen(opts.pid_file.c_str(), "wb");
+    if (f == nullptr || std::fprintf(f, "%d\n", static_cast<int>(getpid())) < 0 ||
+        std::fclose(f) != 0) {
+      std::fprintf(stderr, "error: could not write pid file %s\n",
+                   opts.pid_file.c_str());
+      daemon.Drain();
+      return kExitIoError;
     }
-    incidents_total += r.incidents_injected;
-    evictions_total += r.evictions;
-    const SpareJobStats& spares = fleet.arbiter().job_stats(i);
-    w.BeginObject();
-    w.Field("name", job_spec.name);
-    w.Field("priority", job_spec.priority);
-    w.Field("start_day", ToDays(job_spec.start_time));
-    WriteRunFields(&w, r);
-    w.Key("spares");
-    w.BeginObject();
-    w.Field("claims", spares.claims);
-    w.Field("machines_requested", spares.machines_requested);
-    w.Field("machines_granted", spares.machines_granted);
-    w.Field("preemptions_gained", spares.preemptions_gained);
-    w.Field("preemptions_lost", spares.preemptions_lost);
-    w.Field("queued_claims", spares.queued_claims);
-    w.Field("shortfall_machines", spares.shortfall_machines);
-    w.EndObject();
-    w.EndObject();
   }
-  w.EndArray();
-  w.EndObject();
-
-  SeedOutcome outcome;
-  outcome.element = w.Take();
-  outcome.summary.resize(kFleetAggCount);
-  outcome.summary[kFleetAggGpuRatio] = fleet.EffectiveGpuTimeRatio();
-  outcome.summary[kFleetAggPreemptions] = fleet.arbiter().preemptions_total();
-  outcome.summary[kFleetAggQueuedClaims] = fleet.arbiter().queued_claims_total();
-  outcome.summary[kFleetAggStorms] = fleet.storms_injected();
-  outcome.summary[kFleetAggCrossJobStorms] = fleet.cross_job_storms();
-  outcome.summary[kFleetAggIncidents] = incidents_total;
-  outcome.summary[kFleetAggEvictions] = evictions_total;
-  return outcome;
+  std::fprintf(stderr,
+               "note: byterobust serve listening on %s "
+               "(workers=%d, jobs<=%d, queue<=%d, seeds<=%d)\n",
+               opts.socket_path.c_str(), std::max(1, opts.workers), opts.jobs,
+               opts.max_queue, opts.max_seeds);
+  return daemon.RunUntilStopped(&g_signal_stop);
 }
 
-int CmdFleet(const Options& opts) {
-  const FleetSpec* spec = FindFleetSpec(opts.scenario);
-  if (spec == nullptr) {
-    std::fprintf(stderr, "error: unknown fleet scenario '%s' (try: byterobust list)\n",
-                 opts.scenario.c_str());
-    return 2;
+int CmdRequest(const Options& opts) {
+  if (opts.socket_path.empty()) {
+    std::fprintf(stderr, "error: request requires --socket PATH\n");
+    return kExitUsage;
   }
-  if (opts.seeds < 1) {
-    std::fprintf(stderr, "error: --seeds must be >= 1\n");
-    return 2;
+  if (!opts.body.empty() && !opts.body_file.empty()) {
+    std::fprintf(stderr, "error: --body and --body-file are mutually exclusive\n");
+    return kExitUsage;
   }
-  const double days = opts.days > 0.0 ? opts.days : spec->default_days;
-  CampaignEngineSpec engine;
-  engine.seeds = opts.seeds;
-  engine.jobs = opts.jobs;
-  engine.stream = opts.stream;
-  engine.out_path = opts.out_path;
-  engine.label = std::string("fleet:") + spec->name;
-  engine.identity = {"fleet", spec->name, opts.seeds, opts.seed, days,
-                     BinaryFingerprint()};
-  engine.journal_path = opts.journal_path;
-  engine.resume_path = opts.resume_path;
-  engine.retries_override = opts.retries;
-  engine.run_seed = [spec, days, &opts](int i) {
-    return RunFleetSeed(*spec, days, opts.seed + static_cast<std::uint64_t>(i));
-  };
-  engine.header_fields = [spec, &opts, days](JsonWriter* w) {
-    WriteRunSetHeaderFields(w, "fleet", spec->name, opts, days);
-  };
-  engine.aggregates = [](JsonWriter* w, const std::vector<std::vector<double>>& summaries) {
-    WriteFleetAggregates(w, summaries);
-  };
-  return RunCampaignEngine(engine);
+  std::string body = opts.body;
+  if (!opts.body_file.empty()) {
+    std::FILE* f = std::fopen(opts.body_file.c_str(), "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: could not read %s\n", opts.body_file.c_str());
+      return kExitIoError;
+    }
+    char chunk[4096];
+    std::size_t n;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+      body.append(chunk, n);
+    }
+    std::fclose(f);
+    while (!body.empty() && (body.back() == '\n' || body.back() == '\r')) {
+      body.pop_back();
+    }
+  }
+  if (body.empty()) {
+    std::fprintf(stderr, "error: request requires --body JSON or --body-file FILE\n");
+    return kExitUsage;
+  }
+  std::string response;
+  std::string error;
+  if (!ServeRoundtrip(opts.socket_path, body, opts.wait_s, opts.timeout_s, &response,
+                      &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return kExitIoError;
+  }
+  long exit_code = kExitIoError;
+  if (!ExtractJsonIntField(response, "exit_code", &exit_code)) {
+    std::fprintf(stderr, "error: response carries no exit_code: %s\n", response.c_str());
+    return kExitIoError;
+  }
+  std::string text;
+  std::string decoded;
+  if (!opts.raw && ExtractJsonStringField(response, "body", &decoded)) {
+    text = decoded;  // the campaign document, byte-identical to CLI --stream
+  } else {
+    text = response + "\n";  // envelope (status/shed/error, or --raw)
+  }
+  if (std::fwrite(text.data(), 1, text.size(), stdout) != text.size() ||
+      std::fflush(stdout) != 0) {
+    std::fprintf(stderr, "error: short write on stdout\n");
+    return kExitIoError;
+  }
+  if (!opts.out_path.empty() && !WriteFile(opts.out_path, text)) {
+    std::fprintf(stderr, "error: could not write %s\n", opts.out_path.c_str());
+    return kExitIoError;
+  }
+  if (exit_code != kExitOk) {
+    std::string status;
+    std::string message;
+    ExtractJsonStringField(response, "status", &status);
+    if (!ExtractJsonStringField(response, "error", &message)) {
+      message = "see response";
+    }
+    std::fprintf(stderr, "note: serve response status=%s (%s)\n",
+                 status.empty() ? "?" : status.c_str(), message.c_str());
+  }
+  return static_cast<int>(exit_code);
 }
 
 int CmdBenchReport(const Options& opts) {
@@ -2030,10 +565,16 @@ int Main(int argc, char** argv) {
     return CmdRun(opts);
   }
   if (command == "campaign") {
-    return CmdCampaign(opts);
+    return RunCampaignCommand("campaign", opts);
   }
   if (command == "fleet") {
-    return CmdFleet(opts);
+    return RunCampaignCommand("fleet", opts);
+  }
+  if (command == "serve") {
+    return CmdServe(opts);
+  }
+  if (command == "request") {
+    return CmdRequest(opts);
   }
   if (command == "bench-report") {
     return CmdBenchReport(opts);
@@ -2054,6 +595,6 @@ int main(int argc, char** argv) {
     return byterobust::Main(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return byterobust::kExitIoError;
   }
 }
