@@ -57,10 +57,22 @@ bool ParseJsonString(const std::string& s, std::size_t* pos, std::string* out,
           *error = "truncated \\u escape";
           return false;
         }
-        char* end = nullptr;
-        const std::string hex = s.substr(*pos, 4);
-        const long code = std::strtol(hex.c_str(), &end, 16);
-        if (end != hex.c_str() + 4) {
+        // All four characters must be hex digits: strtol alone would skip
+        // leading whitespace and accept a sign, letting "\u+12f" through.
+        long code = 0;
+        bool hex_ok = true;
+        for (std::size_t i = 0; i < 4; ++i) {
+          const unsigned char h = static_cast<unsigned char>(s[*pos + i]);
+          if (std::isxdigit(h) == 0) {
+            hex_ok = false;
+            break;
+          }
+          const long digit = std::isdigit(h) != 0
+                                 ? h - '0'
+                                 : 10 + (std::tolower(h) - 'a');
+          code = code * 16 + digit;
+        }
+        if (!hex_ok) {
           *error = "malformed \\u escape";
           return false;
         }

@@ -180,7 +180,11 @@ void ServeDaemon::AcceptLoop() {
     const int ready = poll(&pfd, 1, kTickMs);
     uptime_ticks_.fetch_add(1, std::memory_order_relaxed);
     if (ready <= 0) {
-      continue;  // tick (or EINTR): re-check draining
+      // Tick (or EINTR): re-check draining, and reap finished connection
+      // threads so an idle daemon doesn't hold exited threads until the next
+      // accept.
+      ReapConnections(/*join_all=*/false);
+      continue;
     }
     const int fd = accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
     if (fd < 0) {
@@ -226,6 +230,34 @@ void ServeDaemon::ReapConnections(bool join_all) {
   }
 }
 
+std::string ServeDaemon::FindBusyRequestPathLocked(const ServeRequest& req) const {
+  if (!req.journal.empty() && busy_paths_.count(req.journal) > 0) {
+    return req.journal;
+  }
+  if (!req.resume.empty() && busy_paths_.count(req.resume) > 0) {
+    return req.resume;
+  }
+  return std::string();
+}
+
+void ServeDaemon::ReserveRequestPathsLocked(const ServeRequest& req) {
+  if (!req.journal.empty()) {
+    busy_paths_.insert(req.journal);
+  }
+  if (!req.resume.empty()) {
+    busy_paths_.insert(req.resume);
+  }
+}
+
+void ServeDaemon::ReleaseRequestPathsLocked(const ServeRequest& req) {
+  if (!req.journal.empty()) {
+    busy_paths_.erase(req.journal);
+  }
+  if (!req.resume.empty()) {
+    busy_paths_.erase(req.resume);
+  }
+}
+
 std::string ServeDaemon::Admit(PendingRequest* request) {
   const ServeRequest& req = request->request;
   if (req.seeds > opts_.max_seeds) {
@@ -237,6 +269,7 @@ std::string ServeDaemon::Admit(PendingRequest* request) {
   }
   int depth = 0;
   const char* reason = nullptr;
+  std::string busy_path;
   {
     const MutexLock lock(&mu_);
     depth = static_cast<int>(queue_.size());
@@ -249,8 +282,12 @@ std::string ServeDaemon::Admit(PendingRequest* request) {
     } else if (in_system >= opts_.max_queue + std::max(1, opts_.workers)) {
       reason = "request queue is full";
     } else {
-      queue_.push_back(request);
-      ++admitted_;
+      busy_path = FindBusyRequestPathLocked(req);
+      if (busy_path.empty()) {
+        ReserveRequestPathsLocked(req);
+        queue_.push_back(request);
+        ++admitted_;
+      }
     }
     if (reason != nullptr) {
       ++shed_;
@@ -258,6 +295,13 @@ std::string ServeDaemon::Admit(PendingRequest* request) {
   }
   if (reason != nullptr) {
     return RenderShedResponse(req.op, reason, depth, opts_.max_queue);
+  }
+  if (!busy_path.empty()) {
+    // A client error, not load: concurrent writers would corrupt the journal.
+    return RenderErrorResponse(
+        req.op, "journal/resume path " + busy_path +
+                    " is already in use by another in-flight request",
+        kExitUsage);
   }
   work_cv_.NotifyOne();
   return std::string();
@@ -309,18 +353,26 @@ std::string ServeDaemon::Execute(PendingRequest* request) {
 }
 
 void ServeDaemon::CompleteRequest(PendingRequest* request, std::string response) {
+  // Drop the request from the daemon's books before flipping `done`: the
+  // moment the connection thread can observe done==true it may return and
+  // destroy the stack-owned *request, so nothing — running_ bookkeeping,
+  // Snapshot(), path release — may touch the pointer after that point.
+  {
+    const MutexLock lock(&mu_);
+    running_.erase(std::find(running_.begin(), running_.end(), request));
+    ReleaseRequestPathsLocked(request->request);
+    ++completed_;
+  }
+  idle_cv_.NotifyAll();
   {
     const MutexLock lock(&request->mu);
     request->done = true;
     request->response = std::move(response);
+    // Notify while still holding request->mu: the waiter cannot wake from
+    // its timed wait, see done, and destroy the CondVar until this block
+    // releases the mutex — notifying after unlock would race destruction.
+    request->cv.NotifyAll();
   }
-  request->cv.NotifyAll();
-  {
-    const MutexLock lock(&mu_);
-    running_.erase(std::find(running_.begin(), running_.end(), request));
-    ++completed_;
-  }
-  idle_cv_.NotifyAll();
 }
 
 void ServeDaemon::ExecutorLoop() {
@@ -432,9 +484,11 @@ void ServeDaemon::HandleConnection(int fd) {
         }
         char probe;
         const ssize_t peeked = recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
-        if (peeked == 0) {
-          // Client disconnected: cancel the request's remaining seeds; the
-          // journal (if any) keeps what already committed.
+        if (peeked == 0 || (peeked < 0 && errno != EAGAIN &&
+                            errno != EWOULDBLOCK && errno != EINTR)) {
+          // Client disconnected — orderly (EOF) or abortive (ECONNRESET et
+          // al.): cancel the request's remaining seeds; the journal (if any)
+          // keeps what already committed.
           pending.stop.store(true, std::memory_order_release);
         }
       }

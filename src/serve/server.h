@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <deque>
 #include <list>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -99,6 +100,15 @@ class ServeDaemon {
   std::string Admit(PendingRequest* request);
   void CompleteRequest(PendingRequest* request, std::string response);
   void ReapConnections(bool join_all);
+  // Journal/resume path reservation: two in-flight requests writing (or one
+  // writing while another resumes) the same server-side file would truncate
+  // and interleave each other's records, silently corrupting the crash-safe
+  // journal. Admission reserves a request's paths; completion releases them.
+  // Returns the first already-reserved path, or empty when all are free.
+  std::string FindBusyRequestPathLocked(const ServeRequest& req) const
+      BR_REQUIRES(mu_);
+  void ReserveRequestPathsLocked(const ServeRequest& req) BR_REQUIRES(mu_);
+  void ReleaseRequestPathsLocked(const ServeRequest& req) BR_REQUIRES(mu_);
 
   const ServeOptions opts_;
   int listen_fd_ = -1;
@@ -116,6 +126,9 @@ class ServeDaemon {
   std::uint64_t admitted_ BR_GUARDED_BY(mu_) = 0;
   std::uint64_t completed_ BR_GUARDED_BY(mu_) = 0;
   std::uint64_t shed_ BR_GUARDED_BY(mu_) = 0;
+  // Journal/resume paths of queued + running requests (see Find/Reserve/
+  // ReleaseRequestPathsLocked above).
+  std::set<std::string> busy_paths_ BR_GUARDED_BY(mu_);
 
   // Connection threads: reaped opportunistically on accept, joined on Drain.
   struct ConnSlot {

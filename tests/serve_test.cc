@@ -81,6 +81,11 @@ TEST(ServeProtocolTest, RejectsMalformedAndHostileRequests) {
       {"{\"op\":\"campaign\",\"journal\":\"a\",\"resume\":\"b\"}",
        "mutually exclusive"},
       {"{\"op\":\"status\"} trailing", "trailing"},
+      // All four \u characters must be hex digits; strtol-style leniency
+      // (leading whitespace, signs) is a parse error here.
+      {"{\"op\":\"campaign\",\"scenario\":\"\\u+12f\"}", "malformed \\u escape"},
+      {"{\"op\":\"campaign\",\"scenario\":\"\\u 12f\"}", "malformed \\u escape"},
+      {"{\"op\":\"campaign\",\"scenario\":\"\\u00g1\"}", "malformed \\u escape"},
   };
   for (const auto& c : kCases) {
     ServeRequest req;
@@ -319,6 +324,56 @@ TEST_F(ServeDaemonTest, QueueFullShedsWhileInFlightRequestIsUnaffected) {
   EXPECT_NE(s.find("\"runs\""), std::string::npos);  // valid partial document
   EXPECT_EQ(daemon.Snapshot().shed, 1u);
   EXPECT_EQ(daemon.Drain(), kExitInterrupted);
+}
+
+TEST_F(ServeDaemonTest, ConcurrentRequestsOnOneJournalPathAreRejected) {
+  ServeOptions opts;
+  opts.socket_path = socket_path_;
+  opts.workers = 2;  // both requests could run — only the path collides
+  opts.jobs = 1;
+  ServeDaemon daemon(opts);
+  std::string error;
+  ASSERT_TRUE(daemon.Start(&error)) << error;
+
+  const std::string journal =
+      "/tmp/byterobust_serve_test_" + std::to_string(getpid()) + ".journal";
+  std::remove(journal.c_str());
+
+  // Occupy the journal path with a deadline-bounded long request; a second
+  // request naming the same path must be rejected, not allowed to truncate
+  // and interleave the first one's records.
+  std::string long_response;
+  std::thread occupier([this, &journal, &long_response] {
+    long_response = Roundtrip(
+        "{\"op\":\"campaign\",\"scenario\":\"dense-month\",\"seeds\":64,"
+        "\"jobs\":1,\"deadline_s\":0.8,\"journal\":\"" + journal + "\"}");
+  });
+  for (int i = 0; i < 100 && daemon.Snapshot().active_requests == 0; ++i) {
+    SleepMs(10.0);
+  }
+  ASSERT_EQ(daemon.Snapshot().active_requests, 1);
+
+  const std::string conflict = Roundtrip(
+      "{\"op\":\"campaign\",\"scenario\":\"quickstart\",\"seeds\":1,"
+      "\"journal\":\"" + journal + "\"}");
+  long code = -1;
+  ASSERT_TRUE(ExtractJsonIntField(conflict, "exit_code", &code));
+  EXPECT_EQ(code, kExitUsage);
+  std::string s;
+  ASSERT_TRUE(ExtractJsonStringField(conflict, "error", &s));
+  EXPECT_NE(s.find("already in use"), std::string::npos) << s;
+
+  occupier.join();
+  // Completion released the reservation: the same path admits again.
+  const std::string after = Roundtrip(
+      "{\"op\":\"campaign\",\"scenario\":\"quickstart\",\"seeds\":1,"
+      "\"journal\":\"" + journal + "\"}");
+  ASSERT_TRUE(ExtractJsonIntField(after, "exit_code", &code));
+  EXPECT_EQ(code, kExitOk);
+  // A path conflict is a client error, not load: nothing was shed.
+  EXPECT_EQ(daemon.Snapshot().shed, 0u);
+  EXPECT_EQ(daemon.Drain(), kExitInterrupted);
+  std::remove(journal.c_str());
 }
 
 TEST_F(ServeDaemonTest, DrainShedsNewRequestsAndExitsInterrupted) {
