@@ -163,6 +163,61 @@ void BM_ServeRequestRoundtrip(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeRequestRoundtrip)->Unit(benchmark::kMillisecond);
 
+// Sustained service throughput: four concurrent clients hammer one daemon
+// (4 executor workers, --jobs 1 engines) with one-seed quickstart campaigns.
+// items/sec in the report is campaigns/sec — the service-level throughput
+// number ROADMAP's campaign-service item calls for, covering admission,
+// queueing, engine execution and response framing under real contention.
+void BM_ServeThroughput(benchmark::State& state) {
+  struct Fixture {
+    ServeDaemon daemon;
+    std::string socket_path;
+    bool ok;
+    Fixture()
+        : daemon([] {
+            ServeOptions opts;
+            opts.socket_path = "/tmp/byterobust_bench_tp_" +
+                               std::to_string(getpid()) + ".sock";
+            opts.workers = 4;
+            opts.jobs = 1;
+            return opts;
+          }()),
+          socket_path("/tmp/byterobust_bench_tp_" + std::to_string(getpid()) +
+                      ".sock") {
+      std::string error;
+      ok = daemon.Start(&error);
+    }
+    ~Fixture() { daemon.Drain(); }
+  };
+  static Fixture fixture;
+  if (!fixture.ok) {
+    state.SkipWithError("serve daemon failed to start");
+    return;
+  }
+  const std::string request =
+      "{\"op\":\"campaign\",\"scenario\":\"quickstart\",\"seeds\":1,\"days\":0.02}";
+  for (auto _ : state) {
+    std::string response;
+    std::string error;
+    if (!ServeRoundtrip(fixture.socket_path, request, /*connect_wait_s=*/5.0,
+                        /*io_timeout_s=*/60.0, &response, &error)) {
+      state.SkipWithError("roundtrip failed");
+      return;
+    }
+    std::string body;
+    if (!ExtractJsonStringField(response, "body", &body) || body.empty()) {
+      state.SkipWithError("response carried no body");
+      return;
+    }
+    benchmark::DoNotOptimize(body.size());
+  }
+  state.SetItemsProcessed(state.iterations());  // one campaign per iteration
+}
+BENCHMARK(BM_ServeThroughput)
+    ->Threads(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 Topology MakeTopo(int dp) {
   ParallelismConfig cfg;
   cfg.tp = 2;

@@ -15,6 +15,8 @@
 #include "src/common/thread_annotations.h"
 #include "src/harness/exit_codes.h"
 #include "src/harness/supervisor.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace byterobust {
 
@@ -132,6 +134,9 @@ void DrainSeeds(int seeds, std::atomic<int>* next_seed, FailureLatch* latch,
       return;
     }
     try {
+      // Worker-occupancy span: one "seed" interval per claim on this
+      // worker's trace track, so idle gaps between seeds are visible.
+      const obs::ScopedSpan seed_span("seed", "campaign", i);
       run(i);
     } catch (const std::exception& e) {
       latch->Capture(std::make_exception_ptr(std::runtime_error(
@@ -197,6 +202,9 @@ class OrderedCommitQueue {
   // arrive — the pool failed, or every producer exited without pushing it
   // (false).
   bool Pop(int index, std::string* element) {
+    // Ordered-commit wait: how long the committer idled for this seed to be
+    // produced (instant when the element is already queued).
+    const obs::ScopedSpan wait_span("commit_wait", "campaign", index);
     const MutexLock lock(&mu_);
     while (true) {
       const auto it = done_.find(index);
@@ -346,10 +354,15 @@ class CampaignHarness {
     const std::function<SeedOutcome(const CancelToken&)> attempt =
         [this, i](const CancelToken&) { return spec_.run_seed(i); };
     if (supervisor_->Supervise<SeedOutcome>(i, attempt, &outcome, &failure)) {
-      if (journal_.open() &&
-          !journal_.Append({i, outcome.summary, outcome.element})) {
-        throw std::runtime_error("journal append failed for seed index " +
-                                 std::to_string(i));
+      if (journal_.open()) {
+        static obs::Counter* const commit_counter =
+            obs::GlobalMetrics().GetCounter("harness.journal_commits");
+        commit_counter->Add();
+        const obs::ScopedSpan commit_span("journal_commit", "harness", i);
+        if (!journal_.Append({i, outcome.summary, outcome.element})) {
+          throw std::runtime_error("journal append failed for seed index " +
+                                   std::to_string(i));
+        }
       }
       supervisor_->NoteCommitted();
       NoteSeedDone();
@@ -537,24 +550,28 @@ int RunEngineSpillStreaming(const CampaignEngineSpec& spec) {
   header.Key("runs");
   header.BeginArray();
   sink.Write(header.Take());
-  std::string element;
-  int emitted = 0;
-  for (int i = 0; i < seeds; ++i) {
-    if (failed[static_cast<std::size_t>(i)] != 0) {
-      continue;
+  {
+    // The sequential re-read/concatenate pass over the per-worker spills.
+    const obs::ScopedSpan merge_span("spill_merge", "campaign");
+    std::string element;
+    int emitted = 0;
+    for (int i = 0; i < seeds; ++i) {
+      if (failed[static_cast<std::size_t>(i)] != 0) {
+        continue;
+      }
+      const SpillLocation& loc = index[static_cast<std::size_t>(i)];
+      element.resize(loc.length);
+      std::FILE* f = spills.at(loc.worker);
+      if (std::fseek(f, loc.offset, SEEK_SET) != 0 ||
+          std::fread(element.data(), 1, element.size(), f) != element.size()) {
+        std::fprintf(stderr, "error: campaign spill read failed\n");
+        return kExitIoError;
+      }
+      if (emitted++ > 0) {
+        sink.Write(",");
+      }
+      sink.Write(element);
     }
-    const SpillLocation& loc = index[static_cast<std::size_t>(i)];
-    element.resize(loc.length);
-    std::FILE* f = spills.at(loc.worker);
-    if (std::fseek(f, loc.offset, SEEK_SET) != 0 ||
-        std::fread(element.data(), 1, element.size(), f) != element.size()) {
-      std::fprintf(stderr, "error: campaign spill read failed\n");
-      return kExitIoError;
-    }
-    if (emitted++ > 0) {
-      sink.Write(",");
-    }
-    sink.Write(element);
   }
   sink.Write("\n  ]");
   const std::vector<FailedRun> failures = harness.failures();

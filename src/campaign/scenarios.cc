@@ -12,6 +12,7 @@
 #include "src/fleet/fleet.h"
 #include "src/fleet/fleet_presets.h"
 #include "src/harness/journal.h"
+#include "src/obs/dashboard.h"
 #include "src/recovery/was_model.h"
 #include "src/topology/fault_domains.h"
 
@@ -253,6 +254,12 @@ RunResult RunMixed(const ScenarioSpec& spec, double days, std::uint64_t seed) {
   r.domain_faults_injected = scenario.stats().domain_faults_injected;
   r.domain_blast = scenario.domain_blast();
   CollectSystemMetrics(scenario.system(), &r);
+  if (obs::DashboardEnabled()) {
+    ByteRobustSystem& sys = scenario.system();
+    obs::RecordDashboardJob(obs::SampleDashboardJob(
+        std::string(spec.name) + " seed " + std::to_string(seed), seed,
+        /*ordinal=*/0, sys.ettr(), sys.mfu_series(), sys.sim().Now()));
+  }
   return r;
 }
 
@@ -343,6 +350,12 @@ RunResult RunTargeted(const ScenarioSpec& spec, double days, std::uint64_t seed)
   TargetedCampaign campaign(spec, days, seed);
   r.incidents_injected = campaign.Run();
   CollectSystemMetrics(campaign.system(), &r);
+  if (obs::DashboardEnabled()) {
+    ByteRobustSystem& sys = campaign.system();
+    obs::RecordDashboardJob(obs::SampleDashboardJob(
+        std::string(spec.name) + " seed " + std::to_string(seed), seed,
+        /*ordinal=*/0, sys.ettr(), sys.mfu_series(), sys.sim().Now()));
+  }
   return r;
 }
 
@@ -582,6 +595,13 @@ SeedOutcome RunFleetSeed(const FleetSpec& spec, double days, std::uint64_t seed)
     r.refails = fleet.scenario(i).stats().refails;
     r.updates_submitted = fleet.scenario(i).stats().updates_submitted;
     CollectSystemMetrics(fleet.system(i), &r);
+    if (obs::DashboardEnabled()) {
+      ByteRobustSystem& sys = fleet.system(i);
+      obs::RecordDashboardJob(obs::SampleDashboardJob(
+          std::string(spec.name) + " seed " + std::to_string(seed) + "/" +
+              job_spec.name,
+          seed, /*ordinal=*/i, sys.ettr(), sys.mfu_series(), sys.sim().Now()));
+    }
     if (fleet.system(i).job().run_count() == 0) {
       // A job that never launched inside the campaign window has no
       // availability to report; CumulativeEttr's zero-wall convention would

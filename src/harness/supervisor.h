@@ -40,6 +40,8 @@
 #include "src/common/thread_annotations.h"
 #include "src/harness/backoff.h"
 #include "src/harness/wallclock.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace byterobust {
 
@@ -186,13 +188,29 @@ bool SeedSupervisor::Supervise(int index,
                                Result* result, SeedFailure* failure) {
   using harness_internal::AttemptOutcome;
   using harness_internal::AttemptState;
+  // Observability side channel (src/obs): counters + trace spans for every
+  // supervision event. Disabled-path cost is one relaxed load per site;
+  // nothing here reaches campaign output bytes.
+  static obs::Counter* const attempts_counter =
+      obs::GlobalMetrics().GetCounter("harness.attempts");
+  static obs::Counter* const retries_counter =
+      obs::GlobalMetrics().GetCounter("harness.retries");
+  static obs::Counter* const watchdog_counter =
+      obs::GlobalMetrics().GetCounter("harness.watchdog_fires");
+  static obs::Counter* const quarantine_counter =
+      obs::GlobalMetrics().GetCounter("harness.quarantines");
   const int max_attempts = std::max(1, config_.max_attempts);
   std::string last_error;
   bool last_timed_out = false;
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     if (attempt > 1) {
+      retries_counter->Add();
+      obs::TraceInstantArg("seed_retry", "harness", index);
+      const obs::ScopedSpan backoff_span("retry_backoff", "harness", index);
       BackoffSleep(index, attempt - 1);
     }
+    attempts_counter->Add();
+    const obs::ScopedSpan attempt_span("seed_attempt", "harness", index);
     auto shared = std::make_shared<AttemptState>();
     auto slot = std::make_shared<Result>();
     auto cancel = std::make_shared<std::atomic<bool>>(false);
@@ -238,6 +256,8 @@ bool SeedSupervisor::Supervise(int index,
       done = shared->done;
     }
     if (!done) {
+      watchdog_counter->Add();
+      obs::TraceInstantArg("watchdog_fire", "harness", index);
       cancel->store(true, std::memory_order_relaxed);
       const MutexLock lock(&shared->mu);
       while (!shared->done) {
@@ -255,6 +275,8 @@ bool SeedSupervisor::Supervise(int index,
       // shared_ptr) and quarantine without retrying — a deterministic hang
       // would only hang again.
       worker.detach();
+      quarantine_counter->Add();
+      obs::TraceInstantArg("seed_quarantine", "harness", index);
       failure->index = index;
       failure->attempts = attempt;
       failure->timed_out = true;
@@ -277,6 +299,8 @@ bool SeedSupervisor::Supervise(int index,
     last_timed_out = outcome == AttemptOutcome::kCancelled;
     last_error = std::move(error);
   }
+  quarantine_counter->Add();
+  obs::TraceInstantArg("seed_quarantine", "harness", index);
   failure->index = index;
   failure->attempts = max_attempts;
   failure->timed_out = last_timed_out;

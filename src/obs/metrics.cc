@@ -1,0 +1,164 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace byterobust {
+namespace obs {
+
+namespace metrics_internal {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+namespace {
+std::atomic<std::size_t> g_next_slot{0};
+thread_local std::size_t t_shard = kMetricShards;  // sentinel: unassigned
+}  // namespace
+
+std::size_t ThisThreadShard() {
+  if (t_shard == kMetricShards) {
+    t_shard = g_next_slot.fetch_add(1, std::memory_order_relaxed) %
+              kMetricShards;
+  }
+  return t_shard;
+}
+
+}  // namespace metrics_internal
+
+void SetMetricsEnabled(bool enabled) {
+  metrics_internal::g_metrics_enabled.store(enabled,
+                                            std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::Value() const {
+  std::uint64_t total = 0;
+  for (const auto& cell : cells_) {
+    total += cell.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double LatencyHistogram::BucketUpperBoundS(std::size_t i) {
+  if (i + 1 >= kBuckets) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double bound = kFirstBucketS;
+  for (std::size_t k = 0; k < i; ++k) {
+    bound *= 2.0;
+  }
+  return bound;
+}
+
+void LatencyHistogram::Observe(double seconds) {
+  if (!MetricsEnabled()) {
+    return;
+  }
+  if (seconds < 0.0) {
+    seconds = 0.0;
+  }
+  std::size_t bucket = 0;
+  double bound = kFirstBucketS;
+  while (bucket + 1 < kBuckets && seconds > bound) {
+    bound *= 2.0;
+    ++bucket;
+  }
+  Shard& shard = shards_[metrics_internal::ThisThreadShard()];
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  const auto us = static_cast<std::uint64_t>(seconds * 1e6 + 0.5);
+  shard.sum_us.fetch_add(us, std::memory_order_relaxed);
+  std::uint64_t seen = shard.max_us.load(std::memory_order_relaxed);
+  while (us > seen && !shard.max_us.compare_exchange_weak(
+                          seen, us, std::memory_order_relaxed)) {
+  }
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
+  Snapshot snap;
+  std::uint64_t sum_us = 0;
+  std::uint64_t max_us = 0;
+  for (const auto& shard : shards_) {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      snap.buckets[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+    sum_us += shard.sum_us.load(std::memory_order_relaxed);
+    max_us = std::max(max_us, shard.max_us.load(std::memory_order_relaxed));
+  }
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    snap.count += snap.buckets[i];
+  }
+  snap.sum_s = static_cast<double>(sum_us) * 1e-6;
+  snap.max_s = static_cast<double>(max_us) * 1e-6;
+  return snap;
+}
+
+double LatencyHistogram::Snapshot::QuantileS(double q) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based), nearest-rank then interpolate
+  // within the bucket that holds it.
+  const auto rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(count - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (seen + buckets[i] < rank) {
+      seen += buckets[i];
+      continue;
+    }
+    const double lo = i == 0 ? 0.0 : BucketUpperBoundS(i - 1);
+    double hi = BucketUpperBoundS(i);
+    if (std::isinf(hi)) {
+      // Overflow bucket: the best point estimate available is the max.
+      return max_s;
+    }
+    const double frac = buckets[i] == 0
+                            ? 1.0
+                            : static_cast<double>(rank - seen) /
+                                  static_cast<double>(buckets[i]);
+    // No observation exceeds the recorded max, so interpolation never
+    // should either (otherwise p50 of a single sample reads above max).
+    return max_s > 0.0 ? std::min(lo + (hi - lo) * frac, max_s)
+                       : lo + (hi - lo) * frac;
+  }
+  return max_s;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  const MutexLock lock(&mu_);
+  return &counters_[name];
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  const MutexLock lock(&mu_);
+  return &gauges_[name];
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  const MutexLock lock(&mu_);
+  return &histograms_[name];
+}
+
+MetricsSnapshot MetricsRegistry::Snap() const {
+  MetricsSnapshot snap;
+  const MutexLock lock(&mu_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter.Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge.Value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms[name] = hist.Snap();
+  }
+  return snap;
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry;  // never destroyed
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace byterobust

@@ -1,0 +1,160 @@
+// Thread-safe metrics registry: counters, gauges, and fixed-bucket latency
+// histograms with p50/p90/p99 readout.
+//
+// Hot-path design: every instrument shards its cells across kMetricShards
+// cacheline-padded relaxed atomics, indexed by a per-thread slot, so
+// concurrent workers never contend on one cacheline. Reads (Value/Snap)
+// merge the shards; the registry's name->instrument maps are the only
+// mutex-guarded state (BR_GUARDED_BY, node-stable std::map so returned
+// pointers survive later registrations).
+//
+// Disabled path: like BR_LOG_* / TraceEnabled(), recording first checks one
+// inlined relaxed atomic load and returns. Metrics are enabled by the serve
+// daemon at Start() and whenever a trace is recording; plain CLI runs leave
+// them off. Either way the instruments are side channels — campaign, fleet,
+// and serve response bytes are identical with metrics on or off.
+
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/common/sync.h"
+#include "src/common/thread_annotations.h"
+
+namespace byterobust {
+namespace obs {
+
+namespace metrics_internal {
+// In the header so MetricsEnabled() inlines to one relaxed load; write
+// through SetMetricsEnabled(). Relaxed is enough: the flag filters what is
+// recorded, it synchronizes nothing.
+extern std::atomic<bool> g_metrics_enabled;
+
+inline constexpr std::size_t kMetricShards = 8;
+
+// Stable per-thread shard slot in [0, kMetricShards). Threads are dealt
+// slots round-robin on first use, so a worker pool spreads evenly.
+std::size_t ThisThreadShard();
+
+struct alignas(64) ShardedCell {
+  std::atomic<std::uint64_t> v{0};
+};
+}  // namespace metrics_internal
+
+inline bool MetricsEnabled() {
+  return metrics_internal::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+void SetMetricsEnabled(bool enabled);
+
+// Monotonic counter. Add() on the disabled path is one relaxed load.
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) {
+    if (!MetricsEnabled()) {
+      return;
+    }
+    cells_[metrics_internal::ThisThreadShard()].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  std::uint64_t Value() const;
+
+ private:
+  metrics_internal::ShardedCell cells_[metrics_internal::kMetricShards];
+};
+
+// Last-writer-wins signed gauge (queue depth, active workers).
+class Gauge {
+ public:
+  void Set(std::int64_t v) {
+    if (!MetricsEnabled()) {
+      return;
+    }
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void Add(std::int64_t delta) {
+    if (!MetricsEnabled()) {
+      return;
+    }
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+// Fixed-bucket latency histogram over seconds. Buckets are log-spaced
+// (doubling) upper bounds from kFirstBucketS with a +inf overflow bucket,
+// covering 100us .. ~54min — wide enough for a serve request and for a
+// supervised seed attempt. Quantiles interpolate linearly inside the
+// holding bucket, so p99 error is bounded by one bucket's width.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 26;
+  static constexpr double kFirstBucketS = 1e-4;
+  // Inclusive upper bound of bucket i; +inf for the last bucket.
+  static double BucketUpperBoundS(std::size_t i);
+
+  // Always records when metrics are enabled; Observe with metrics disabled
+  // is the same one-load no-op as Counter::Add.
+  void Observe(double seconds);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum_s = 0.0;
+    double max_s = 0.0;
+    std::uint64_t buckets[kBuckets] = {};
+    // Quantile q in [0,1] in seconds; 0 when empty.
+    double QuantileS(double q) const;
+  };
+  Snapshot Snap() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> buckets[kBuckets] = {};
+    std::atomic<std::uint64_t> sum_us{0};
+    std::atomic<std::uint64_t> max_us{0};
+  };
+  Shard shards_[metrics_internal::kMetricShards];
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, LatencyHistogram::Snapshot> histograms;
+};
+
+// Name -> instrument registry. Get* registers on first use and returns a
+// pointer that stays valid for the registry's lifetime (node-stable map).
+// Instruments are cheap to hold, so call sites cache the pointer in a
+// function-local static.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  LatencyHistogram* GetHistogram(const std::string& name);
+
+  // Coherent-enough snapshot: each instrument merges its shards while the
+  // registry mutex pins the maps; counts recorded concurrently may or may
+  // not be included, exactly like any sampled metrics read.
+  MetricsSnapshot Snap() const;
+
+ private:
+  mutable Mutex mu_;
+  std::map<std::string, Counter> counters_ BR_GUARDED_BY(mu_);
+  std::map<std::string, Gauge> gauges_ BR_GUARDED_BY(mu_);
+  std::map<std::string, LatencyHistogram> histograms_ BR_GUARDED_BY(mu_);
+};
+
+// The process-wide registry used by harness/campaign/serve instrumentation.
+MetricsRegistry& GlobalMetrics();
+
+}  // namespace obs
+}  // namespace byterobust
+
+#endif  // SRC_OBS_METRICS_H_

@@ -385,6 +385,14 @@ std::string RenderShedResponse(const std::string& op, const std::string& reason,
          ",\"max_queue\":" + std::to_string(max_queue) + "}\n";
 }
 
+namespace {
+std::string FormatMs(double ms) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", ms);
+  return buf;
+}
+}  // namespace
+
 std::string RenderStatusResponse(const ServeStatus& status) {
   return std::string("{\"tool\":\"byterobust\",\"op\":\"status\",\"status\":\"ok\"") +
          ",\"exit_code\":" + std::to_string(kExitOk) +
@@ -397,8 +405,14 @@ std::string RenderStatusResponse(const ServeStatus& status) {
          ",\"admitted\":" + FormatCount(status.admitted) +
          ",\"completed\":" + FormatCount(status.completed) +
          ",\"shed\":" + FormatCount(status.shed) +
+         ",\"cancelled\":" + FormatCount(status.cancelled) +
          ",\"workers\":" + std::to_string(status.workers) +
-         ",\"max_seeds\":" + std::to_string(status.max_seeds) + "}\n";
+         ",\"max_seeds\":" + std::to_string(status.max_seeds) +
+         ",\"latency_count\":" + FormatCount(status.latency_count) +
+         ",\"latency_p50_ms\":" + FormatMs(status.latency_p50_ms) +
+         ",\"latency_p90_ms\":" + FormatMs(status.latency_p90_ms) +
+         ",\"latency_p99_ms\":" + FormatMs(status.latency_p99_ms) +
+         ",\"latency_max_ms\":" + FormatMs(status.latency_max_ms) + "}\n";
 }
 
 bool ExtractJsonStringField(const std::string& line, const std::string& key,

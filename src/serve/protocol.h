@@ -73,7 +73,12 @@ std::string RenderErrorResponse(const std::string& op, const std::string& messag
 std::string RenderShedResponse(const std::string& op, const std::string& reason,
                                int queue_depth, int max_queue);
 
-// /healthz-style snapshot for {"op":"status"} responses.
+// /healthz-style snapshot for {"op":"status"} responses. Per-state request
+// accounting: queue_depth (admitted, waiting) + active_requests (executing)
+// are the live states; admitted/completed/shed/cancelled are the lifetime
+// counters the soak script asserts on. The latency fields summarize the
+// daemon's request-latency histogram (src/obs/metrics.h): admission to
+// completion, in milliseconds.
 struct ServeStatus {
   bool draining = false;
   std::uint64_t uptime_ticks = 0;  // 200ms supervision ticks since Start()
@@ -84,8 +89,16 @@ struct ServeStatus {
   std::uint64_t admitted = 0;
   std::uint64_t completed = 0;
   std::uint64_t shed = 0;
+  // Completed requests whose stop flag had flipped first (deadline, client
+  // disconnect, or daemon drain) — they still returned a valid partial body.
+  std::uint64_t cancelled = 0;
   int workers = 0;
   int max_seeds = 0;
+  std::uint64_t latency_count = 0;  // completed requests measured
+  double latency_p50_ms = 0.0;
+  double latency_p90_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_max_ms = 0.0;
 };
 
 std::string RenderStatusResponse(const ServeStatus& status);

@@ -15,6 +15,7 @@
 #include "src/campaign/scenarios.h"
 #include "src/harness/exit_codes.h"
 #include "src/harness/wallclock.h"
+#include "src/obs/trace.h"
 
 namespace byterobust {
 namespace {
@@ -85,6 +86,9 @@ bool ServeDaemon::Start(std::string* error) {
     return false;
   }
   running_flag_.store(true, std::memory_order_release);
+  // The daemon always measures itself ({"op":"status"} serves the latency
+  // histogram); response bytes for campaign/fleet ops are unaffected.
+  obs::SetMetricsEnabled(true);
   accept_thread_ = std::thread(&ServeDaemon::AcceptLoop, this);
   const int workers = std::max(1, opts_.workers);
   executors_.reserve(static_cast<std::size_t>(workers));
@@ -166,6 +170,13 @@ ServeStatus ServeDaemon::Snapshot() const {
   s.admitted = admitted_;
   s.completed = completed_;
   s.shed = shed_;
+  s.cancelled = cancelled_;
+  const obs::LatencyHistogram::Snapshot latency = request_latency_.Snap();
+  s.latency_count = latency.count;
+  s.latency_p50_ms = latency.QuantileS(0.50) * 1e3;
+  s.latency_p90_ms = latency.QuantileS(0.90) * 1e3;
+  s.latency_p99_ms = latency.QuantileS(0.99) * 1e3;
+  s.latency_max_ms = latency.max_s * 1e3;
   return s;
 }
 
@@ -285,6 +296,8 @@ std::string ServeDaemon::Admit(PendingRequest* request) {
       busy_path = FindBusyRequestPathLocked(req);
       if (busy_path.empty()) {
         ReserveRequestPathsLocked(req);
+        request->admitted_wall_s = WallSeconds();
+        request->admit_ordinal = admitted_;
         queue_.push_back(request);
         ++admitted_;
       }
@@ -294,6 +307,7 @@ std::string ServeDaemon::Admit(PendingRequest* request) {
     }
   }
   if (reason != nullptr) {
+    obs::TraceInstant("request_shed", "serve");
     return RenderShedResponse(req.op, reason, depth, opts_.max_queue);
   }
   if (!busy_path.empty()) {
@@ -303,6 +317,8 @@ std::string ServeDaemon::Admit(PendingRequest* request) {
                     " is already in use by another in-flight request",
         kExitUsage);
   }
+  obs::TraceInstantArg("request_admit", "serve",
+                       static_cast<std::int64_t>(request->admit_ordinal));
   work_cv_.NotifyOne();
   return std::string();
 }
@@ -357,11 +373,15 @@ void ServeDaemon::CompleteRequest(PendingRequest* request, std::string response)
   // moment the connection thread can observe done==true it may return and
   // destroy the stack-owned *request, so nothing — running_ bookkeeping,
   // Snapshot(), path release — may touch the pointer after that point.
+  request_latency_.Observe(WallSeconds() - request->admitted_wall_s);
   {
     const MutexLock lock(&mu_);
     running_.erase(std::find(running_.begin(), running_.end(), request));
     ReleaseRequestPathsLocked(request->request);
     ++completed_;
+    if (request->stop.load(std::memory_order_acquire)) {
+      ++cancelled_;
+    }
   }
   idle_cv_.NotifyAll();
   {
@@ -390,7 +410,20 @@ void ServeDaemon::ExecutorLoop() {
       queue_.pop_front();
       running_.push_back(request);
     }
-    CompleteRequest(request, Execute(request));
+    // Retroactive queue-wait span (admission to pickup), then the execute
+    // span proper, both on this executor's trace track.
+    if (obs::TraceEnabled()) {
+      obs::TraceComplete("queue_wait", "serve", request->admitted_wall_s,
+                         WallSeconds());
+    }
+    std::string response;
+    {
+      const obs::ScopedSpan execute_span(
+          "execute", "serve",
+          static_cast<std::int64_t>(request->admit_ordinal));
+      response = Execute(request);
+    }
+    CompleteRequest(request, std::move(response));
   }
 }
 
@@ -460,6 +493,9 @@ void ServeDaemon::HandleConnection(int fd) {
     }
 
     PendingRequest pending(req);
+    // Connection-side span: admission attempt through response send (sheds
+    // close it immediately; admitted requests hold it across the wait).
+    const obs::ScopedSpan request_span("request", "serve");
     const std::string immediate = Admit(&pending);
     if (!immediate.empty()) {
       alive = SendAll(fd, immediate);
@@ -479,8 +515,12 @@ void ServeDaemon::HandleConnection(int fd) {
         if (pending.done) {
           break;
         }
-        if (deadline_wall > 0.0 && WallSeconds() >= deadline_wall) {
+        if (deadline_wall > 0.0 && WallSeconds() >= deadline_wall &&
+            !pending.stop.load(std::memory_order_relaxed)) {
           pending.stop.store(true, std::memory_order_release);
+          obs::TraceInstantArg(
+              "request_cancel", "serve",
+              static_cast<std::int64_t>(pending.admit_ordinal));
         }
         char probe;
         const ssize_t peeked = recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
@@ -489,6 +529,11 @@ void ServeDaemon::HandleConnection(int fd) {
           // Client disconnected — orderly (EOF) or abortive (ECONNRESET et
           // al.): cancel the request's remaining seeds; the journal (if any)
           // keeps what already committed.
+          if (!pending.stop.load(std::memory_order_relaxed)) {
+            obs::TraceInstantArg(
+                "request_cancel", "serve",
+                static_cast<std::int64_t>(pending.admit_ordinal));
+          }
           pending.stop.store(true, std::memory_order_release);
         }
       }

@@ -33,6 +33,7 @@
 
 #include "src/common/sync.h"
 #include "src/common/thread_annotations.h"
+#include "src/obs/metrics.h"
 #include "src/serve/protocol.h"
 
 namespace byterobust {
@@ -83,6 +84,11 @@ class ServeDaemon {
     const ServeRequest request;
     std::atomic<bool> stop{false};     // engine external_stop for this request
     std::atomic<int> seeds_done{0};
+    // Observability only (never in the response): admission wall time feeds
+    // the queue_wait trace span and the request-latency histogram, and the
+    // admission ordinal labels this request's trace events.
+    double admitted_wall_s = 0.0;
+    std::uint64_t admit_ordinal = 0;
     Mutex mu;
     CondVar cv;
     bool done BR_GUARDED_BY(mu) = false;
@@ -126,6 +132,11 @@ class ServeDaemon {
   std::uint64_t admitted_ BR_GUARDED_BY(mu_) = 0;
   std::uint64_t completed_ BR_GUARDED_BY(mu_) = 0;
   std::uint64_t shed_ BR_GUARDED_BY(mu_) = 0;
+  // Completed with the stop flag already set (deadline/disconnect/drain).
+  std::uint64_t cancelled_ BR_GUARDED_BY(mu_) = 0;
+  // Admission-to-completion latency. Internally sharded atomics (its own
+  // concurrency story, src/obs/metrics.h), so no BR_GUARDED_BY needed.
+  obs::LatencyHistogram request_latency_;
   // Journal/resume paths of queued + running requests (see Find/Reserve/
   // ReleaseRequestPathsLocked above).
   std::set<std::string> busy_paths_ BR_GUARDED_BY(mu_);

@@ -52,6 +52,8 @@
 #include "src/common/sim_time.h"
 #include "src/harness/exit_codes.h"
 #include "src/metrics/report.h"
+#include "src/obs/dashboard.h"
+#include "src/obs/trace.h"
 #include "src/recovery/restart_model.h"
 #include "src/recovery/was_model.h"
 #include "src/serve/client.h"
@@ -104,6 +106,9 @@ struct Options {
   std::string resume_path;   // --resume: skip seeds already in this journal
   int retries = -1;          // --retries; < 0 defers to env/default
   bool journal_sync = false; // --journal-sync: fdatasync per committed record
+  // Observability side channels (never change output bytes; see src/obs/).
+  std::string trace_path;      // --trace: Chrome trace_event JSON span file
+  std::string dashboard_path;  // --dashboard: sliding ETTR/MFU series export
   // serve
   std::string socket_path;   // --socket (also used by request)
   int workers = 2;           // --workers: concurrent requests executing
@@ -127,11 +132,13 @@ int Usage() {
                "  campaign     --scenario NAME [--seeds N] [--base-seed S] [--days D]\n"
                "               [--jobs N] [--stream] [--out FILE] [--retries N]\n"
                "               [--journal FILE [--journal-sync] | --resume FILE]\n"
+               "               [--trace FILE] [--dashboard FILE]\n"
                "  fleet        --scenario NAME [--seeds N] [--base-seed S] [--days D]\n"
                "               [--jobs N] [--stream] [--out FILE] [--retries N]\n"
                "               [--journal FILE [--journal-sync] | --resume FILE]\n"
+               "               [--trace FILE] [--dashboard FILE]\n"
                "  serve        --socket PATH   [--workers N] [--jobs N] [--max-queue N]\n"
-               "               [--max-seeds N] [--pid-file FILE]\n"
+               "               [--max-seeds N] [--pid-file FILE] [--trace FILE]\n"
                "  request      --socket PATH   (--body JSON | --body-file FILE) [--raw]\n"
                "               [--wait-s S] [--timeout-s S] [--out FILE]\n"
                "  bench-report [--out FILE]\n"
@@ -151,6 +158,13 @@ int Usage() {
                "  quarantined into a \"failed_runs\" block (exit 20). SIGINT/SIGTERM\n"
                "  drain in-flight seeds and exit 30. See also BYTEROBUST_SEED_TIMEOUT_S\n"
                "  / _FACTOR and BYTEROBUST_HARNESS_FAULTS.\n"
+               "\n"
+               "  --trace FILE (or BYTEROBUST_TRACE=FILE) records Chrome trace_event\n"
+               "  JSON spans (harness attempts/retries/watchdog, engine workers and\n"
+               "  commit waits, serve request lifecycle) viewable in Perfetto or\n"
+               "  chrome://tracing; --dashboard FILE exports per-job sliding-window\n"
+               "  ETTR/MFU series. Both are side channels: output bytes are identical\n"
+               "  with or without them.\n"
                "\n"
                "  serve hosts campaigns as a service: newline-delimited JSON requests\n"
                "  (ops campaign / fleet / status / shutdown) over a local socket, each\n"
@@ -195,11 +209,13 @@ bool FlagAllowed(const std::string& command, const std::string& flag) {
     return flag == "--preset" || flag == "--scenario" || flag == "--seed" ||
            flag == "--base-seed" || flag == "--seeds" || flag == "--days" ||
            flag == "--jobs" || flag == "--stream" || flag == "--journal" ||
-           flag == "--resume" || flag == "--retries" || flag == "--journal-sync";
+           flag == "--resume" || flag == "--retries" || flag == "--journal-sync" ||
+           flag == "--trace" || flag == "--dashboard";
   }
   if (command == "serve") {
     return flag == "--socket" || flag == "--workers" || flag == "--jobs" ||
-           flag == "--max-queue" || flag == "--max-seeds" || flag == "--pid-file";
+           flag == "--max-queue" || flag == "--max-seeds" || flag == "--pid-file" ||
+           flag == "--trace";
   }
   if (command == "request") {
     return flag == "--socket" || flag == "--body" || flag == "--body-file" ||
@@ -306,6 +322,10 @@ bool ParseOptions(const std::string& command, int argc, char** argv, Options* op
       opts->max_seeds = static_cast<int>(value);
     } else if (arg == "--pid-file" && has_value) {
       opts->pid_file = argv[++i];
+    } else if (arg == "--trace" && has_value) {
+      opts->trace_path = argv[++i];
+    } else if (arg == "--dashboard" && has_value) {
+      opts->dashboard_path = argv[++i];
     } else if (arg == "--body" && has_value) {
       opts->body = argv[++i];
     } else if (arg == "--body-file" && has_value) {
@@ -380,7 +400,22 @@ int RunCampaignCommand(const char* command, const Options& opts) {
     return kExitUsage;
   }
   engine.external_stop = &g_signal_stop;
-  return RunCampaignEngine(engine);
+  if (!opts.dashboard_path.empty()) {
+    obs::EnableDashboard();
+  }
+  int code = RunCampaignEngine(engine);
+  if (!opts.dashboard_path.empty()) {
+    // Written after the campaign document is complete, like --out; a
+    // dashboard I/O failure taints an otherwise-clean exit but never masks
+    // a more specific engine code.
+    if (!obs::WriteDashboard(opts.dashboard_path, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      if (code == kExitOk) {
+        code = kExitIoError;
+      }
+    }
+  }
+  return code;
 }
 
 int CmdServe(const Options& opts) {
@@ -561,28 +596,40 @@ int Main(int argc, char** argv) {
   if (!ParseOptions(command, argc - 2, argv + 2, &opts)) {
     return Usage();
   }
+  // Tracing starts before the command and stops after it, so a graceful
+  // SIGTERM drain still closes the trace file properly (--trace wins over
+  // BYTEROBUST_TRACE when both are set).
+  {
+    std::string trace_error;
+    const bool trace_ok =
+        opts.trace_path.empty()
+            ? obs::StartTraceFromEnv(&trace_error)
+            : obs::StartTrace(opts.trace_path, &trace_error);
+    if (!trace_ok) {
+      std::fprintf(stderr, "error: %s\n", trace_error.c_str());
+      return kExitIoError;
+    }
+  }
+  int code = kExitUsage;
   if (command == "run") {
-    return CmdRun(opts);
+    code = CmdRun(opts);
+  } else if (command == "campaign") {
+    code = RunCampaignCommand("campaign", opts);
+  } else if (command == "fleet") {
+    code = RunCampaignCommand("fleet", opts);
+  } else if (command == "serve") {
+    code = CmdServe(opts);
+  } else if (command == "request") {
+    code = CmdRequest(opts);
+  } else if (command == "bench-report") {
+    code = CmdBenchReport(opts);
+  } else if (command == "list") {
+    code = CmdList(opts);
+  } else {
+    code = Usage();
   }
-  if (command == "campaign") {
-    return RunCampaignCommand("campaign", opts);
-  }
-  if (command == "fleet") {
-    return RunCampaignCommand("fleet", opts);
-  }
-  if (command == "serve") {
-    return CmdServe(opts);
-  }
-  if (command == "request") {
-    return CmdRequest(opts);
-  }
-  if (command == "bench-report") {
-    return CmdBenchReport(opts);
-  }
-  if (command == "list") {
-    return CmdList(opts);
-  }
-  return Usage();
+  obs::StopTrace();
+  return code;
 }
 
 }  // namespace

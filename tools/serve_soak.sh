@@ -4,7 +4,11 @@
 #   - every response body is byte-identical to the clean CLI reference,
 #   - the daemon never dies uncleanly (every exit is 30, graceful drain),
 #   - a journaled request interrupted by the drain resumes on the restarted
-#     daemon to byte-identical merged output.
+#     daemon to byte-identical merged output,
+#   - the daemon's own {"op":"status"} accounting agrees with the soak: every
+#     request completed, none shed or cancelled, not draining mid-soak.
+# Also reports sustained service throughput (campaigns/sec) over the soak
+# rounds — the wall-clock companion to BM_ServeThroughput.
 #
 #   tools/serve_soak.sh <byterobust binary> <scratch dir> [rounds]
 
@@ -60,6 +64,7 @@ start_daemon "$WORK/serve_1.exit"
 CAMPAIGN_REQ='{"op":"campaign","scenario":"dense","seeds":6,"days":0.3,"jobs":4}'
 FLEET_REQ='{"op":"fleet","scenario":"fleet-mixed","seeds":4,"jobs":4}'
 
+soak_start=$(date +%s.%N)
 for round in $(seq "$ROUNDS"); do
   pids=""
   for i in 1 2 3; do
@@ -81,6 +86,43 @@ for round in $(seq "$ROUNDS"); do
       fail "round $round: fleet body not byte-identical"
   echo "serve_soak: round $round/$ROUNDS byte-stable"
 done
+soak_end=$(date +%s.%N)
+
+# Throughput over the soak rounds: 4 campaign/fleet requests per round.
+total_reqs=$((ROUNDS * 4))
+awk -v n="$total_reqs" -v t0="$soak_start" -v t1="$soak_end" 'BEGIN {
+  dt = t1 - t0
+  if (dt <= 0) dt = 0.001
+  printf "serve_soak: throughput %d requests in %.2fs (%.2f campaigns/sec)\n", n, dt, n / dt
+}'
+
+# The daemon's own accounting must agree with what the soak just did: every
+# request admitted and completed, nothing shed or cancelled, latency histogram
+# populated, and not draining.
+status=$("$CLI" request --socket "$SOCK" --body '{"op":"status"}' --raw \
+    --wait-s 5 --timeout-s 30 2>/dev/null) || fail "status request failed"
+echo "$status" > "$WORK/status_soak.json"
+case "$status" in
+  *'"draining":false'*) ;;
+  *) fail "status reports draining mid-soak: $status" ;;
+esac
+case "$status" in
+  *"\"completed\":$total_reqs,"*) ;;
+  *) fail "status completed != $total_reqs: $status" ;;
+esac
+case "$status" in
+  *'"shed":0,'*) ;;
+  *) fail "status reports sheds during the soak: $status" ;;
+esac
+case "$status" in
+  *'"cancelled":0,'*) ;;
+  *) fail "status reports cancels during the soak: $status" ;;
+esac
+case "$status" in
+  *"\"latency_count\":$total_reqs,"*) ;;
+  *) fail "status latency_count != $total_reqs: $status" ;;
+esac
+echo "serve_soak: status accounting consistent ($total_reqs completed, 0 shed, 0 cancelled)"
 
 # SIGTERM drain mid-request: the journaled request is cancelled cooperatively
 # (a partial response or, if the race finished first, a complete one) and the
@@ -91,6 +133,21 @@ done
 cpid=$!
 sleep 0.5
 kill -TERM "$(cat "$WORK/serve.pid")" || fail "could not signal daemon"
+# The daemon keeps serving status while draining, so the drain must become
+# visible as draining:true. Poll: the signal lands asynchronously (an early
+# probe can still see draining:false), and the daemon may finish the drain
+# and exit before any probe connects — both races resolve within the loop.
+for _ in $(seq 50); do
+  if drain_status=$("$CLI" request --socket "$SOCK" --body '{"op":"status"}' \
+      --raw --wait-s 0 --timeout-s 10 2>/dev/null); then
+    case "$drain_status" in
+      *'"draining":true'*) echo "serve_soak: drain visible in status"; break ;;
+    esac
+    sleep 0.1
+  else
+    break  # daemon already drained and exited; await_exit checks the code
+  fi
+done
 wait "$cpid"
 client_rc=$?
 [ "$client_rc" = "30" ] || [ "$client_rc" = "0" ] ||

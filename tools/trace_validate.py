@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Validate a byterobust Chrome trace_event JSON file (stdlib only).
+
+Checks:
+  - the file parses as a JSON array of event objects (a torn tail — the
+    daemon was hard-killed mid-line — is repaired by dropping the partial
+    final line and closing the array, and reported);
+  - every event carries ph/ts/pid/tid (and a name for span phases);
+  - B/E spans are balanced and properly nested per (pid, tid) track, with
+    matching names;
+  - timestamps are monotone non-decreasing per track for B/E events
+    ("X" complete events are emitted retroactively and "C"/"M"/"i" events
+    only need ts >= 0);
+  - "X" events carry a non-negative dur.
+
+Exit 0 when the trace is valid (complete, or an acceptably torn tail with
+--allow-torn); exit 1 otherwise, with one diagnostic per problem.
+
+Usage: trace_validate.py [--allow-torn] [--strict] TRACE...
+  --allow-torn   accept a torn-tail file when the intact prefix validates
+                 (unclosed B spans at EOF are then also accepted)
+  --strict       require a properly closed file (default unless --allow-torn)
+"""
+
+import json
+import sys
+
+
+def repair_torn(text):
+    """Drop a partial trailing line and close the array. Returns (text, torn)."""
+    stripped = text.rstrip()
+    if stripped.endswith("]"):
+        return text, False
+    # Keep only complete lines, then strip the trailing comma of the last
+    # event and close the array the writer never got to close.
+    lines = text.split("\n")
+    if lines and not text.endswith("\n"):
+        lines = lines[:-1]  # partial final line: torn mid-write
+    while lines and lines[-1].strip() == "":
+        lines = lines[:-1]
+    if lines and lines[-1].rstrip().endswith(","):
+        lines[-1] = lines[-1].rstrip()[:-1]
+    return "\n".join(lines) + "\n]\n", True
+
+
+def validate(path, allow_torn):
+    problems = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        return ["%s: cannot read: %s" % (path, e)]
+
+    text, torn = repair_torn(text)
+    if torn and not allow_torn:
+        problems.append("%s: torn tail (file does not end with ']'); "
+                        "pass --allow-torn if a hard kill is expected" % path)
+    try:
+        events = json.loads(text)
+    except ValueError as e:
+        problems.append("%s: not valid JSON%s: %s" %
+                        (path, " after torn-tail repair" if torn else "", e))
+        return problems
+    if not isinstance(events, list):
+        return ["%s: top level is not an array" % path]
+
+    span_phases = ("B", "E", "X", "i")
+    stacks = {}     # (pid, tid) -> [names of open B spans]
+    last_ts = {}    # (pid, tid) -> last B/E timestamp
+    for n, ev in enumerate(events):
+        where = "%s: event %d" % (path, n)
+        if not isinstance(ev, dict):
+            problems.append("%s: not an object" % where)
+            continue
+        ph = ev.get("ph")
+        if not isinstance(ph, str):
+            problems.append("%s: missing ph" % where)
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append("%s: bad ts %r" % (where, ts))
+            continue
+        if not isinstance(ev.get("pid"), int) or not isinstance(ev.get("tid"), int):
+            problems.append("%s: missing pid/tid" % where)
+            continue
+        name = ev.get("name")
+        if ph in span_phases and not isinstance(name, str):
+            problems.append("%s: %s event without a name" % (where, ph))
+            continue
+        track = (ev["pid"], ev["tid"])
+        if ph in ("B", "E"):
+            if ts < last_ts.get(track, 0):
+                problems.append("%s: ts %s goes backwards on track %s" %
+                                (where, ts, track))
+            last_ts[track] = ts
+            if ph == "B":
+                stacks.setdefault(track, []).append(name)
+            else:
+                stack = stacks.get(track) or []
+                if not stack:
+                    problems.append("%s: E '%s' with no open span on track %s" %
+                                    (where, name, track))
+                elif stack[-1] != name:
+                    problems.append(
+                        "%s: E '%s' does not match open B '%s' on track %s" %
+                        (where, name, stack[-1], track))
+                else:
+                    stack.pop()
+        elif ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append("%s: X event with bad dur %r" % (where, dur))
+
+    for track, stack in sorted(stacks.items()):
+        if stack and not (torn and allow_torn):
+            problems.append("%s: unclosed span(s) %s on track %s at EOF" %
+                            (path, stack, track))
+
+    if not problems:
+        print("%s: OK (%d events%s)" %
+              (path, len(events), ", torn tail repaired" if torn else ""))
+    return problems
+
+
+def main(argv):
+    allow_torn = "--allow-torn" in argv
+    args = [a for a in argv if a not in ("--allow-torn", "--strict")]
+    if not args:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    problems = []
+    for path in args:
+        problems.extend(validate(path, allow_torn))
+    for p in problems:
+        print("error: %s" % p, file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
